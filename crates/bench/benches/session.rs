@@ -1,0 +1,76 @@
+//! Criterion benches for whole-session simulation speed.
+//!
+//! The real-time-feasibility check: simulating one second of telephony
+//! (1000 subframes, 36 encoded frames, full feedback plane) must run far
+//! faster than real time, or the reproduce harness could not sweep the
+//! paper's 5 × 10 × 5-minute session grid.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use poi360_core::session::Session;
+use poi360_lte::scenario::Scenario;
+use poi360_sim::time::SimDuration;
+use poi360_viewport::motion::UserArchetype;
+
+fn cfg(rc: RateControlKind, net: NetworkKind) -> SessionConfig {
+    SessionConfig {
+        scheme: CompressionScheme::Poi360,
+        rate_control: rc,
+        network: net,
+        user: UserArchetype::EventDriven,
+        duration: SimDuration::from_secs(3600), // irrelevant: we step manually
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_session_second(c: &mut Criterion) {
+    c.bench_function("session/one_simulated_second_cellular_fbcc", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Session::new(cfg(
+                    RateControlKind::Fbcc,
+                    NetworkKind::Cellular(Scenario::baseline()),
+                ));
+                // Warm up past the startup transient.
+                for _ in 0..2_000 {
+                    s.step();
+                }
+                s
+            },
+            |mut s| {
+                for _ in 0..1_000 {
+                    s.step();
+                }
+                black_box(s.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("session/one_simulated_second_wireline_gcc", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Session::new(cfg(RateControlKind::Gcc, NetworkKind::Wireline));
+                for _ in 0..2_000 {
+                    s.step();
+                }
+                s
+            },
+            |mut s| {
+                for _ in 0..1_000 {
+                    s.step();
+                }
+                black_box(s.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_session_second
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! `reproduce` — regenerate every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! cargo run --release -p poi360-bench --bin reproduce -- all
+//! cargo run --release -p poi360-bench --bin reproduce -- fig11 --full
+//! cargo run --release -p poi360-bench --bin reproduce -- fig17 --seconds 120 --repeats 5
+//! ```
+//!
+//! Subcommands: `fig5 fig6 table1 fig11 fig12 fig13 fig14 fig15 fig16
+//! fig17 ablation all`. Flags: `--full` (paper scale: 300 s × 10 repeats),
+//! `--seconds N`, `--repeats N`, `--seed N`. Output also lands in
+//! `bench_results/<name>.txt`.
+
+use poi360_bench::experiments as exp;
+use poi360_bench::runner::ExpConfig;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation|all> \
+         [--full] [--seconds N] [--repeats N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let what = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--full" => cfg = ExpConfig { base_seed: cfg.base_seed, ..ExpConfig::full() },
+            "--seconds" => {
+                cfg.duration_secs = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--repeats" => {
+                cfg.repeats = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                cfg.base_seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "# sessions: {}s x {} repeats x 5 users per condition (seed {})",
+        cfg.duration_secs, cfg.repeats, cfg.base_seed
+    );
+
+    let mut outputs: Vec<(&str, String)> = Vec::new();
+    let micro_needed = ["fig11", "fig12", "fig13", "fig14", "all"].contains(&what.as_str());
+    let micro = micro_needed.then(|| exp::compression_bench(&cfg));
+    let rate_needed = ["fig15", "fig16", "all"].contains(&what.as_str());
+    let rate = rate_needed.then(|| exp::rate_control_bench(&cfg));
+
+    match what.as_str() {
+        "fig5" => outputs.push(("fig5", exp::fig5(&cfg))),
+        "fig6" => outputs.push(("fig6", exp::fig6(&cfg))),
+        "table1" => outputs.push(("table1", exp::table1())),
+        "fig11" => outputs.push(("fig11", exp::fig11(micro.as_ref().expect("computed")))),
+        "fig12" => outputs.push(("fig12", exp::fig12(micro.as_ref().expect("computed")))),
+        "fig13" => outputs.push(("fig13", exp::fig13(micro.as_ref().expect("computed")))),
+        "fig14" => outputs.push(("fig14", exp::fig14(micro.as_ref().expect("computed")))),
+        "fig15" => outputs.push(("fig15", exp::fig15(rate.as_ref().expect("computed")))),
+        "fig16" => outputs.push(("fig16", exp::fig16(rate.as_ref().expect("computed")))),
+        "fig17" => {
+            outputs.push(("fig17_load", exp::fig17(&cfg, exp::Fig17Axis::Load)));
+            outputs.push(("fig17_signal", exp::fig17(&cfg, exp::Fig17Axis::Signal)));
+            outputs.push(("fig17_speed", exp::fig17(&cfg, exp::Fig17Axis::Speed)));
+        }
+        "ablation" => {
+            outputs.push(("ablation_prediction", exp::roi_prediction_ablation()));
+            outputs.push(("ablation_modes", exp::mode_ablation(&cfg)));
+            outputs.push(("ablation_prediction_policy", exp::prediction_policy_ablation(&cfg)));
+            outputs.push(("ablation_edge", exp::edge_relay_ablation(&cfg)));
+        }
+        "all" => {
+            outputs.push(("table1", exp::table1()));
+            outputs.push(("fig5", exp::fig5(&cfg)));
+            outputs.push(("fig6", exp::fig6(&cfg)));
+            let micro = micro.expect("computed");
+            outputs.push(("fig11", exp::fig11(&micro)));
+            outputs.push(("fig12", exp::fig12(&micro)));
+            outputs.push(("fig13", exp::fig13(&micro)));
+            outputs.push(("fig14", exp::fig14(&micro)));
+            let rate = rate.expect("computed");
+            outputs.push(("fig15", exp::fig15(&rate)));
+            outputs.push(("fig16", exp::fig16(&rate)));
+            outputs.push(("fig17_load", exp::fig17(&cfg, exp::Fig17Axis::Load)));
+            outputs.push(("fig17_signal", exp::fig17(&cfg, exp::Fig17Axis::Signal)));
+            outputs.push(("fig17_speed", exp::fig17(&cfg, exp::Fig17Axis::Speed)));
+            outputs.push(("ablation_prediction", exp::roi_prediction_ablation()));
+            outputs.push(("ablation_modes", exp::mode_ablation(&cfg)));
+            outputs.push(("ablation_prediction_policy", exp::prediction_policy_ablation(&cfg)));
+            outputs.push(("ablation_edge", exp::edge_relay_ablation(&cfg)));
+        }
+        _ => usage(),
+    }
+
+    std::fs::create_dir_all("bench_results").ok();
+    for (name, text) in &outputs {
+        println!("{text}");
+        if let Ok(mut f) = std::fs::File::create(format!("bench_results/{name}.txt")) {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared experiment plumbing: session fan-out across users × repetitions,
+//! parallelized across OS threads (sessions are independent and
+//! deterministic per seed).
+
+use poi360_core::config::SessionConfig;
+use poi360_core::report::{Aggregate, SessionReport};
+use poi360_core::session::Session;
+use poi360_sim::time::SimDuration;
+use poi360_viewport::motion::UserArchetype;
+
+/// Global experiment scaling.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Per-session duration in seconds (paper: 300 s).
+    pub duration_secs: u64,
+    /// Repetitions per user (paper: 10).
+    pub repeats: u64,
+    /// Base seed; session seeds derive from it, the user, and the repeat.
+    pub base_seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        // Quick mode: enough sessions for stable aggregates in seconds of
+        // wall-clock. `reproduce --full` switches to the paper's scale.
+        ExpConfig { duration_secs: 90, repeats: 3, base_seed: 360 }
+    }
+}
+
+impl ExpConfig {
+    /// The paper's full scale: 5-minute sessions, 10 repetitions per user.
+    pub fn full() -> Self {
+        ExpConfig { duration_secs: 300, repeats: 10, base_seed: 360 }
+    }
+
+    /// Session duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.duration_secs)
+    }
+}
+
+/// Deterministic per-session seed from experiment base seed, user index,
+/// and repetition number.
+pub fn session_seed(base: u64, user_idx: usize, repeat: u64) -> u64 {
+    base ^ ((user_idx as u64 + 1) << 24) ^ (repeat.wrapping_mul(0x9E37_79B9))
+}
+
+/// Run `users × repeats` sessions of `make_cfg` and pool them into an
+/// aggregate. `make_cfg` receives (user, seed) and returns the session
+/// configuration.
+pub fn run_sessions(
+    exp: &ExpConfig,
+    label: &str,
+    make_cfg: impl Fn(UserArchetype, u64) -> SessionConfig + Sync,
+) -> Aggregate {
+    let users = UserArchetype::all();
+    let mut jobs: Vec<SessionConfig> = Vec::new();
+    for (user_idx, &user) in users.iter().enumerate() {
+        for repeat in 0..exp.repeats {
+            let seed = session_seed(exp.base_seed, user_idx, repeat);
+            jobs.push(make_cfg(user, seed));
+        }
+    }
+    let reports = run_parallel(jobs);
+    let mut agg = Aggregate::new(label);
+    for r in &reports {
+        agg.add(r);
+    }
+    agg
+}
+
+/// Run a batch of independent sessions across available cores.
+pub fn run_parallel(jobs: Vec<SessionConfig>) -> Vec<SessionReport> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let jobs = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    let mut results: Vec<(usize, SessionReport)> = Vec::new();
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop();
+                let Some((idx, cfg)) = job else { break };
+                let report = Session::new(cfg).run();
+                results_mutex.lock().expect("results poisoned").push((idx, report));
+            });
+        }
+    });
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind};
+
+    #[test]
+    fn seeds_are_distinct_across_users_and_repeats() {
+        let mut seen = std::collections::HashSet::new();
+        for user in 0..5 {
+            for rep in 0..10 {
+                assert!(seen.insert(session_seed(1, user, rep)));
+            }
+        }
+    }
+
+    #[test]
+    fn run_sessions_pools_all() {
+        let exp = ExpConfig { duration_secs: 5, repeats: 2, base_seed: 9 };
+        let agg = run_sessions(&exp, "smoke", |user, seed| SessionConfig {
+            scheme: CompressionScheme::Poi360,
+            rate_control: RateControlKind::Gcc,
+            network: NetworkKind::Wireline,
+            user,
+            duration: exp.duration(),
+            seed,
+            ..Default::default()
+        });
+        assert_eq!(agg.sessions, 10);
+        assert!(agg.freeze.delivered() > 0);
+    }
+
+    #[test]
+    fn parallel_order_is_stable() {
+        let exp = ExpConfig { duration_secs: 3, repeats: 1, base_seed: 5 };
+        let mk = |user: UserArchetype, seed: u64| SessionConfig {
+            scheme: CompressionScheme::Poi360,
+            rate_control: RateControlKind::Gcc,
+            network: NetworkKind::Wireline,
+            user,
+            duration: exp.duration(),
+            seed,
+            ..Default::default()
+        };
+        let a = run_sessions(&exp, "a", mk);
+        let b = run_sessions(&exp, "b", mk);
+        assert_eq!(a.roi_psnr_db, b.roi_psnr_db, "fan-out must be deterministic");
+    }
+}

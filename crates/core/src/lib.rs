@@ -1,0 +1,42 @@
+//! POI360 core: the paper's contribution.
+//!
+//! * [`adaptive`] — adaptive spatial compression (§4.2): the client-side
+//!   ROI-mismatch-time monitor (Eq. 2) and the sender-side compression-mode
+//!   selector over the K = 8 pre-defined modes.
+//! * [`baselines`] — the benchmark compression schemes the paper compares
+//!   against (§6.1.1): Conduit (ROI crop, two levels) and Pyramid encoding
+//!   (fixed smooth falloff).
+//! * [`policy`] — the `CompressionPolicy` trait both implement.
+//! * [`fbcc`] — Firmware-Buffer-aware Congestion Control (§4.3):
+//!   uplink congestion detection from diag reports (Eq. 3), PHY bandwidth
+//!   estimation (Eq. 4), the encoding-bitrate rule (Eq. 6), and the RTP
+//!   sweet-spot controller (Eq. 7) with its learned target buffer level.
+//! * [`rate`] — the `RateController` trait with FBCC and plain-GCC
+//!   implementations.
+//! * [`session`] — the full telephony session: sender pipeline (compression
+//!   → encoder → packetizer → pacer → uplink), network path, client pipeline
+//!   (reassembly → render → measurement), and all feedback loops, driven one
+//!   LTE subframe at a time.
+//! * [`config`] — session/experiment configuration.
+//! * [`report`] — per-session measurement record and cross-session
+//!   aggregation.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod config;
+pub mod fbcc;
+pub mod policy;
+pub mod predictive;
+pub mod rate;
+pub mod report;
+pub mod session;
+
+pub use adaptive::{AdaptiveCompression, RoiMismatchMonitor};
+pub use baselines::{ConduitCompression, PyramidCompression};
+pub use config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+pub use fbcc::{Fbcc, FbccConfig};
+pub use policy::CompressionPolicy;
+pub use predictive::PredictiveCompression;
+pub use rate::RateController;
+pub use report::SessionReport;
+pub use session::Session;

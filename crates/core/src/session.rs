@@ -1,0 +1,665 @@
+//! The full 360° telephony session.
+//!
+//! Wires together everything the paper's prototype runs (Fig. 7):
+//!
+//! ```text
+//! sender:  viewer-ROI knowledge ─▶ compression policy ─▶ encoder
+//!              ▲                                             │ frames
+//!              │ feedback path                               ▼
+//!              │ (ROI, M, RTCP,              packetizer ─▶ pacer (R_rtp)
+//!              │  REMB, NACK, PLI)                           │ packets
+//!              │                                             ▼
+//! client:  reassembler ◀─ downstream pipe ◀─ LTE uplink / wireline
+//!              │ frames                          │ diag (B, TBS) ─▶ FBCC
+//!              ▼
+//!          render + measure (delay, ROI PSNR, M) ─▶ feedback path
+//! ```
+//!
+//! The session advances one LTE subframe (1 ms) at a time; every component
+//! is polled explicitly, so a whole run is a deterministic function of its
+//! [`SessionConfig`].
+//!
+//! ### Display model
+//! A delivered frame's *user-perceived* ROI quality is the encoded ROI
+//! PSNR capped by a staleness term: in an interactive scene, a frame that
+//! arrives very late shows outdated content, so the displayed quality
+//! decays with delay beyond ~450 ms; an abandoned frame leaves stale
+//! content on screen and is scored at `STALE_PSNR_DB`. This reproduces the
+//! coupling between congestion and measured quality in the paper's §6
+//! results (quality and delay are measured on the same received stream).
+
+use crate::adaptive::{AdaptiveCompression, RoiMismatchMonitor};
+use crate::baselines::{ConduitCompression, PyramidCompression};
+use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use crate::fbcc::FbccConfig;
+use crate::policy::CompressionPolicy;
+use crate::predictive::PredictiveCompression;
+use crate::rate::{FbccRate, GccRate, RateController};
+use crate::report::SessionReport;
+use poi360_lte::uplink::CellUplink;
+use poi360_net::packet::Packet;
+use poi360_net::pipe::{DelayPipe, PipeConfig};
+use poi360_net::wireline::{WirelineConfig, WirelineLink};
+use poi360_sim::time::{SimDuration, SimTime};
+use poi360_transport::gcc::{GccReceiver, Remb};
+use poi360_transport::pacer::Pacer;
+use poi360_transport::rtcp::ReceiverStats;
+use poi360_transport::rtp::{Packetizer, Reassembler};
+use poi360_video::content::ContentModel;
+use poi360_video::encoder::{EncodedFrame, Encoder};
+use poi360_video::rd::RdModel;
+use poi360_video::roi::Roi;
+use poi360_viewport::motion::{HeadMotion, MotionConfig};
+use std::collections::BTreeMap;
+
+/// PSNR assigned to a frame that never displays (stale content freezes on
+/// screen).
+pub const STALE_PSNR_DB: f64 = 12.0;
+
+/// Delay beyond which displayed quality starts to decay (the scene has
+/// moved on).
+const STALENESS_ONSET: f64 = 0.45; // seconds
+
+/// Quality decay per second of excess delay, dB.
+const STALENESS_SLOPE: f64 = 35.0;
+
+/// Messages on the client → sender feedback path (WebRTC data channel +
+/// RTCP).
+enum FeedbackMsg {
+    /// Periodic ROI + averaged mismatch-time feedback (every frame interval).
+    RoiAndM { roi: Roi, m: Option<SimDuration> },
+    /// RTCP receiver report with RTT echo information.
+    ReceiverReport { loss: f64, latest_departed_at: SimTime, hold: SimDuration },
+    /// GCC receiver-estimated max bitrate.
+    Remb(Remb),
+    /// Retransmission request.
+    Nack(u64),
+    /// Picture loss indication: request a keyframe.
+    Pli,
+}
+
+/// Access network (the segment FBCC can see into).
+enum Access {
+    Cellular(CellUplink<Packet>),
+    Wireline(WirelineLink<Packet>),
+}
+
+/// One telephony session.
+pub struct Session {
+    cfg: SessionConfig,
+    now: SimTime,
+    rd: RdModel,
+
+    // ---- sender ----
+    content: ContentModel,
+    encoder: Encoder,
+    policy: Box<dyn CompressionPolicy>,
+    rate: Box<dyn RateController>,
+    packetizer: Packetizer,
+    pacer: Pacer,
+    sender_roi: Roi,
+    next_frame_at: SimTime,
+    /// Frame metadata the client "decodes" (matrix, tiles) keyed by number.
+    sent_frames: BTreeMap<u64, EncodedFrame>,
+    /// Released packets retained for NACK retransmission.
+    sent_packets: BTreeMap<u64, Packet>,
+
+    // ---- network ----
+    access: Access,
+    downstream: DelayPipe<Packet>,
+    feedback: DelayPipe<FeedbackMsg>,
+
+    // ---- client ----
+    viewer: HeadMotion,
+    reassembler: Reassembler,
+    gcc_rx: GccReceiver,
+    rstats: ReceiverStats,
+    monitor: RoiMismatchMonitor,
+    next_roi_feedback_at: SimTime,
+    next_rr_at: SimTime,
+    last_arrival: Option<(SimTime, SimTime)>, // (pkt departed_at, arrival)
+
+    // ---- measurement ----
+    report: SessionReport,
+    rx_bytes_this_second: u64,
+    current_second: u64,
+}
+
+impl Session {
+    /// Build a session from its configuration.
+    pub fn new(cfg: SessionConfig) -> Self {
+        let grid = cfg.encoder.geometry.grid;
+        let policy: Box<dyn CompressionPolicy> = match cfg.scheme {
+            CompressionScheme::Poi360 => Box::new(AdaptiveCompression::new()),
+            CompressionScheme::Conduit => Box::new(ConduitCompression::new()),
+            CompressionScheme::Pyramid => Box::new(PyramidCompression::new()),
+            CompressionScheme::Poi360Predictive => Box::new(PredictiveCompression::default()),
+            CompressionScheme::FixedMode(k) => Box::new(AdaptiveCompression::fixed_mode(k)),
+        };
+        let rate: Box<dyn RateController> = match cfg.rate_control {
+            RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
+            RateControlKind::Fbcc => Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default())),
+        };
+        let (access, downstream_cfg, feedback_cfg) = match cfg.network {
+            NetworkKind::Cellular(scenario) => (
+                Access::Cellular(CellUplink::new(scenario.uplink_config(), cfg.seed)),
+                PipeConfig::cellular_downstream(),
+                PipeConfig::cellular_feedback(),
+            ),
+            NetworkKind::CellularEdge(scenario) => (
+                Access::Cellular(CellUplink::new(scenario.uplink_config(), cfg.seed)),
+                PipeConfig::edge_downstream(),
+                PipeConfig::edge_feedback(),
+            ),
+            NetworkKind::Wireline => (
+                Access::Wireline(WirelineLink::new(WirelineConfig::default())),
+                PipeConfig::wireline_transit(),
+                PipeConfig::wireline_feedback(),
+            ),
+        };
+        let label = cfg.label();
+        Session {
+            now: SimTime::ZERO,
+            rd: RdModel::default(),
+            content: ContentModel::new(grid, cfg.seed),
+            encoder: Encoder::new(cfg.encoder, cfg.seed),
+            policy,
+            rate,
+            packetizer: Packetizer::new(),
+            pacer: Pacer::new(cfg.start_rate_bps),
+            sender_roi: Roi::front(&grid),
+            next_frame_at: SimTime::ZERO,
+            sent_frames: BTreeMap::new(),
+            sent_packets: BTreeMap::new(),
+            access,
+            downstream: DelayPipe::new(downstream_cfg, cfg.seed ^ 0xd0),
+            feedback: DelayPipe::new(feedback_cfg, cfg.seed ^ 0xfb),
+            viewer: HeadMotion::new(cfg.user, MotionConfig::default(), cfg.seed ^ 0x9e),
+            reassembler: Reassembler::new(SimDuration::from_millis(1_500)),
+            gcc_rx: GccReceiver::new(cfg.start_rate_bps),
+            rstats: ReceiverStats::new(),
+            monitor: RoiMismatchMonitor::new(),
+            next_roi_feedback_at: SimTime::ZERO,
+            next_rr_at: SimTime::from_millis(100),
+            last_arrival: None,
+            report: SessionReport { label, ..Default::default() },
+            rx_bytes_this_second: 0,
+            current_second: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this session runs.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run to completion and return the measurement record.
+    pub fn run(mut self) -> SessionReport {
+        let end = SimTime::ZERO + self.cfg.duration;
+        while self.now < end {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Advance exactly one subframe (1 ms).
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Client head motion (sensor rate = subframe rate).
+        self.viewer.step(poi360_sim::SUBFRAME);
+        let client_roi = self.viewer.roi(&self.cfg.encoder.geometry.grid);
+        self.monitor.on_roi_update(now, &client_roi);
+
+        // 2. Feedback arrivals at the sender.
+        self.feedback.tick(now);
+        for (_, msg) in self.feedback.poll(now) {
+            self.sender_handle_feedback(msg);
+        }
+
+        // 3. Frame capture + encode on schedule.
+        while self.now >= self.next_frame_at {
+            self.sender_encode_frame();
+            self.next_frame_at = self.next_frame_at + self.cfg.encoder.frame_interval();
+        }
+
+        // 4. Pace packets toward the access link.
+        self.pacer.set_rate_bps(self.rate.rtp_rate_bps(now));
+        for mut pkt in self.pacer.tick(now) {
+            pkt.sent_at = now; // abs-send-time: when the packet leaves the app
+            self.sent_packets.insert(pkt.seq, pkt.clone());
+            if self.sent_packets.len() > 4_000 {
+                let oldest = *self.sent_packets.keys().next().expect("non-empty");
+                self.sent_packets.remove(&oldest);
+            }
+            match &mut self.access {
+                Access::Cellular(ul) => {
+                    ul.enqueue(pkt, now);
+                }
+                Access::Wireline(link) => {
+                    link.enqueue(pkt, now);
+                }
+            }
+        }
+
+        // 5. Access link service.
+        match &mut self.access {
+            Access::Cellular(ul) => {
+                let out = ul.subframe(now);
+                for (pkt, _) in out.departed {
+                    self.downstream.send(pkt, now);
+                }
+                if let Some(diag) = out.diag {
+                    self.report.fw_buffer.push(now, diag.last_buffer_bytes() as f64);
+                    self.report.phy_rate.push(now, diag.mean_phy_rate_bps());
+                    self.rate.on_diag(&diag, now);
+                }
+            }
+            Access::Wireline(link) => {
+                for (_, pkt) in link.poll(now) {
+                    self.downstream.send(pkt, now);
+                }
+            }
+        }
+
+        // 6. Deliveries at the client.
+        self.downstream.tick(now);
+        let arrivals = self.downstream.poll(now);
+        for (at, pkt) in arrivals {
+            self.client_handle_packet(pkt, at, &client_roi);
+        }
+
+        // 7. Client housekeeping: NACKs, abandoned frames, REMB, RR, ROI/M.
+        self.client_housekeeping(&client_roi);
+
+        self.now = self.now + poi360_sim::SUBFRAME;
+    }
+
+    // ---------------------------------------------------------------
+    // Sender side
+    // ---------------------------------------------------------------
+
+    fn sender_handle_feedback(&mut self, msg: FeedbackMsg) {
+        match msg {
+            FeedbackMsg::RoiAndM { roi, m } => {
+                self.sender_roi = roi;
+                self.policy.on_roi_feedback(self.now, &roi);
+                if let Some(m) = m {
+                    self.policy.on_mismatch_feedback(self.now, m);
+                }
+            }
+            FeedbackMsg::ReceiverReport { loss, latest_departed_at, hold } => {
+                let rtt = self
+                    .now
+                    .saturating_since(latest_departed_at)
+                    .saturating_sub(hold);
+                self.rate.on_receiver_report(loss, rtt);
+            }
+            FeedbackMsg::Remb(remb) => self.rate.on_remb(remb),
+            FeedbackMsg::Nack(seq) => {
+                if let Some(pkt) = self.sent_packets.get(&seq) {
+                    let mut retx = pkt.clone();
+                    retx.retransmit = true;
+                    self.pacer.enqueue_front(retx);
+                }
+            }
+            FeedbackMsg::Pli => self.encoder.request_keyframe(),
+        }
+    }
+
+    fn sender_encode_frame(&mut self) {
+        let grid = self.cfg.encoder.geometry.grid;
+        let matrix = self.policy.matrix(&grid, &self.sender_roi);
+        let rv = self.rate.video_rate_bps(self.now);
+        let frame = self
+            .encoder
+            .encode(self.now, self.sender_roi, &matrix, &self.content, rv);
+        self.content.advance_frame();
+
+        self.report.frames_sent += 1;
+        self.report.video_rate.push(self.now, rv);
+        self.report.rtp_rate.push(self.now, self.rate.rtp_rate_bps(self.now));
+
+        for pkt in self
+            .packetizer
+            .packetize(frame.frame_no, frame.bytes, self.now)
+        {
+            self.pacer.enqueue(pkt);
+        }
+        self.sent_frames.insert(frame.frame_no, frame);
+        // Bound the store: anything older than ~300 frames is past the
+        // abandon window anyway.
+        while self.sent_frames.len() > 300 {
+            let oldest = *self.sent_frames.keys().next().expect("non-empty");
+            self.sent_frames.remove(&oldest);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Client side
+    // ---------------------------------------------------------------
+
+    fn client_handle_packet(&mut self, pkt: Packet, at: SimTime, client_roi: &Roi) {
+        self.rx_bytes_this_second += pkt.bytes as u64;
+        let second = at.as_micros() / 1_000_000;
+        if second > self.current_second {
+            // Close the finished second(s).
+            let rate = self.rx_bytes_this_second as f64 * 8.0;
+            self.report
+                .throughput
+                .push(SimTime::from_secs(self.current_second + 1), rate);
+            self.rx_bytes_this_second = 0;
+            self.current_second = second;
+        }
+
+        self.last_arrival = Some((pkt.sent_at, at));
+        self.gcc_rx.on_packet(&pkt, at);
+        self.rstats.on_packet(&pkt, at);
+        if let Some(done) = self.reassembler.on_packet(&pkt, at) {
+            self.client_handle_frame(done.frame_no, done.completed_at, client_roi);
+        }
+    }
+
+    fn client_handle_frame(&mut self, frame_no: u64, completed_at: SimTime, client_roi: &Roi) {
+        let Some(meta) = self.sent_frames.remove(&frame_no) else {
+            return; // metadata already pruned: too old to score
+        };
+        let grid = self.cfg.encoder.geometry.grid;
+        let delay = completed_at.saturating_since(meta.capture_time) + self.cfg.pipeline_delay;
+
+        self.report.frames_delivered += 1;
+        self.report.freeze.record(delay);
+
+        // User-perceived ROI quality: encoded quality in the viewer's FoV,
+        // capped by staleness.
+        let encoded_psnr =
+            meta.region_psnr(&self.rd, &self.cfg.encoder.geometry, client_roi.fov_tiles(&grid, 1, 1));
+        let staleness_cap =
+            55.0 - STALENESS_SLOPE * (delay.as_secs_f64() - STALENESS_ONSET).max(0.0);
+        let displayed = encoded_psnr.min(staleness_cap).max(8.0);
+        self.report.roi_psnr_db.push(displayed);
+
+        // Displayed compression level at the gaze tile (Fig. 12 input).
+        self.report
+            .roi_level
+            .push(completed_at, meta.matrix.level(client_roi.center));
+
+        // ROI mismatch measurement (Eq. 2) and its window.
+        let m = self.monitor.on_frame(completed_at, &meta, client_roi, delay);
+        self.report
+            .mismatch_ms
+            .push(completed_at, m.as_micros() as f64 / 1e3);
+    }
+
+    fn client_housekeeping(&mut self, client_roi: &Roi) {
+        let now = self.now;
+
+        // NACK generation.
+        for nack in self
+            .reassembler
+            .poll_nacks(now, SimDuration::from_millis(100), 4)
+        {
+            self.feedback.send(FeedbackMsg::Nack(nack.seq), now);
+        }
+
+        // Abandoned frames: freeze + stale display + PLI.
+        let abandoned = self.reassembler.poll_abandoned(now);
+        for frame_no in abandoned {
+            self.sent_frames.remove(&frame_no);
+            self.report.frames_lost += 1;
+            self.report.freeze.record_lost();
+            self.report.roi_psnr_db.push(STALE_PSNR_DB);
+            self.feedback.send(FeedbackMsg::Pli, now);
+        }
+
+        // REMB.
+        if let Some(remb) = self.gcc_rx.poll_remb(now) {
+            self.feedback.send(FeedbackMsg::Remb(remb), now);
+        }
+
+        // RTCP receiver reports every 100 ms.
+        if now >= self.next_rr_at {
+            self.next_rr_at = now + SimDuration::from_millis(100);
+            let rr = self.rstats.make_report(now);
+            if let Some((departed_at, arrival)) = self.last_arrival {
+                self.feedback.send(
+                    FeedbackMsg::ReceiverReport {
+                        loss: rr.loss_fraction,
+                        latest_departed_at: departed_at,
+                        hold: now.saturating_since(arrival),
+                    },
+                    now,
+                );
+            }
+        }
+
+        // ROI + M feedback every frame interval.
+        if now >= self.next_roi_feedback_at {
+            self.next_roi_feedback_at = now + self.cfg.encoder.frame_interval();
+            self.feedback.send(
+                FeedbackMsg::RoiAndM { roi: *client_roi, m: self.monitor.average() },
+                now,
+            );
+        }
+    }
+
+    fn finish(mut self) -> SessionReport {
+        self.report.uplink_detections = self.rate.uplink_detections();
+        self.report.packets_dropped = match &self.access {
+            Access::Cellular(ul) => ul.dropped() + self.downstream.lost(),
+            Access::Wireline(link) => link.dropped() + self.downstream.lost(),
+        };
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_lte::scenario::Scenario;
+    use poi360_viewport::motion::UserArchetype;
+
+    fn cfg(scheme: CompressionScheme, rc: RateControlKind, network: NetworkKind, seed: u64) -> SessionConfig {
+        SessionConfig {
+            scheme,
+            rate_control: rc,
+            network,
+            user: UserArchetype::EventDriven,
+            duration: SimDuration::from_secs(30),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn cellular() -> NetworkKind {
+        NetworkKind::Cellular(Scenario::baseline())
+    }
+
+    #[test]
+    fn poi360_cellular_session_delivers_frames() {
+        let report = Session::new(cfg(
+            CompressionScheme::Poi360,
+            RateControlKind::Fbcc,
+            cellular(),
+            42,
+        ))
+        .run();
+        // 30 s at 36 FPS = 1080 frames sent.
+        assert!((1_050..=1_120).contains(&report.frames_sent), "sent {}", report.frames_sent);
+        let delivered_frac = report.frames_delivered as f64 / report.frames_sent as f64;
+        assert!(delivered_frac > 0.9, "delivered fraction {delivered_frac}");
+        assert!(!report.roi_psnr_db.is_empty());
+        assert!(!report.fw_buffer.is_empty(), "cellular sessions record diag");
+    }
+
+    #[test]
+    fn wireline_session_runs_clean() {
+        let report = Session::new(cfg(
+            CompressionScheme::Poi360,
+            RateControlKind::Gcc,
+            NetworkKind::Wireline,
+            43,
+        ))
+        .run();
+        assert!(report.frames_delivered > 1_000);
+        assert!(report.freeze_ratio() < 0.05, "wireline freeze {}", report.freeze_ratio());
+        assert!(report.fw_buffer.is_empty(), "no diag on wireline");
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7)).run();
+        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7)).run();
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.frames_delivered, b.frames_delivered);
+        assert_eq!(a.roi_psnr_db, b.roi_psnr_db);
+        assert_eq!(a.mean_throughput_bps(), b.mean_throughput_bps());
+    }
+
+    #[test]
+    fn seeds_change_outcomes() {
+        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 1)).run();
+        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 2)).run();
+        assert_ne!(a.roi_psnr_db, b.roi_psnr_db);
+    }
+
+    #[test]
+    fn fbcc_freezes_less_than_gcc_under_stress() {
+        // The paper's Fig. 16a core claim, pooled over a few seeds: FBCC's
+        // local congestion detection keeps the freeze ratio below stock
+        // GCC's on the same congested cell.
+        let mut fbcc_frozen = 0.0;
+        let mut gcc_frozen = 0.0;
+        for seed in [11u64, 12, 13] {
+            fbcc_frozen += Session::new(cfg(
+                CompressionScheme::Poi360,
+                RateControlKind::Fbcc,
+                cellular(),
+                seed,
+            ))
+            .run()
+            .freeze_ratio();
+            gcc_frozen += Session::new(cfg(
+                CompressionScheme::Poi360,
+                RateControlKind::Gcc,
+                cellular(),
+                seed,
+            ))
+            .run()
+            .freeze_ratio();
+        }
+        assert!(
+            fbcc_frozen <= gcc_frozen,
+            "fbcc {fbcc_frozen} vs gcc {gcc_frozen}"
+        );
+    }
+
+    #[test]
+    fn mismatch_feedback_flows() {
+        let report = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 21)).run();
+        assert!(!report.mismatch_ms.is_empty());
+        // M is at least the frame delay, so its mean is positive.
+        assert!(report.mismatch_ms.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn pyramid_is_bitrate_starved_on_cellular() {
+        // Pyramid needs ~43 % of 12.65 Mbps ≈ 5.4 Mbps for full quality —
+        // far above the cell's capacity — so its delivered quality must
+        // fall below POI360's, which adapts its spatial load.
+        let mut pyr = 0.0;
+        let mut poi = 0.0;
+        for seed in [31u64, 32, 33] {
+            pyr += Session::new(cfg(CompressionScheme::Pyramid, RateControlKind::Gcc, cellular(), seed))
+                .run()
+                .mean_psnr_db();
+            poi += Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Gcc, cellular(), seed))
+                .run()
+                .mean_psnr_db();
+        }
+        assert!(pyr < poi, "pyramid {pyr} vs poi {poi}");
+    }
+
+    #[test]
+    fn throughput_is_recorded_and_sane() {
+        let report = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 51)).run();
+        let tput = report.mean_throughput_bps();
+        assert!((0.3e6..6.0e6).contains(&tput), "throughput {tput}");
+    }
+
+    #[test]
+    fn predictive_scheme_runs_end_to_end() {
+        let report = Session::new(cfg(
+            CompressionScheme::Poi360Predictive,
+            RateControlKind::Fbcc,
+            cellular(),
+            61,
+        ))
+        .run();
+        assert!(report.frames_delivered > 900, "delivered {}", report.frames_delivered);
+        assert!(report.mean_psnr_db() > 20.0);
+    }
+
+    #[test]
+    fn fixed_mode_schemes_run_and_differ() {
+        let f1 = Session::new(cfg(
+            CompressionScheme::FixedMode(1),
+            RateControlKind::Fbcc,
+            cellular(),
+            62,
+        ))
+        .run();
+        let f8 = Session::new(cfg(
+            CompressionScheme::FixedMode(8),
+            RateControlKind::Fbcc,
+            cellular(),
+            62,
+        ))
+        .run();
+        // The conservative mode needs far more bitrate, so on the same cell
+        // it must deliver lower quality.
+        assert!(
+            f8.mean_psnr_db() < f1.mean_psnr_db(),
+            "F8 {} vs F1 {}",
+            f8.mean_psnr_db(),
+            f1.mean_psnr_db()
+        );
+    }
+
+    #[test]
+    fn edge_relay_shortens_the_loop() {
+        let edge = Session::new(cfg(
+            CompressionScheme::Poi360,
+            RateControlKind::Fbcc,
+            NetworkKind::CellularEdge(Scenario::baseline()),
+            63,
+        ))
+        .run();
+        let internet = Session::new(cfg(
+            CompressionScheme::Poi360,
+            RateControlKind::Fbcc,
+            cellular(),
+            63,
+        ))
+        .run();
+        assert!(
+            edge.median_delay_ms() < internet.median_delay_ms(),
+            "edge {} vs internet {}",
+            edge.median_delay_ms(),
+            internet.median_delay_ms()
+        );
+        // Shorter feedback loop => smaller measured ROI mismatch time.
+        assert!(
+            edge.mismatch_ms.mean().unwrap() < internet.mismatch_ms.mean().unwrap(),
+            "edge M {} vs internet M {}",
+            edge.mismatch_ms.mean().unwrap(),
+            internet.mismatch_ms.mean().unwrap()
+        );
+    }
+}

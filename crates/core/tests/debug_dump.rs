@@ -1,0 +1,55 @@
+use poi360_core::config::*;
+use poi360_core::session::Session;
+use poi360_lte::scenario::{BackgroundLoad, Scenario};
+use poi360_sim::time::SimDuration;
+use poi360_viewport::motion::UserArchetype;
+
+fn run(scheme: CompressionScheme, rc: RateControlKind, net: NetworkKind, seed: u64) {
+    let cfg = SessionConfig {
+        scheme,
+        rate_control: rc,
+        network: net,
+        user: UserArchetype::EventDriven,
+        duration: SimDuration::from_secs(60),
+        seed,
+        ..Default::default()
+    };
+    let r = Session::new(cfg).run();
+    let bufs = r.fw_buffer.values();
+    let empty = if bufs.is_empty() { 0.0 } else { bufs.iter().filter(|&&b| b < 1.0).count() as f64 / bufs.len() as f64 };
+    println!(
+        "{:8} {:5} {:18} rv={:5.2}M tput={:5.2}M tput_std={:4.2}M buf={:5.1}K empty={:4.1}% freeze={:5.2}% med={:4.0}ms psnr={:4.1} std={:4.1} lost={:3} det={}",
+        scheme.label(), rc.label(),
+        net.label(),
+        r.video_rate.mean().unwrap_or(0.0) / 1e6,
+        r.mean_throughput_bps() / 1e6,
+        r.throughput_std_bps() / 1e6,
+        r.fw_buffer.mean().unwrap_or(0.0) / 1e3,
+        empty * 100.0,
+        r.freeze_ratio() * 100.0,
+        r.median_delay_ms(),
+        r.mean_psnr_db(),
+        r.psnr_std_db(),
+        r.frames_lost,
+        r.uplink_detections,
+    );
+}
+
+#[test]
+#[ignore]
+fn dump() {
+    let base = NetworkKind::Cellular(Scenario::baseline());
+    let busy = NetworkKind::Cellular(Scenario { load: BackgroundLoad::Busy, ..Scenario::baseline() });
+    for seed in [11u64, 12] {
+        for scheme in [CompressionScheme::Poi360, CompressionScheme::Conduit, CompressionScheme::Pyramid] {
+            run(scheme, RateControlKind::Gcc, base, seed);
+        }
+        run(CompressionScheme::Poi360, RateControlKind::Fbcc, base, seed);
+        run(CompressionScheme::Poi360, RateControlKind::Gcc, busy, seed);
+        run(CompressionScheme::Poi360, RateControlKind::Fbcc, busy, seed);
+        run(CompressionScheme::Poi360, RateControlKind::Gcc, NetworkKind::Wireline, seed);
+        run(CompressionScheme::Conduit, RateControlKind::Gcc, NetworkKind::Wireline, seed);
+        run(CompressionScheme::Pyramid, RateControlKind::Gcc, NetworkKind::Wireline, seed);
+        println!();
+    }
+}

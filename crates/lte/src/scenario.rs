@@ -1,0 +1,294 @@
+//! Field-test scenario presets (paper §6.2).
+//!
+//! The paper's system-level evaluation varies three independent conditions:
+//!
+//! * **Background traffic load** — early-morning idle campus vs. busy noon
+//!   (Fig. 17a/b),
+//! * **Signal strength** — parking garage (−115 dBm) / shadowed lot
+//!   (−82 dBm) / open lot (−73 dBm) (Fig. 17c/d),
+//! * **Mobility** — 15 / 30 / 50 mph driving (Fig. 17e/f); the paper notes
+//!   the highway route enjoys *better* RSS (≈ −60 dBm) thanks to fewer
+//!   blocking buildings.
+//!
+//! [`Scenario`] composes those axes into an [`UplinkConfig`].
+
+use crate::channel::ChannelConfig;
+use crate as poi360_lte;
+use crate::uplink::{LoadConfig, UplinkConfig};
+use serde::{Deserialize, Serialize};
+
+/// Competing-traffic condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackgroundLoad {
+    /// Early morning, idle channel.
+    Idle,
+    /// Ordinary daytime cell (the §6.1 micro-benchmark condition).
+    Typical,
+    /// Noon after class, busy channel.
+    Busy,
+}
+
+/// Received-signal-strength tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalStrength {
+    /// Concrete parking garage, −115 dBm.
+    Weak,
+    /// Outdoor lot shadowed by a tall building, −82 dBm.
+    Moderate,
+    /// Open lot, −73 dBm.
+    Strong,
+    /// Highway route, −60 dBm (used by the mobility experiments).
+    Highway,
+}
+
+impl SignalStrength {
+    /// The RSS value the paper reports for this tier.
+    pub fn rss_dbm(&self) -> f64 {
+        match self {
+            SignalStrength::Weak => -115.0,
+            SignalStrength::Moderate => -82.0,
+            SignalStrength::Strong => -73.0,
+            SignalStrength::Highway => -60.0,
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SignalStrength::Weak => "weak (-115dBm)",
+            SignalStrength::Moderate => "moderate (-82dBm)",
+            SignalStrength::Strong => "strong (-73dBm)",
+            SignalStrength::Highway => "highway (-60dBm)",
+        }
+    }
+}
+
+/// Mobility tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mobility {
+    /// Stationary experiments.
+    Static,
+    /// Residential-area slow driving.
+    Mph15,
+    /// Urban driving.
+    Mph30,
+    /// Highway driving.
+    Mph50,
+}
+
+impl Mobility {
+    /// Speed in mph.
+    pub fn mph(&self) -> f64 {
+        match self {
+            Mobility::Static => 0.0,
+            Mobility::Mph15 => 15.0,
+            Mobility::Mph30 => 30.0,
+            Mobility::Mph50 => 50.0,
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mobility::Static => "static",
+            Mobility::Mph15 => "15mph",
+            Mobility::Mph30 => "30mph",
+            Mobility::Mph50 => "50mph",
+        }
+    }
+}
+
+/// A complete field condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Competing cell traffic.
+    pub load: BackgroundLoad,
+    /// RSS tier.
+    pub signal: SignalStrength,
+    /// UE mobility.
+    pub mobility: Mobility,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario::baseline()
+    }
+}
+
+impl Scenario {
+    /// The micro-benchmark condition: static, strong signal, idle cell.
+    pub fn baseline() -> Self {
+        Scenario {
+            load: BackgroundLoad::Typical,
+            signal: SignalStrength::Strong,
+            mobility: Mobility::Static,
+        }
+    }
+
+    /// A quiet cell with strong signal: the most benign condition.
+    pub fn quiet() -> Self {
+        Scenario {
+            load: BackgroundLoad::Idle,
+            signal: SignalStrength::Strong,
+            mobility: Mobility::Static,
+        }
+    }
+
+    /// Fig. 17a/b conditions: static strong-signal location, varying load.
+    pub fn load_sweep() -> [Scenario; 2] {
+        [
+            Scenario { load: BackgroundLoad::Idle, ..Scenario::quiet() },
+            Scenario { load: BackgroundLoad::Busy, ..Scenario::quiet() },
+        ]
+    }
+
+    /// Fig. 17c/d conditions: idle weekend cell, varying RSS.
+    pub fn signal_sweep() -> [Scenario; 3] {
+        [
+            Scenario { signal: SignalStrength::Weak, ..Scenario::quiet() },
+            Scenario { signal: SignalStrength::Moderate, ..Scenario::quiet() },
+            Scenario { signal: SignalStrength::Strong, ..Scenario::quiet() },
+        ]
+    }
+
+    /// Fig. 17e/f conditions: driving at three speeds; the route has
+    /// highway-grade RSS as the paper observes.
+    pub fn mobility_sweep() -> [Scenario; 3] {
+        let drive = Scenario {
+            load: BackgroundLoad::Idle,
+            signal: SignalStrength::Highway,
+            mobility: Mobility::Static,
+        };
+        [
+            Scenario { mobility: Mobility::Mph15, ..drive },
+            Scenario { mobility: Mobility::Mph30, ..drive },
+            Scenario { mobility: Mobility::Mph50, ..drive },
+        ]
+    }
+
+    /// Materialize the uplink configuration for this scenario.
+    pub fn uplink_config(&self) -> UplinkConfig {
+        // The paper's weak-signal site is a concrete parking garage with a
+        // *stable* low RSS ("as long as the RSS does not fluctuate,
+        // POI360's rate control can always converge"): deep-indoor static
+        // links see little shadowing drift or Doppler.
+        let (shadow_std, fading_std) = if self.signal == SignalStrength::Weak {
+            (1.0, 1.0)
+        } else {
+            let d = ChannelConfig::default();
+            (d.shadow_std_db, d.fading_std_db)
+        };
+        // A weekend garage cell is nearly empty: PF compensation can hand a
+        // deep-fade UE far more PRBs than its fair share on a loaded cell.
+        let scheduler = if self.signal == SignalStrength::Weak {
+            poi360_lte::scheduler::SchedulerConfig {
+                max_prbs: 40,
+                ..Default::default()
+            }
+        } else {
+            Default::default()
+        };
+        UplinkConfig {
+            scheduler,
+            channel: ChannelConfig {
+                rss_dbm: self.signal.rss_dbm(),
+                speed_mph: self.mobility.mph(),
+                shadow_std_db: shadow_std,
+                fading_std_db: fading_std,
+            },
+            load: match self.load {
+                BackgroundLoad::Idle => LoadConfig::idle(),
+                BackgroundLoad::Typical => LoadConfig::typical(),
+                BackgroundLoad::Busy => LoadConfig::busy(),
+            },
+            ..UplinkConfig::default()
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            match self.load {
+                BackgroundLoad::Idle => "idle",
+                BackgroundLoad::Typical => "typical",
+                BackgroundLoad::Busy => "busy",
+            },
+            self.signal.label(),
+            self.mobility.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::PacketLike;
+    use crate::uplink::CellUplink;
+
+    struct Pkt;
+    impl PacketLike for Pkt {
+        fn wire_bytes(&self) -> u32 {
+            1_200
+        }
+    }
+
+    fn capacity(s: Scenario) -> f64 {
+        CellUplink::<Pkt>::new(s.uplink_config(), 1).nominal_capacity_bps()
+    }
+
+    #[test]
+    fn signal_sweep_orders_capacity() {
+        let [weak, moderate, strong] = Scenario::signal_sweep();
+        assert!(capacity(weak) < capacity(moderate));
+        assert!(capacity(moderate) <= capacity(strong) * 1.05);
+    }
+
+    #[test]
+    fn busy_cell_cuts_capacity() {
+        let [idle, busy] = Scenario::load_sweep();
+        assert!(capacity(busy) < capacity(idle) * 0.8);
+    }
+
+    #[test]
+    fn mobility_sweep_keeps_highway_rss() {
+        for s in Scenario::mobility_sweep() {
+            assert_eq!(s.signal, SignalStrength::Highway);
+            assert!(s.mobility.mph() > 0.0);
+        }
+    }
+
+    #[test]
+    fn baseline_capacity_realistic() {
+        let c = capacity(Scenario::baseline());
+        assert!((2.0e6..7.0e6).contains(&c), "baseline capacity {c}");
+    }
+
+    #[test]
+    fn uplink_config_wires_the_knobs() {
+        let s = Scenario {
+            load: BackgroundLoad::Busy,
+            signal: SignalStrength::Weak,
+            mobility: Mobility::Mph30,
+        };
+        let cfg = s.uplink_config();
+        assert_eq!(cfg.channel.rss_dbm, -115.0);
+        assert_eq!(cfg.channel.speed_mph, 30.0);
+        assert!(cfg.load.burst_extra > 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels = std::collections::HashSet::new();
+        for s in Scenario::load_sweep()
+            .into_iter()
+            .chain(Scenario::signal_sweep())
+            .chain(Scenario::mobility_sweep())
+        {
+            labels.insert(s.label());
+        }
+        // load_sweep's idle condition and signal_sweep's strong condition
+        // are the same baseline scenario, so 8 entries give 7 labels.
+        assert_eq!(labels.len(), 7);
+    }
+}

@@ -1,0 +1,188 @@
+//! CQI / MCS / transport-block-size tables.
+//!
+//! Shapes follow 3GPP TS 36.213: the CQI table maps SINR to one of 15
+//! modulation-and-coding operating points with spectral efficiencies from
+//! 0.1523 to 5.5547 bit/s/Hz; a physical resource block (PRB) carries
+//! 12 subcarriers × 14 OFDM symbols per 1 ms subframe, of which ~75 % remain
+//! after reference signals and L1/L2 control overhead.
+
+/// Highest CQI index.
+pub const MAX_CQI: u8 = 15;
+
+/// Resource elements usable for data per PRB per subframe
+/// (12 subcarriers × 14 symbols × 75 % after overhead).
+pub const DATA_RE_PER_PRB: f64 = 12.0 * 14.0 * 0.75;
+
+/// Spectral efficiency (bits per resource element) for each CQI, from the
+/// 36.213 CQI table. Index 0 = out of range (no transmission).
+const CQI_EFFICIENCY: [f64; 16] = [
+    0.0, 0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
+    3.9023, 4.5234, 5.1152, 5.5547,
+];
+
+/// SINR (dB) thresholds at which each CQI becomes usable (10 % BLER
+/// operating points, standard link-level fit: CQI ≈ (SINR + 6.7) / 1.9).
+const CQI_SINR_THRESHOLDS: [f64; 16] = [
+    f64::NEG_INFINITY,
+    -6.7,
+    -4.8,
+    -2.9,
+    -1.0,
+    0.9,
+    2.8,
+    4.7,
+    6.6,
+    8.5,
+    10.4,
+    12.3,
+    14.2,
+    16.1,
+    18.0,
+    19.9,
+];
+
+/// Map an SINR to the highest CQI whose threshold it clears.
+pub fn sinr_to_cqi(sinr_db: f64) -> u8 {
+    let mut cqi = 0u8;
+    for (k, &thr) in CQI_SINR_THRESHOLDS.iter().enumerate() {
+        if sinr_db >= thr {
+            cqi = k as u8;
+        }
+    }
+    cqi
+}
+
+/// Spectral efficiency (bits per RE) of a CQI.
+pub fn cqi_efficiency(cqi: u8) -> f64 {
+    CQI_EFFICIENCY[(cqi as usize).min(15)]
+}
+
+/// Data bits one PRB carries in one subframe at the given CQI.
+pub fn bits_per_prb(cqi: u8) -> f64 {
+    cqi_efficiency(cqi) * DATA_RE_PER_PRB
+}
+
+/// Transport block size (bits) for a grant of `prbs` PRBs at `cqi`.
+pub fn tbs_bits(cqi: u8, prbs: u32) -> u32 {
+    (bits_per_prb(cqi) * prbs as f64).floor() as u32
+}
+
+/// Smooth spectral efficiency for an SINR: piecewise-linear interpolation
+/// between the CQI operating points. Real link adaptation picks among ~29
+/// MCS levels plus power control, so the achievable efficiency is far
+/// smoother than the 15-step CQI table; using the raw table makes capacity
+/// jump by tens of percent at band edges, which no real scheduler does.
+pub fn smooth_efficiency(sinr_db: f64) -> f64 {
+    if sinr_db < CQI_SINR_THRESHOLDS[1] {
+        return 0.0;
+    }
+    if sinr_db >= CQI_SINR_THRESHOLDS[15] {
+        return CQI_EFFICIENCY[15];
+    }
+    for k in 1..15 {
+        let (lo, hi) = (CQI_SINR_THRESHOLDS[k], CQI_SINR_THRESHOLDS[k + 1]);
+        if sinr_db < hi {
+            let frac = (sinr_db - lo) / (hi - lo);
+            return CQI_EFFICIENCY[k] + frac * (CQI_EFFICIENCY[k + 1] - CQI_EFFICIENCY[k]);
+        }
+    }
+    CQI_EFFICIENCY[15]
+}
+
+/// PRBs needed to move `bytes` at `cqi` (zero CQI needs "infinite" PRBs;
+/// callers treat `u32::MAX` as unservable).
+pub fn prbs_for_bytes(cqi: u8, bytes: u32) -> u32 {
+    let per_prb = bits_per_prb(cqi);
+    if per_prb <= 0.0 {
+        return u32::MAX;
+    }
+    ((bytes as f64 * 8.0) / per_prb).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cqi_monotone_in_sinr() {
+        let mut last = 0;
+        for s in -10..30 {
+            let cqi = sinr_to_cqi(s as f64);
+            assert!(cqi >= last, "sinr {s}: cqi {cqi} < {last}");
+            last = cqi;
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(sinr_to_cqi(-20.0), 0);
+        assert_eq!(sinr_to_cqi(-6.0), 1);
+        assert_eq!(sinr_to_cqi(25.0), 15);
+    }
+
+    #[test]
+    fn efficiency_monotone() {
+        for c in 1..=15u8 {
+            assert!(cqi_efficiency(c) > cqi_efficiency(c - 1));
+        }
+        assert_eq!(cqi_efficiency(0), 0.0);
+        assert!((cqi_efficiency(15) - 5.5547).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tbs_scales_with_prbs() {
+        assert_eq!(tbs_bits(15, 0), 0);
+        let one = tbs_bits(15, 1);
+        let ten = tbs_bits(15, 10);
+        assert!((ten as f64 - 10.0 * one as f64).abs() <= 10.0);
+        // CQI 15, 1 PRB ≈ 5.5547 * 126 ≈ 700 bits.
+        assert!((one as i64 - 699).abs() <= 2, "one-PRB TBS {one}");
+    }
+
+    #[test]
+    fn prbs_for_bytes_inverts_tbs() {
+        for cqi in [1u8, 5, 10, 15] {
+            for bytes in [100u32, 1_500, 40_000] {
+                let prbs = prbs_for_bytes(cqi, bytes);
+                assert!(tbs_bits(cqi, prbs) >= bytes * 8, "cqi {cqi} bytes {bytes}");
+                if prbs > 1 {
+                    assert!(tbs_bits(cqi, prbs - 1) < bytes * 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_efficiency_interpolates() {
+        // Continuous, monotone, and anchored at the CQI operating points.
+        let mut last = 0.0;
+        for k in 0..400 {
+            let sinr = -10.0 + k as f64 * 0.1;
+            let e = smooth_efficiency(sinr);
+            assert!(e >= last - 1e-12, "sinr {sinr}");
+            last = e;
+        }
+        assert_eq!(smooth_efficiency(-20.0), 0.0);
+        assert!((smooth_efficiency(25.0) - 5.5547).abs() < 1e-9);
+        // At each threshold the interpolant lands on that CQI's efficiency.
+        assert!((smooth_efficiency(-4.8) - 0.2344).abs() < 1e-9);
+        assert!((smooth_efficiency(-2.9) - 0.3770).abs() < 1e-9);
+        // Midway between thresholds it sits between the two table values.
+        let mid = smooth_efficiency(-3.85);
+        assert!(mid > 0.2344 && mid < 0.3770, "mid {mid}");
+    }
+
+    #[test]
+    fn cqi_zero_is_unservable() {
+        assert_eq!(prbs_for_bytes(0, 1), u32::MAX);
+        assert_eq!(tbs_bits(0, 100), 0);
+    }
+
+    #[test]
+    fn realistic_cell_capacity() {
+        // 50-PRB (10 MHz) uplink at CQI 15 ≈ 35 Mbit/s — sanity of the table.
+        let per_sf = tbs_bits(15, 50);
+        let mbps = per_sf as f64 * 1000.0 / 1e6;
+        assert!((30.0..40.0).contains(&mbps), "cell capacity {mbps} Mbps");
+    }
+}

@@ -1,0 +1,405 @@
+//! The composed per-subframe LTE uplink: channel + cell load + PF grants +
+//! firmware buffer + diag feed.
+//!
+//! [`CellUplink`] is the object the telephony session drives once per 1 ms
+//! subframe. It owns the UE firmware buffer; the transport pacer enqueues
+//! RTP packets into it, and each subframe the scheduler serves a grant out
+//! of it. Departed packets then ride the rest of the end-to-end path
+//! (modeled in `poi360-net`).
+
+use crate::buffer::{FirmwareBuffer, PacketLike};
+use crate::channel::{Channel, ChannelConfig};
+use crate::diag::{DiagInterface, DiagReport, DiagSample};
+use crate::scheduler::{PfScheduler, SchedulerConfig};
+use poi360_sim::process::{MarkovOnOff, OrnsteinUhlenbeck};
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Competing-cell-load model configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// Mean competing load in `[0, 1)` (fraction of cell UL resources).
+    pub mean: f64,
+    /// Stationary std of the slow load drift.
+    pub std: f64,
+    /// Extra load added during bursts (0 disables bursts).
+    pub burst_extra: f64,
+    /// Mean burst duration.
+    pub burst_on: SimDuration,
+    /// Mean gap between bursts.
+    pub burst_off: SimDuration,
+}
+
+impl LoadConfig {
+    /// The paper's "early morning, most users off campus" condition.
+    pub fn idle() -> Self {
+        LoadConfig {
+            mean: 0.10,
+            std: 0.05,
+            burst_extra: 0.0,
+            burst_on: SimDuration::from_secs(1),
+            burst_off: SimDuration::from_secs(9),
+        }
+    }
+
+    /// An ordinary daytime cell: moderate, fluctuating competing load.
+    /// Used for the paper's §6.1 micro-benchmarks, which ran on a live
+    /// campus network at unspecified hours.
+    pub fn typical() -> Self {
+        LoadConfig {
+            mean: 0.35,
+            std: 0.12,
+            burst_extra: 0.25,
+            burst_on: SimDuration::from_millis(1_500),
+            burst_off: SimDuration::from_secs(4),
+        }
+    }
+
+    /// The paper's "noon just after class" condition.
+    pub fn busy() -> Self {
+        LoadConfig {
+            mean: 0.45,
+            std: 0.10,
+            burst_extra: 0.20,
+            burst_on: SimDuration::from_secs(2),
+            burst_off: SimDuration::from_secs(6),
+        }
+    }
+}
+
+/// Evolving competing load.
+#[derive(Clone, Debug)]
+struct CellLoad {
+    cfg: LoadConfig,
+    drift: OrnsteinUhlenbeck,
+    bursts: Option<MarkovOnOff>,
+    rng: SimRng,
+}
+
+impl CellLoad {
+    fn new(cfg: LoadConfig, seed: u64) -> Self {
+        let mut rng = SimRng::stream(seed, "lte.load");
+        let bursts = if cfg.burst_extra > 0.0 {
+            Some(MarkovOnOff::new(cfg.burst_on, cfg.burst_off, false, &mut rng))
+        } else {
+            None
+        };
+        CellLoad {
+            drift: OrnsteinUhlenbeck::with_stationary(cfg.mean, cfg.std, 5.0),
+            bursts,
+            cfg,
+            rng,
+        }
+    }
+
+    fn subframe(&mut self) -> f64 {
+        let mut load = self.drift.step(poi360_sim::SUBFRAME, &mut self.rng);
+        if let Some(b) = &mut self.bursts {
+            if b.step(poi360_sim::SUBFRAME, &mut self.rng) {
+                load += self.cfg.burst_extra;
+            }
+        }
+        load.clamp(0.0, 0.95)
+    }
+}
+
+/// Full uplink configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UplinkConfig {
+    /// Radio channel model.
+    pub channel: ChannelConfig,
+    /// Grant model.
+    pub scheduler: SchedulerConfig,
+    /// Competing cell load.
+    pub load: LoadConfig,
+    /// Firmware buffer capacity in bytes.
+    pub fw_capacity_bytes: u64,
+    /// Diag report period.
+    pub diag_period: SimDuration,
+}
+
+impl Default for UplinkConfig {
+    fn default() -> Self {
+        UplinkConfig {
+            channel: ChannelConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            load: LoadConfig::idle(),
+            fw_capacity_bytes: 512 * 1024,
+            diag_period: DiagInterface::DEFAULT_PERIOD,
+        }
+    }
+}
+
+/// Everything that happened on the uplink in one subframe.
+pub struct SubframeOutcome<T> {
+    /// Packets whose last byte was served this subframe, with their
+    /// firmware-buffer enqueue time.
+    pub departed: Vec<(T, SimTime)>,
+    /// TBS served this subframe (bits).
+    pub tbs_bits: u32,
+    /// Firmware buffer level at the *start* of the subframe (what the
+    /// chipset logs).
+    pub buffer_bytes: u64,
+    /// CQI this subframe.
+    pub cqi: u8,
+    /// Competing load this subframe.
+    pub load: f64,
+    /// Whether a handover outage suppressed the grant.
+    pub in_outage: bool,
+    /// Diag batch, if this subframe closed a 40 ms epoch.
+    pub diag: Option<DiagReport>,
+}
+
+/// The UE-side uplink machine.
+pub struct CellUplink<T> {
+    cfg: UplinkConfig,
+    channel: Channel,
+    scheduler: PfScheduler,
+    load: CellLoad,
+    fw: FirmwareBuffer<T>,
+    diag: DiagInterface,
+    /// Ring of recent buffer levels so grants see a BSR-delayed backlog.
+    bsr_history: VecDeque<u64>,
+    /// Outage state of the previous subframe, for handover edge detection.
+    was_in_outage: bool,
+}
+
+impl<T: PacketLike> CellUplink<T> {
+    /// Build an uplink from config and seed.
+    pub fn new(cfg: UplinkConfig, seed: u64) -> Self {
+        let bsr_delay = cfg.scheduler.bsr_delay_subframes.max(1);
+        CellUplink {
+            channel: Channel::new(cfg.channel, seed),
+            scheduler: PfScheduler::new(cfg.scheduler, seed ^ 0x5eed),
+            load: CellLoad::new(cfg.load, seed ^ 0x10ad),
+            fw: FirmwareBuffer::new(cfg.fw_capacity_bytes),
+            diag: DiagInterface::new(cfg.diag_period),
+            bsr_history: VecDeque::with_capacity(bsr_delay + 1),
+            was_in_outage: false,
+            cfg,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &UplinkConfig {
+        &self.cfg
+    }
+
+    /// Offer a packet to the firmware buffer. Returns false on overflow
+    /// drop.
+    pub fn enqueue(&mut self, item: T, now: SimTime) -> bool {
+        self.fw.enqueue(item, now)
+    }
+
+    /// Current firmware buffer level, bytes.
+    pub fn buffer_level(&self) -> u64 {
+        self.fw.level_bytes()
+    }
+
+    /// Packets dropped at the firmware buffer tail.
+    pub fn dropped(&self) -> u64 {
+        self.fw.dropped()
+    }
+
+    /// Long-run saturation throughput under the configured channel/load
+    /// means — handy for tests and for sizing workloads.
+    pub fn nominal_capacity_bps(&self) -> f64 {
+        let cqi = crate::tbs::sinr_to_cqi(self.cfg.channel.mean_sinr_db());
+        self.scheduler.saturation_bits_per_subframe(cqi, self.cfg.load.mean) * 1000.0
+    }
+
+    /// Advance one subframe: sample channel and load, compute the grant,
+    /// serve the firmware buffer, and feed the diag interface.
+    pub fn subframe(&mut self, now: SimTime) -> SubframeOutcome<T> {
+        let buffer_at_start = self.fw.level_bytes();
+
+        // BSR pipeline: the eNodeB sees the level from `bsr_delay` ago.
+        self.bsr_history.push_back(buffer_at_start);
+        let delay = self.cfg.scheduler.bsr_delay_subframes.max(1);
+        let reported = if self.bsr_history.len() > delay {
+            self.bsr_history.pop_front().expect("non-empty after push")
+        } else {
+            0 // no BSR has reached the eNodeB yet
+        };
+
+        let ch = self.channel.subframe(now);
+        let load = self.load.subframe();
+
+        // A handover moves the UE to a new serving cell that has no BSR
+        // state yet: the backlog must be re-reported from scratch.
+        if ch.in_outage && !self.was_in_outage {
+            self.bsr_history.clear();
+        }
+        self.was_in_outage = ch.in_outage;
+
+        let grant_bits = if ch.in_outage {
+            0
+        } else {
+            // Smooth MCS adaptation: capacity follows the SINR continuously
+            // rather than jumping at CQI band edges.
+            let eff = crate::tbs::smooth_efficiency(ch.sinr_db);
+            self.scheduler.grant_bits_eff(reported, eff, load)
+        };
+        let serve_bytes = grant_bits / 8;
+        let departed = self.fw.serve(serve_bytes);
+        let served_bits = departed
+            .iter()
+            .map(|(p, _)| p.wire_bytes())
+            .sum::<u32>()
+            .saturating_mul(8);
+        // TBS reflects the grant actually used: bounded by both the grant
+        // and what was in the buffer.
+        let tbs_bits = grant_bits.min(served_bits.max(grant_bits.min((buffer_at_start * 8) as u32)));
+
+        let diag = self.diag.record(DiagSample {
+            at: now,
+            buffer_bytes: buffer_at_start,
+            tbs_bits,
+        });
+
+        SubframeOutcome {
+            departed,
+            tbs_bits,
+            buffer_bytes: buffer_at_start,
+            cqi: ch.cqi,
+            load,
+            in_outage: ch.in_outage,
+            diag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Pkt(u32);
+    impl PacketLike for Pkt {
+        fn wire_bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    /// Keep the buffer topped up at `level` bytes and measure throughput.
+    fn throughput_at_level(level: u64, cfg: UplinkConfig, seed: u64, secs: u64) -> f64 {
+        let mut ul = CellUplink::new(cfg, seed);
+        let mut now = SimTime::ZERO;
+        let mut served_bits = 0u64;
+        for _ in 0..secs * 1000 {
+            while ul.buffer_level() < level {
+                ul.enqueue(Pkt(1_200), now);
+            }
+            let out = ul.subframe(now);
+            served_bits += out.tbs_bits as u64;
+            now = now + poi360_sim::SUBFRAME;
+        }
+        served_bits as f64 / secs as f64
+    }
+
+    #[test]
+    fn fig5_shape_linear_then_saturating() {
+        let cfg = UplinkConfig::default();
+        let r2 = throughput_at_level(2_000, cfg, 1, 20);
+        let r5 = throughput_at_level(5_000, cfg, 1, 20);
+        let r10 = throughput_at_level(10_000, cfg, 1, 20);
+        let r20 = throughput_at_level(20_000, cfg, 1, 20);
+        let r40 = throughput_at_level(40_000, cfg, 1, 20);
+        assert!(r2 < r5 && r5 < r10 && r10 < r20, "{r2} {r5} {r10} {r20}");
+        // Saturation: 20 KB -> 40 KB gains under 15 %.
+        assert!((r40 - r20) / r20 < 0.15, "r20 {r20} r40 {r40}");
+        // Absolute scale: the paper's Fig. 5 saturates around 4–6 Mbps.
+        assert!((3.0e6..6.5e6).contains(&r40), "saturation {r40}");
+    }
+
+    #[test]
+    fn empty_buffer_serves_nothing() {
+        let mut ul = CellUplink::<Pkt>::new(UplinkConfig::default(), 2);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let out = ul.subframe(now);
+            assert_eq!(out.tbs_bits, 0);
+            assert!(out.departed.is_empty());
+            now = now + poi360_sim::SUBFRAME;
+        }
+    }
+
+    #[test]
+    fn bsr_delay_defers_first_grant() {
+        let mut ul = CellUplink::new(UplinkConfig::default(), 3);
+        let mut now = SimTime::ZERO;
+        ul.enqueue(Pkt(50_000), now);
+        let mut first_service = None;
+        for sf in 0..50u64 {
+            let out = ul.subframe(now);
+            if out.tbs_bits > 0 && first_service.is_none() {
+                first_service = Some(sf);
+            }
+            now = now + poi360_sim::SUBFRAME;
+        }
+        let first = first_service.expect("eventually served");
+        assert!(
+            first >= UplinkConfig::default().scheduler.bsr_delay_subframes as u64,
+            "served at subframe {first}, before the BSR could have arrived"
+        );
+    }
+
+    #[test]
+    fn diag_reports_arrive_every_40ms() {
+        let mut ul = CellUplink::<Pkt>::new(UplinkConfig::default(), 4);
+        let mut now = SimTime::ZERO;
+        let mut reports = 0;
+        for _ in 0..400 {
+            if ul.subframe(now).diag.is_some() {
+                reports += 1;
+            }
+            now = now + poi360_sim::SUBFRAME;
+        }
+        assert_eq!(reports, 10);
+    }
+
+    #[test]
+    fn busy_cell_is_slower() {
+        let idle = throughput_at_level(30_000, UplinkConfig::default(), 5, 20);
+        let busy_cfg = UplinkConfig { load: LoadConfig::busy(), ..Default::default() };
+        let busy = throughput_at_level(30_000, busy_cfg, 5, 20);
+        assert!(busy < idle * 0.8, "busy {busy} idle {idle}");
+    }
+
+    #[test]
+    fn weak_signal_is_slower() {
+        let strong = throughput_at_level(30_000, UplinkConfig::default(), 6, 20);
+        let weak_cfg = UplinkConfig {
+            channel: ChannelConfig { rss_dbm: -115.0, ..Default::default() },
+            ..Default::default()
+        };
+        let weak = throughput_at_level(30_000, weak_cfg, 6, 20);
+        assert!(weak < strong * 0.4, "weak {weak} strong {strong}");
+        assert!(weak > 100e3, "weak link must still carry something: {weak}");
+    }
+
+    #[test]
+    fn packets_depart_in_order_with_enqueue_times() {
+        let mut ul = CellUplink::new(UplinkConfig::default(), 7);
+        let mut now = SimTime::ZERO;
+        for k in 0..20u32 {
+            ul.enqueue(Pkt(1_000 + k), now);
+        }
+        let mut sizes = Vec::new();
+        for _ in 0..2_000 {
+            let out = ul.subframe(now);
+            sizes.extend(out.departed.iter().map(|(p, _)| p.0));
+            now = now + poi360_sim::SUBFRAME;
+        }
+        assert_eq!(sizes, (0..20u32).map(|k| 1_000 + k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nominal_capacity_is_positive_and_sane() {
+        let ul = CellUplink::<Pkt>::new(UplinkConfig::default(), 8);
+        let cap = ul.nominal_capacity_bps();
+        assert!((2.0e6..7.0e6).contains(&cap), "capacity {cap}");
+    }
+}

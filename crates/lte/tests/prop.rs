@@ -1,0 +1,113 @@
+//! Property-based tests for the LTE substrate.
+
+use poi360_lte::buffer::{FirmwareBuffer, PacketLike};
+use poi360_lte::scheduler::{PfScheduler, SchedulerConfig};
+use poi360_lte::tbs;
+use poi360_lte::uplink::{CellUplink, UplinkConfig};
+use poi360_sim::time::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Pkt(u32);
+impl PacketLike for Pkt {
+    fn wire_bytes(&self) -> u32 {
+        self.0
+    }
+}
+
+proptest! {
+    /// Firmware buffer conserves bytes: level + served == accepted, and
+    /// serving never fabricates packets.
+    #[test]
+    fn buffer_conserves_bytes(
+        sizes in prop::collection::vec(1u32..5_000, 1..100),
+        serves in prop::collection::vec(0u32..10_000, 1..100),
+    ) {
+        let mut buf = FirmwareBuffer::new(u64::MAX >> 1);
+        let mut accepted_bytes = 0u64;
+        let mut accepted_count = 0u64;
+        for &s in &sizes {
+            if buf.enqueue(Pkt(s), SimTime::ZERO) {
+                accepted_bytes += s as u64;
+                accepted_count += 1;
+            }
+        }
+        let mut served_pkts = 0u64;
+        for &s in &serves {
+            served_pkts += buf.serve(s).len() as u64;
+        }
+        prop_assert_eq!(buf.level_bytes() + buf.total_served_bytes(), accepted_bytes);
+        prop_assert!(served_pkts <= accepted_count);
+    }
+
+    /// Capacity-limited buffer never exceeds its capacity and reports every
+    /// rejection.
+    #[test]
+    fn buffer_respects_capacity(sizes in prop::collection::vec(1u32..5_000, 1..200)) {
+        let cap = 20_000u64;
+        let mut buf = FirmwareBuffer::new(cap);
+        let mut rejected = 0;
+        for &s in &sizes {
+            if !buf.enqueue(Pkt(s), SimTime::ZERO) {
+                rejected += 1;
+            }
+            prop_assert!(buf.level_bytes() <= cap);
+        }
+        prop_assert_eq!(buf.dropped(), rejected);
+    }
+
+    /// Grants never exceed the physically possible TBS for the share cap,
+    /// nor meaningfully exceed the reported backlog.
+    #[test]
+    fn grants_physically_bounded(backlog in 0u64..200_000, cqi in 0u8..16, load in 0f64..1.0, seed in any::<u64>()) {
+        let cfg = SchedulerConfig::default();
+        let mut s = PfScheduler::new(cfg, seed);
+        let g = s.grant_bits(backlog, cqi, load);
+        let ceiling = tbs::tbs_bits(cqi, cfg.max_prbs);
+        prop_assert!(g <= ceiling, "grant {g} > ceiling {ceiling}");
+        prop_assert!(g as u64 <= backlog * 8 + 256);
+    }
+
+    /// The uplink never loses packets silently: departures + buffered +
+    /// drops account for every enqueue.
+    #[test]
+    fn uplink_accounts_for_every_packet(
+        seed in any::<u64>(),
+        offered in prop::collection::vec(100u32..2_000, 1..60),
+    ) {
+        let mut ul = CellUplink::new(UplinkConfig::default(), seed);
+        let mut now = SimTime::ZERO;
+        let mut accepted = 0u64;
+        for &bytes in &offered {
+            if ul.enqueue(Pkt(bytes), now) {
+                accepted += 1;
+            }
+        }
+        let mut departed = 0u64;
+        for _ in 0..5_000 {
+            departed += ul.subframe(now).departed.len() as u64;
+            now = now + poi360_sim::SUBFRAME;
+        }
+        // 5 s of subframes drains any realistic backlog from this offer.
+        prop_assert_eq!(departed, accepted);
+        prop_assert_eq!(ul.buffer_level(), 0);
+    }
+
+    /// TBS reported per subframe is consistent with served bytes.
+    #[test]
+    fn tbs_consistent_with_service(seed in any::<u64>()) {
+        let mut ul = CellUplink::new(UplinkConfig::default(), seed);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            while ul.buffer_level() < 20_000 {
+                ul.enqueue(Pkt(1_200), now);
+            }
+            let out = ul.subframe(now);
+            // Served bits cannot exceed the TBS grant plus one packet of
+            // segmentation slack.
+            let served_bits: u64 = out.departed.iter().map(|(p, _)| p.wire_bytes() as u64 * 8).sum();
+            prop_assert!(served_bits <= out.tbs_bits as u64 + 1_200 * 8);
+            now = now + poi360_sim::SUBFRAME;
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Summary statistics and empirical distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a sample set.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns the zero summary for an empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std: var.sqrt(), min, max }
+    }
+}
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics). `q` in `[0, 1]`. Returns `None` on an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median shorthand.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 0.5)
+}
+
+/// An empirical CDF over the sample set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs rejected by debug assertion).
+    pub fn new(mut values: Vec<f64>) -> Cdf {
+        debug_assert!(values.iter().all(|v| !v.is_nan()));
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        percentile(&self.sorted, q)
+    }
+
+    /// Evaluate on an even grid of `points` x-values spanning the data,
+    /// returning `(x, F(x))` pairs — what a CDF plot needs.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points < 2 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..points)
+            .map(|k| {
+                let x = lo + span * k as f64 / (points - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// A fixed-bin histogram normalized to a PDF.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    bin_width: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Create `bins` equal bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            bin_width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            total: 0,
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Add a sample; out-of-range samples count in `below`/`above`.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.bin_width) as usize;
+        if idx >= self.counts.len() {
+            self.above += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Fraction of samples in each bin (sums to ≤ 1; the remainder fell
+    /// outside the range).
+    pub fn pdf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Bin center x-values.
+    pub fn centers(&self) -> Vec<f64> {
+        (0..self.counts.len())
+            .map(|k| self.lo + (k as f64 + 0.5) * self.bin_width)
+            .collect()
+    }
+
+    /// Total samples observed (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 1.0), Some(40.0));
+        assert_eq!(percentile(&v, 0.5), Some(25.0));
+        assert_eq!(median(&[1.0, 2.0, 100.0]), Some(2.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(cdf.at(0.0), 0.0);
+        assert_eq!(cdf.at(1.0), 0.2);
+        assert_eq!(cdf.at(2.0), 0.6);
+        assert_eq!(cdf.at(10.0), 1.0);
+        let curve = cdf.curve(9);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_matches_percentile() {
+        let samples: Vec<f64> = (0..101).map(|k| k as f64).collect();
+        let cdf = Cdf::new(samples);
+        assert_eq!(cdf.quantile(0.5), Some(50.0));
+        assert_eq!(cdf.quantile(0.95), Some(95.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(1.0), 0.0);
+        assert!(cdf.curve(10).is_empty());
+    }
+
+    #[test]
+    fn histogram_pdf_sums_to_one_in_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for k in 0..100 {
+            h.add(k as f64 % 10.0);
+        }
+        let pdf = h.pdf();
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for p in pdf {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        h.add(0.5);
+        assert_eq!(h.total(), 3);
+        assert!((h.pdf().iter().sum::<f64>() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.centers(), vec![0.5, 1.5, 2.5, 3.5]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the metrics crate.
+
+use poi360_metrics::dist::{percentile, Histogram, Summary};
+use poi360_metrics::freeze::FreezeStats;
+use poi360_metrics::mos::{Mos, MosPdf};
+use poi360_sim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// Summary statistics are internally consistent.
+    #[test]
+    fn summary_consistent(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        // std is bounded by the half-range.
+        prop_assert!(s.std <= (s.max - s.min) / 2.0 + 1e-9);
+    }
+
+    /// Percentiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn percentiles_monotone(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let p = percentile(&values, q).expect("non-empty");
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(percentile(&values, 0.0).unwrap(), lo);
+        prop_assert_eq!(percentile(&values, 1.0).unwrap(), hi);
+    }
+
+    /// Every PSNR lands in exactly one MOS band, and the PDF sums to 1.
+    #[test]
+    fn mos_partition(psnrs in prop::collection::vec(0f64..60.0, 1..300)) {
+        let pdf = MosPdf::from_psnrs(psnrs.iter().copied());
+        prop_assert_eq!(pdf.total() as usize, psnrs.len());
+        let total: f64 = pdf.pdf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Band boundaries are ordered.
+        for &p in &psnrs {
+            let band = Mos::from_psnr(p);
+            if p > 37.0 {
+                prop_assert_eq!(band, Mos::Excellent);
+            }
+            if p <= 20.0 {
+                prop_assert_eq!(band, Mos::Bad);
+            }
+        }
+    }
+
+    /// Freeze ratio is a valid probability and counts exactly the >600 ms
+    /// frames plus losses.
+    #[test]
+    fn freeze_ratio_counts(delays in prop::collection::vec(1u64..3_000, 1..200), lost in 0u64..20) {
+        let mut s = FreezeStats::new();
+        for &d in &delays {
+            s.record(SimDuration::from_millis(d));
+        }
+        for _ in 0..lost {
+            s.record_lost();
+        }
+        let ratio = s.freeze_ratio().expect("non-empty");
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        let frozen = delays.iter().filter(|&&d| d > 600).count() as u64 + lost;
+        let expect = frozen as f64 / (delays.len() as u64 + lost) as f64;
+        prop_assert!((ratio - expect).abs() < 1e-12);
+    }
+
+    /// A histogram never loses samples: in-range + out-of-range == total.
+    #[test]
+    fn histogram_conserves(values in prop::collection::vec(-50f64..150.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &v in &values {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total() as usize, values.len());
+        let in_range: f64 = h.pdf().iter().sum();
+        let expected_in_range = values.iter().filter(|&&v| (0.0..100.0).contains(&v)).count();
+        if !values.is_empty() {
+            prop_assert!((in_range - expected_in_range as f64 / values.len() as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! End-to-end network path substrate.
+//!
+//! The paper's traffic crosses: UE firmware buffer → LTE uplink (modeled in
+//! `poi360-lte`) → eNodeB/core network → Internet → downlink to the viewer;
+//! ROI and congestion feedback return over the reverse path. This crate
+//! models everything *after* the uplink radio:
+//!
+//! * [`packet`] — the on-path packet representation shared by transport
+//!   and session code.
+//! * [`pipe`] — [`pipe::DelayPipe`], an order-preserving delay element with
+//!   lognormal jitter, random loss, and optional *congestion episodes*
+//!   (bursts of added queueing delay + loss) to model the paper's
+//!   "congestion elsewhere along the end-to-end path" case (§4.3.1).
+//! * [`wireline`] — a serialization-rate-limited link with a drop-tail
+//!   queue, used for the paper's campus-wireline control condition.
+
+pub mod packet;
+pub mod pipe;
+pub mod wireline;
+
+pub use packet::{FlowKind, FrameTag, Packet};
+pub use pipe::{CongestionEpisodes, DelayPipe, PipeConfig};
+pub use wireline::{WirelineLink, WirelineConfig};

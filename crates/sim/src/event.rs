@@ -1,0 +1,185 @@
+//! Future-event queue.
+//!
+//! A min-heap keyed on `(due, seq)` where `seq` is a monotonically increasing
+//! insertion counter. The counter makes pops deterministic: two events
+//! scheduled for the same instant come out in the order they were scheduled,
+//! regardless of heap internals. Determinism here is what makes whole-system
+//! runs reproducible from a seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    due: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `due`.
+    pub fn schedule(&mut self, due: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { due, seq, payload });
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Pop the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.next_due()? <= now {
+            let e = self.heap.pop().expect("peeked entry must exist");
+            Some((e.due, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Drain every event due at or before `now`, in deterministic order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop_due(now) {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.due, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert!(q.pop_due(SimTime::from_millis(9)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_millis(10)).unwrap().1, 1);
+        assert!(q.pop_due(SimTime::from_millis(10)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_due_returns_everything_ripe() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        let drained = q.drain_due(SimTime::from_millis(4));
+        assert_eq!(drained.len(), 5);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.next_due(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        q.schedule(now + SimDuration::from_millis(1), 1);
+        now = now + SimDuration::from_millis(1);
+        let (due, v) = q.pop_due(now).unwrap();
+        assert_eq!((due, v), (now, 1));
+        q.schedule(now + SimDuration::from_millis(2), 2);
+        q.schedule(now + SimDuration::from_millis(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

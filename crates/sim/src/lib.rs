@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation kernel for the POI360 reproduction.
+//!
+//! Every other crate in this workspace builds on the primitives here:
+//!
+//! * [`time`] — microsecond-resolution simulation clock types ([`SimTime`],
+//!   [`SimDuration`]). One LTE subframe is exactly 1 ms; a 36 FPS video frame
+//!   interval is 27 778 µs, so microseconds are the coarsest resolution that
+//!   represents both without drift.
+//! * [`rng`] — named, seeded random streams so that every experiment is
+//!   reproducible bit-for-bit and components cannot perturb each other's
+//!   random sequences when the wiring changes.
+//! * [`event`] — a generic future-event queue with deterministic FIFO
+//!   tie-breaking for events scheduled at the same instant.
+//! * [`series`] — a time-series recorder used by the measurement plane of
+//!   every experiment.
+//! * [`process`] — small reusable stochastic processes (Ornstein–Uhlenbeck,
+//!   Markov on/off) used by the channel and cross-traffic models.
+//!
+//! The kernel follows the smoltcp idiom rather than an async runtime: every
+//! component exposes an explicit `poll(now)`-style API, and a top-level
+//! driver advances the clock. This keeps the whole system deterministic and
+//! single-threaded by construction.
+
+pub mod event;
+pub mod process;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};
+
+/// One LTE subframe / TTI: 1 ms.
+pub const SUBFRAME: SimDuration = SimDuration::from_millis(1);
+
+/// The prelude re-exports the handful of names that almost every downstream
+/// module wants in scope.
+pub mod prelude {
+    pub use crate::event::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::series::TimeSeries;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::SUBFRAME;
+}

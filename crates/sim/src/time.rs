@@ -1,0 +1,301 @@
+//! Simulation clock types.
+//!
+//! [`SimTime`] is an absolute instant measured in microseconds since the
+//! start of the simulation; [`SimDuration`] is a non-negative span. Both are
+//! thin `u64` newtypes: cheap to copy, totally ordered, and overflow-checked
+//! in debug builds like ordinary integer arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation instant, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future (which can happen for events racing within one tick).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference: `None` if `earlier > self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounding to the nearest µs).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float, for rate computations and reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// True if this is the zero span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    /// How many whole `rhs` spans fit in `self`.
+    type Output = u64;
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Compute a rate in bits per second from a byte count over a span.
+///
+/// Returns 0.0 for a zero-length span rather than dividing by zero: a rate
+/// observed over no time carries no information.
+pub fn bits_per_sec(bytes: u64, over: SimDuration) -> f64 {
+    if over.is_zero() {
+        0.0
+    } else {
+        (bytes as f64 * 8.0) / over.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.0405).as_micros(), 40_500);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!((t - SimTime::from_millis(3)).as_millis(), 12);
+        assert_eq!(t - SimDuration::from_millis(15), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(9);
+        assert_eq!(late.saturating_since(early).as_millis(), 8);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn duration_division_counts_spans() {
+        let frame = SimDuration::from_micros(27_778);
+        let second = SimDuration::from_secs(1);
+        assert_eq!(second / frame, 35); // 36 FPS => 35 whole intervals fit
+    }
+
+    #[test]
+    fn rate_helper() {
+        // 1250 bytes in 10 ms = 1 Mbps.
+        let r = bits_per_sec(1_250, SimDuration::from_millis(10));
+        assert!((r - 1_000_000.0).abs() < 1e-6);
+        assert_eq!(bits_per_sec(100, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,253 @@
+//! RTCP receiver statistics and reports.
+//!
+//! The receiver tracks loss fraction and interarrival jitter per reporting
+//! interval and returns compact receiver reports; the sender computes RTT
+//! from the echoed timestamp. GCC's loss-based controller consumes the loss
+//! fraction; FBCC consumes the RTT (its 2-RTT hold window, paper Eq. 6).
+
+use poi360_net::packet::Packet;
+use poi360_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A receiver report (the fields GCC and FBCC need).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverReport {
+    /// When the report was generated at the receiver.
+    pub generated_at: SimTime,
+    /// Fraction of packets lost in the interval, `[0, 1]`.
+    pub loss_fraction: f64,
+    /// Cumulative packets received.
+    pub received: u64,
+    /// Interarrival jitter estimate (RFC 3550 style), in ms.
+    pub jitter_ms: f64,
+    /// Incoming media rate over the interval, bps.
+    pub incoming_rate_bps: f64,
+}
+
+/// Receiver-side bookkeeping that produces [`ReceiverReport`]s.
+#[derive(Clone, Debug)]
+pub struct ReceiverStats {
+    highest_seq: Option<u64>,
+    received_in_interval: u64,
+    expected_start_seq: Option<u64>,
+    cumulative_received: u64,
+    bytes_in_interval: u64,
+    interval_start: SimTime,
+    jitter_ms: f64,
+    last_transit_ms: Option<f64>,
+}
+
+impl Default for ReceiverStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReceiverStats {
+    /// Fresh stats.
+    pub fn new() -> Self {
+        ReceiverStats {
+            highest_seq: None,
+            received_in_interval: 0,
+            expected_start_seq: None,
+            cumulative_received: 0,
+            bytes_in_interval: 0,
+            interval_start: SimTime::ZERO,
+            jitter_ms: 0.0,
+            last_transit_ms: None,
+        }
+    }
+
+    /// Record a received media packet.
+    pub fn on_packet(&mut self, pkt: &Packet, arrival: SimTime) {
+        if self.expected_start_seq.is_none() {
+            self.expected_start_seq = Some(pkt.seq);
+        }
+        self.highest_seq = Some(self.highest_seq.map_or(pkt.seq, |h| h.max(pkt.seq)));
+        self.received_in_interval += 1;
+        self.cumulative_received += 1;
+        self.bytes_in_interval += pkt.bytes as u64;
+
+        // RFC 3550 jitter: smoothed |transit variation|.
+        let transit_ms = arrival.saturating_since(pkt.sent_at).as_micros() as f64 / 1e3;
+        if let Some(last) = self.last_transit_ms {
+            let d = (transit_ms - last).abs();
+            self.jitter_ms += (d - self.jitter_ms) / 16.0;
+        }
+        self.last_transit_ms = Some(transit_ms);
+    }
+
+    /// Close the current interval and emit a report.
+    pub fn make_report(&mut self, now: SimTime) -> ReceiverReport {
+        let expected = match (self.expected_start_seq, self.highest_seq) {
+            // If only retransmissions of older packets arrived this
+            // interval, the highest seq can sit below the interval's
+            // expected start: nothing *new* was expected.
+            (Some(start), Some(hi)) if hi >= start => hi - start + 1,
+            _ => 0,
+        };
+        let loss_fraction = if expected == 0 {
+            0.0
+        } else {
+            (1.0 - self.received_in_interval as f64 / expected as f64).clamp(0.0, 1.0)
+        };
+        let span = now.saturating_since(self.interval_start);
+        let incoming_rate_bps = poi360_sim::time::bits_per_sec(self.bytes_in_interval, span);
+
+        let report = ReceiverReport {
+            generated_at: now,
+            loss_fraction,
+            received: self.cumulative_received,
+            jitter_ms: self.jitter_ms,
+            incoming_rate_bps,
+        };
+        // Reset the interval; the next expected window starts just above
+        // the highest seq seen.
+        self.expected_start_seq = self.highest_seq.map(|h| h + 1);
+        self.received_in_interval = 0;
+        self.bytes_in_interval = 0;
+        self.interval_start = now;
+        report
+    }
+}
+
+/// Sender-side RTT estimator fed by report round trips.
+#[derive(Clone, Copy, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator { srtt: None }
+    }
+}
+
+impl RttEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one RTT sample (smoothed 7/8 as TCP does).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(s) => {
+                SimDuration::from_micros((s.as_micros() * 7 + rtt.as_micros()) / 8)
+            }
+        });
+    }
+
+    /// Smoothed RTT; defaults to 100 ms before any sample (a typical
+    /// cellular value, so FBCC's 2-RTT window is sane at startup).
+    pub fn rtt(&self) -> SimDuration {
+        self.srtt.unwrap_or(SimDuration::from_millis(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_net::packet::FrameTag;
+
+    fn vpkt(seq: u64, sent_ms: u64) -> Packet {
+        Packet::video(
+            seq,
+            1_240,
+            SimTime::from_millis(sent_ms),
+            FrameTag { frame_no: seq, index: 0, count: 1 },
+        )
+    }
+
+    #[test]
+    fn no_loss_no_fraction() {
+        let mut s = ReceiverStats::new();
+        for k in 0..10 {
+            s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 50));
+        }
+        let r = s.make_report(SimTime::from_millis(100));
+        assert_eq!(r.loss_fraction, 0.0);
+        assert_eq!(r.received, 10);
+    }
+
+    #[test]
+    fn loss_fraction_counts_gaps() {
+        let mut s = ReceiverStats::new();
+        for k in [0u64, 1, 2, 5, 6, 7, 8, 9] {
+            s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 50));
+        }
+        let r = s.make_report(SimTime::from_millis(100));
+        assert!((r.loss_fraction - 0.2).abs() < 1e-9, "loss {}", r.loss_fraction);
+    }
+
+    #[test]
+    fn intervals_reset() {
+        let mut s = ReceiverStats::new();
+        for k in [0u64, 2] {
+            s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 50));
+        }
+        let r1 = s.make_report(SimTime::from_millis(100));
+        assert!(r1.loss_fraction > 0.0);
+        for k in [3u64, 4, 5] {
+            s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 150));
+        }
+        let r2 = s.make_report(SimTime::from_millis(200));
+        assert_eq!(r2.loss_fraction, 0.0, "new interval starts clean");
+        assert_eq!(r2.received, 5);
+    }
+
+    #[test]
+    fn retransmission_only_interval_does_not_overflow() {
+        // Regression: an interval in which only retransmitted (old-seq)
+        // packets arrive used to underflow the expected-packet count.
+        let mut s = ReceiverStats::new();
+        for k in 0..5u64 {
+            s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 50));
+        }
+        s.make_report(SimTime::from_millis(100)); // expected start is now 5
+        // Only a retransmission of seq 2 arrives before the next report.
+        let mut old = vpkt(2, 2);
+        old.retransmit = true;
+        s.on_packet(&old, SimTime::from_millis(150));
+        let r = s.make_report(SimTime::from_millis(200));
+        assert_eq!(r.loss_fraction, 0.0);
+        assert_eq!(r.received, 6);
+    }
+
+    #[test]
+    fn incoming_rate_measured() {
+        let mut s = ReceiverStats::new();
+        // 100 packets × 1240 B in 1 s ≈ 0.99 Mbps.
+        for k in 0..100u64 {
+            s.on_packet(&vpkt(k, k * 10), SimTime::from_millis(k * 10 + 40));
+        }
+        let r = s.make_report(SimTime::from_secs(1));
+        assert!((r.incoming_rate_bps - 0.992e6).abs() < 0.05e6, "rate {}", r.incoming_rate_bps);
+    }
+
+    #[test]
+    fn jitter_rises_with_variable_transit() {
+        let mut stable = ReceiverStats::new();
+        let mut jittery = ReceiverStats::new();
+        for k in 0..200u64 {
+            stable.on_packet(&vpkt(k, k * 10), SimTime::from_millis(k * 10 + 50));
+            let wobble = if k % 2 == 0 { 30 } else { 0 };
+            jittery.on_packet(&vpkt(k, k * 10), SimTime::from_millis(k * 10 + 50 + wobble));
+        }
+        let rs = stable.make_report(SimTime::from_secs(2));
+        let rj = jittery.make_report(SimTime::from_secs(2));
+        assert!(rj.jitter_ms > rs.jitter_ms + 5.0, "{} vs {}", rj.jitter_ms, rs.jitter_ms);
+    }
+
+    #[test]
+    fn rtt_estimator_smooths() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.rtt(), SimDuration::from_millis(100));
+        e.on_sample(SimDuration::from_millis(80));
+        assert_eq!(e.rtt(), SimDuration::from_millis(80));
+        e.on_sample(SimDuration::from_millis(160));
+        // 80*7/8 + 160/8 = 90.
+        assert_eq!(e.rtt(), SimDuration::from_millis(90));
+    }
+}

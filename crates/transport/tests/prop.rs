@@ -1,0 +1,104 @@
+//! Property-based tests for the transport crate.
+
+use poi360_net::packet::{FrameTag, Packet};
+use poi360_sim::time::{SimDuration, SimTime};
+use poi360_transport::gcc::{GccReceiver, GccSender};
+use poi360_transport::pacer::Pacer;
+use poi360_transport::rtp::Packetizer;
+use proptest::prelude::*;
+
+proptest! {
+    /// The pacer conserves packets: everything enqueued is eventually
+    /// released, in order, and never faster than the configured rate
+    /// (beyond the burst allowance).
+    #[test]
+    fn pacer_conserves_and_limits(
+        rate_kbps in 200u64..10_000,
+        sizes in prop::collection::vec(100u32..1_500, 1..100),
+    ) {
+        let rate = rate_kbps as f64 * 1e3;
+        let mut pacer = Pacer::new(rate);
+        let total_bytes: u64 = sizes.iter().map(|&b| b as u64).sum();
+        for (k, &bytes) in sizes.iter().enumerate() {
+            pacer.enqueue(Packet::video(
+                k as u64,
+                bytes,
+                SimTime::ZERO,
+                FrameTag { frame_no: 0, index: k as u32, count: sizes.len() as u32 },
+            ));
+        }
+        let mut released: Vec<u64> = Vec::new();
+        let mut released_bytes = 0u64;
+        let mut now = SimTime::ZERO;
+        // Generous horizon: enough ms to drain everything at the rate.
+        let horizon_ms = (total_bytes as f64 * 8.0 / rate * 1e3) as u64 + 100;
+        for _ in 0..horizon_ms {
+            now = now + SimDuration::from_millis(1);
+            for p in pacer.tick(now) {
+                released.push(p.seq);
+                released_bytes += p.bytes as u64;
+            }
+            // Rate bound: released bytes never exceed rate*t + burst.
+            let budget = rate / 8.0 * now.as_secs_f64() + rate / 8.0 * 0.01 + 2_000.0;
+            prop_assert!(released_bytes as f64 <= budget + 1_500.0);
+        }
+        prop_assert_eq!(released_bytes, total_bytes);
+        let expect: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(released, expect);
+    }
+
+    /// Packetizer output always reassembles to the input size, for any
+    /// payload size.
+    #[test]
+    fn packetizer_partition(payload in 0u32..500_000) {
+        let mut pz = Packetizer::new();
+        let pkts = pz.packetize(9, payload, SimTime::ZERO);
+        let total: u32 = pkts
+            .iter()
+            .map(|p| p.bytes - poi360_transport::rtp::HEADER_BYTES)
+            .sum();
+        prop_assert_eq!(total, payload);
+        // Tags are a proper partition.
+        let count = pkts.len() as u32;
+        for (k, p) in pkts.iter().enumerate() {
+            let tag = p.frame.unwrap();
+            prop_assert_eq!(tag.count, count);
+            prop_assert_eq!(tag.index, k as u32);
+        }
+    }
+
+    /// GCC receiver never proposes a rate outside its clamps, whatever the
+    /// arrival pattern.
+    #[test]
+    fn gcc_receiver_rate_clamped(delays in prop::collection::vec(10u64..500, 10..120)) {
+        let mut rx = GccReceiver::new(2.0e6);
+        let mut seq = 0u64;
+        for (f, &d) in delays.iter().enumerate() {
+            let sent = SimTime::from_millis(f as u64 * 28);
+            let arrival = sent + SimDuration::from_millis(d);
+            rx.on_packet(
+                &Packet::video(seq, 1_240, sent, FrameTag { frame_no: f as u64, index: 0, count: 1 }),
+                arrival,
+            );
+            seq += 1;
+        }
+        if let Some(remb) = rx.poll_remb(SimTime::from_secs(100)) {
+            prop_assert!(remb.rate_bps >= 50_000.0);
+            prop_assert!(remb.rate_bps <= 30.0e6);
+        }
+    }
+
+    /// The sender-side loss controller is monotone in loss: a lossier
+    /// report never yields a higher rate than a cleaner one.
+    #[test]
+    fn gcc_sender_monotone_in_loss(l1 in 0f64..0.5, l2 in 0f64..0.5) {
+        prop_assume!(l1 < l2);
+        let mut clean = GccSender::new(2.0e6);
+        let mut lossy = GccSender::new(2.0e6);
+        for _ in 0..10 {
+            clean.on_receiver_report(l1, SimDuration::from_millis(80));
+            lossy.on_receiver_report(l2, SimDuration::from_millis(80));
+        }
+        prop_assert!(lossy.target_rate_bps() <= clean.target_rate_bps() + 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! Viewer head-motion and ROI substrate.
+//!
+//! The paper's evaluation invites five users, each watching a different 360°
+//! video so that ROI behaviour is not overfitted to one content (§6). The
+//! HMD head tracker drives the ROI. We replace the humans with five
+//! head-motion *archetypes* spanning the behaviour space that matters for
+//! adaptive compression — how often the ROI moves, how far, and how fast —
+//! while respecting the kinematics the paper cites from Oculus (§8): average
+//! angular velocity ≈ 60°/s, acceleration up to 500°/s².
+//!
+//! * [`motion`] — the accelerating/decelerating gaze kinematics plus the
+//!   archetype behaviours that feed it targets.
+//! * [`predictor`] — the motion-based linear ROI predictor the paper
+//!   discusses (and dismisses for LTE-scale latencies) in §8.
+
+pub mod motion;
+pub mod predictor;
+
+pub use motion::{HeadMotion, MotionConfig, UserArchetype};
+pub use predictor::LinearPredictor;

@@ -1,0 +1,73 @@
+//! Property-based tests for the viewport substrate.
+
+use poi360_sim::time::SimDuration;
+use poi360_video::frame::TileGrid;
+use poi360_viewport::motion::{HeadMotion, MotionConfig, UserArchetype};
+use poi360_viewport::predictor::LinearPredictor;
+use proptest::prelude::*;
+
+fn archetype(idx: usize) -> UserArchetype {
+    UserArchetype::all()[idx % 5]
+}
+
+proptest! {
+    /// Head state is always physical: yaw in [0,360), pitch within limits,
+    /// for any archetype, seed, and step pattern.
+    #[test]
+    fn head_state_always_physical(
+        arch in 0usize..5,
+        seed in any::<u64>(),
+        steps in prop::collection::vec(1u64..100, 1..200),
+    ) {
+        let cfg = MotionConfig::default();
+        let mut head = HeadMotion::new(archetype(arch), cfg, seed);
+        for ms in steps {
+            head.step(SimDuration::from_millis(ms));
+            prop_assert!((0.0..360.0).contains(&head.yaw()), "yaw {}", head.yaw());
+            prop_assert!(head.pitch().abs() <= cfg.pitch_limit + 1e-9, "pitch {}", head.pitch());
+            prop_assert!(head.speed().is_finite());
+        }
+    }
+
+    /// The derived ROI always lies on the grid.
+    #[test]
+    fn roi_always_on_grid(arch in 0usize..5, seed in any::<u64>()) {
+        let grid = TileGrid::POI360;
+        let mut head = HeadMotion::new(archetype(arch), MotionConfig::default(), seed);
+        for _ in 0..500 {
+            head.step(SimDuration::from_millis(10));
+            let roi = head.roi(&grid);
+            prop_assert!(roi.center.i < grid.cols);
+            prop_assert!(roi.center.j < grid.rows);
+        }
+    }
+
+    /// The predictor's output is always a valid gaze direction.
+    #[test]
+    fn predictions_valid(observations in prop::collection::vec((-720f64..720.0, -90f64..90.0), 2..50)) {
+        let mut pred = LinearPredictor::default();
+        for (yaw, pitch) in observations {
+            pred.observe(yaw.rem_euclid(360.0), pitch, 0.01);
+        }
+        for horizon in [0.05, 0.12, 0.46, 2.0] {
+            let (yaw, pitch) = pred.predict(horizon).expect("observed");
+            prop_assert!((0.0..360.0).contains(&yaw));
+            prop_assert!((-90.0..=90.0).contains(&pitch));
+        }
+    }
+
+    /// Motion is exactly reproducible from a seed.
+    #[test]
+    fn motion_reproducible(arch in 0usize..5, seed in any::<u64>()) {
+        let run = || {
+            let mut h = HeadMotion::new(archetype(arch), MotionConfig::default(), seed);
+            (0..100)
+                .map(|_| {
+                    h.step(SimDuration::from_millis(10));
+                    (h.yaw(), h.pitch())
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

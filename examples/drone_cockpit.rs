@@ -1,0 +1,59 @@
+//! Virtual 360° cockpit (paper Fig. 1): a drone or vehicle streams live
+//! panoramic video over LTE while the remote pilot looks around.
+//!
+//! ```text
+//! cargo run --release --example drone_cockpit
+//! ```
+//!
+//! The platform drives at highway speed (handovers, fast fading), the
+//! viewer behaves like a vehicle passenger (forward bias, lateral scans),
+//! and we compare POI360's FBCC against stock GCC — the situation where
+//! cellular-aware rate control matters most.
+
+use poi360::core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use poi360::core::session::Session;
+use poi360::lte::scenario::{BackgroundLoad, Mobility, Scenario, SignalStrength};
+use poi360::metrics::table::{fnum, mbps, pct, Table};
+use poi360::sim::time::SimDuration;
+use poi360::viewport::motion::UserArchetype;
+
+fn main() {
+    let highway = Scenario {
+        load: BackgroundLoad::Idle,
+        signal: SignalStrength::Highway,
+        mobility: Mobility::Mph50,
+    };
+
+    let mut table = Table::new(
+        "virtual cockpit at 50 mph: FBCC vs stock GCC",
+        &["Rate control", "PSNR (dB)", "Median delay (ms)", "Freeze", "Tput (Mbps)", "Uplink detections"],
+    );
+
+    for rc in [RateControlKind::Fbcc, RateControlKind::Gcc] {
+        let cfg = SessionConfig {
+            scheme: CompressionScheme::Poi360,
+            rate_control: rc,
+            network: NetworkKind::Cellular(highway),
+            user: UserArchetype::Passenger,
+            duration: SimDuration::from_secs(90),
+            seed: 360,
+            ..Default::default()
+        };
+        eprintln!("running {} ...", cfg.label());
+        let report = Session::new(cfg).run();
+        table.row(vec![
+            rc.label().into(),
+            fnum(report.mean_psnr_db(), 1),
+            fnum(report.median_delay_ms(), 0),
+            pct(report.freeze_ratio()),
+            mbps(report.mean_throughput_bps()),
+            report.uplink_detections.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "FBCC reads the modem's firmware buffer directly, so it reacts to\n\
+         handover outages and fading dips without waiting a cellular RTT."
+    );
+}

@@ -1,0 +1,63 @@
+//! Field test: sweep the paper's §6.2 conditions — background load, signal
+//! strength, and mobility — with the full POI360 system, like the paper's
+//! campus/garage/highway campaign.
+//!
+//! ```text
+//! cargo run --release --example field_test
+//! cargo run --release --example field_test -- 120   # longer sessions
+//! ```
+
+use poi360::core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use poi360::core::session::Session;
+use poi360::lte::scenario::Scenario;
+use poi360::metrics::mos::Mos;
+use poi360::metrics::table::{fnum, pct, Table};
+use poi360::sim::time::SimDuration;
+use poi360::viewport::motion::UserArchetype;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45);
+
+    let conditions: Vec<Scenario> = Scenario::load_sweep()
+        .into_iter()
+        .chain(Scenario::signal_sweep())
+        .chain(Scenario::mobility_sweep())
+        .collect();
+
+    let mut table = Table::new(
+        format!("POI360 field test ({secs}s per condition, event-driven viewer)"),
+        &["Condition", "PSNR (dB)", "Freeze", "Good+", "Median delay (ms)"],
+    );
+
+    for scenario in conditions {
+        let cfg = SessionConfig {
+            scheme: CompressionScheme::Poi360,
+            rate_control: RateControlKind::Fbcc,
+            network: NetworkKind::Cellular(scenario),
+            user: UserArchetype::EventDriven,
+            duration: SimDuration::from_secs(secs),
+            seed: 17,
+            ..Default::default()
+        };
+        eprintln!("running {} ...", scenario.label());
+        let report = Session::new(cfg).run();
+        let mos = report.mos();
+        table.row(vec![
+            scenario.label(),
+            fnum(report.mean_psnr_db(), 1),
+            pct(report.freeze_ratio()),
+            pct(mos.fraction(Mos::Good) + mos.fraction(Mos::Excellent)),
+            fnum(report.median_delay_ms(), 0),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Fig. 17): busy cells and weak signal cost\n\
+         quality while freezes stay bounded; driving speed erodes quality\n\
+         as FBCC absorbs handover outages (see EXPERIMENTS.md, D7)."
+    );
+}

@@ -1,0 +1,54 @@
+//! 360° video chat: the paper's headline application (§1), comparing the
+//! three spatial-compression schemes on the same cellular link and viewer.
+//!
+//! ```text
+//! cargo run --release --example video_chat
+//! ```
+//!
+//! An anchored viewer (video-chat posture: mostly still, occasional
+//! glances) talks over a typical LTE cell. The example runs POI360,
+//! Conduit, and Pyramid on identical seeds and prints a side-by-side
+//! comparison — a miniature of the paper's Fig. 11–14 micro-benchmark.
+
+use poi360::core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use poi360::core::session::Session;
+use poi360::lte::scenario::Scenario;
+use poi360::metrics::table::{fnum, mbps, pct, Table};
+use poi360::sim::time::SimDuration;
+use poi360::viewport::motion::UserArchetype;
+
+fn main() {
+    let mut table = Table::new(
+        "360-degree video chat over LTE: compression schemes compared",
+        &["Scheme", "PSNR (dB)", "PSNR std", "Median delay (ms)", "Freeze", "Tput (Mbps)"],
+    );
+
+    for scheme in CompressionScheme::all() {
+        // Same seed for every scheme: identical channel, load, and viewer.
+        let cfg = SessionConfig {
+            scheme,
+            rate_control: RateControlKind::Gcc, // isolate compression, as §6.1.1 does
+            network: NetworkKind::Cellular(Scenario::baseline()),
+            user: UserArchetype::Anchored,
+            duration: SimDuration::from_secs(60),
+            seed: 7,
+            ..Default::default()
+        };
+        eprintln!("running {} ...", cfg.label());
+        let report = Session::new(cfg).run();
+        table.row(vec![
+            scheme.label().into(),
+            fnum(report.mean_psnr_db(), 1),
+            fnum(report.psnr_std_db(), 1),
+            fnum(report.median_delay_ms(), 0),
+            pct(report.freeze_ratio()),
+            mbps(report.mean_throughput_bps()),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "POI360 should show the most stable quality (lowest PSNR std) —\n\
+         the rigid schemes flicker whenever the viewer glances around."
+    );
+}

@@ -1,0 +1,25 @@
+//! POI360 reproduction — umbrella crate.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use poi360::...`. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! * [`sim`] — deterministic discrete-event kernel.
+//! * [`lte`] — LTE uplink simulator (PF scheduler, firmware buffer, channel).
+//! * [`net`] — end-to-end path (eNodeB buffer, core delay, wireline).
+//! * [`video`] — 360° frame model, compression modes, R-D model, encoder.
+//! * [`viewport`] — head-motion and ROI trace models.
+//! * [`transport`] — RTP/RTCP, pacer, Google Congestion Control.
+//! * [`metrics`] — PSNR/MOS/freeze/CDF statistics and report rendering.
+//! * [`core`] — the paper's contribution: adaptive spatial compression,
+//!   firmware-buffer-aware congestion control (FBCC), the telephony session,
+//!   and the Conduit/Pyramid baselines.
+
+pub use poi360_core as core;
+pub use poi360_lte as lte;
+pub use poi360_metrics as metrics;
+pub use poi360_net as net;
+pub use poi360_sim as sim;
+pub use poi360_transport as transport;
+pub use poi360_video as video;
+pub use poi360_viewport as viewport;

@@ -1,0 +1,199 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants, spanning crates.
+
+use poi360::lte::tbs;
+use poi360::metrics::dist::Cdf;
+use poi360::sim::event::EventQueue;
+use poi360::sim::rng::SimRng;
+use poi360::sim::time::{SimDuration, SimTime};
+use poi360::transport::rtp::{Packetizer, Reassembler};
+use poi360::video::compression::{CompressionMode, L_MIN};
+use poi360::video::frame::{TileGrid, TilePos};
+use poi360::video::timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Compression levels are >= 1 everywhere and exactly 1 at the ROI
+    /// center, for every mode family and ROI position.
+    #[test]
+    fn compression_levels_valid(
+        c in 1.01f64..2.5,
+        i in 0u8..12,
+        j in 0u8..8,
+        protect in 0u8..3,
+    ) {
+        let grid = TileGrid::POI360;
+        let center = TilePos::new(i, j);
+        for mode in [
+            CompressionMode::geometric(c),
+            CompressionMode::protected_geometric(c, protect, protect),
+            CompressionMode::two_level(protect, protect, 48.0),
+        ] {
+            let m = mode.matrix(&grid, center);
+            prop_assert!((m.level(center) - L_MIN).abs() < 1e-12);
+            for pos in grid.iter() {
+                prop_assert!(m.level(pos) >= L_MIN - 1e-12);
+            }
+        }
+    }
+
+    /// Recentering a distance-based matrix equals rebuilding it, for any
+    /// pair of centers on the same row (no pole clamping involved).
+    #[test]
+    fn recenter_matches_rebuild(
+        c in 1.05f64..2.0,
+        from in 0u8..12,
+        to in 0u8..12,
+        row in 0u8..8,
+    ) {
+        let grid = TileGrid::POI360;
+        let mode = CompressionMode::geometric(c);
+        let built = mode.matrix(&grid, TilePos::new(to, row));
+        let shifted = mode.matrix(&grid, TilePos::new(from, row)).recenter(TilePos::new(to, row));
+        for pos in grid.iter() {
+            prop_assert!((built.level(pos) - shifted.level(pos)).abs() < 1e-9);
+        }
+    }
+
+    /// Cyclic tile distance is a metric: symmetric, zero iff equal, and
+    /// respects the triangle inequality.
+    #[test]
+    fn tile_distance_is_a_metric(
+        a in (0u8..12, 0u8..8),
+        b in (0u8..12, 0u8..8),
+        c in (0u8..12, 0u8..8),
+    ) {
+        let g = TileGrid::POI360;
+        let (pa, pb, pc) = (
+            TilePos::new(a.0, a.1),
+            TilePos::new(b.0, b.1),
+            TilePos::new(c.0, c.1),
+        );
+        prop_assert_eq!(g.distance(pa, pb), g.distance(pb, pa));
+        prop_assert_eq!(g.distance(pa, pa), 0);
+        if pa != pb {
+            prop_assert!(g.distance(pa, pb) > 0);
+        }
+        prop_assert!(g.distance(pa, pc) <= g.distance(pa, pb) + g.distance(pb, pc));
+    }
+
+    /// Packetize → deliver (in any loss-free order) → reassemble recovers
+    /// exactly one frame with the right byte count.
+    #[test]
+    fn rtp_roundtrip(payload in 1u32..200_000) {
+        let mut pz = Packetizer::new();
+        let mut rs = Reassembler::new(SimDuration::from_secs(10));
+        let pkts = pz.packetize(0, payload, SimTime::ZERO);
+        let mut completed = None;
+        for (k, p) in pkts.iter().enumerate() {
+            prop_assert!(completed.is_none());
+            completed = rs.on_packet(p, SimTime::from_millis(k as u64));
+        }
+        let frame = completed.expect("frame completes on final packet");
+        let headers = pkts.len() as u32 * poi360::transport::rtp::HEADER_BYTES;
+        prop_assert_eq!(frame.bytes, payload + headers);
+        prop_assert!(!frame.suffered_loss);
+    }
+
+    /// Dropping any single packet triggers exactly one NACK for it, and a
+    /// retransmission completes the frame.
+    #[test]
+    fn rtp_single_loss_recovers(payload in 2_500u32..50_000, drop_pick in any::<prop::sample::Index>()) {
+        let mut pz = Packetizer::new();
+        let mut rs = Reassembler::new(SimDuration::from_secs(10));
+        // Two frames so a trailing drop is still detected by later seqs.
+        let pkts_a = pz.packetize(0, payload, SimTime::ZERO);
+        let pkts_b = pz.packetize(1, 2_000, SimTime::from_millis(28));
+        let all: Vec<_> = pkts_a.iter().chain(pkts_b.iter()).cloned().collect();
+        let drop_idx = drop_pick.index(pkts_a.len()); // drop within frame 0
+        // A loss of the very first packet of a stream is undetectable by
+        // sequence-gap analysis (nothing earlier was seen) — real WebRTC
+        // relies on frame timeouts there too.
+        prop_assume!(drop_idx > 0);
+        for (k, p) in all.iter().enumerate() {
+            if k != drop_idx {
+                rs.on_packet(p, SimTime::from_millis(k as u64 + 1));
+            }
+        }
+        let nacks = rs.poll_nacks(SimTime::from_millis(100), SimDuration::from_millis(100), 4);
+        prop_assert_eq!(nacks.len(), 1);
+        prop_assert_eq!(nacks[0].seq, all[drop_idx].seq);
+        let mut retx = all[drop_idx].clone();
+        retx.retransmit = true;
+        let frame = rs.on_packet(&retx, SimTime::from_millis(200)).expect("completes");
+        prop_assert!(frame.suffered_loss);
+        prop_assert_eq!(frame.frame_no, 0);
+    }
+
+    /// The event queue dequeues in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_orders(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (k, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), k);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// TBS is monotone in both CQI and PRB count.
+    #[test]
+    fn tbs_monotone(cqi in 1u8..15, prbs in 1u32..50) {
+        prop_assert!(tbs::tbs_bits(cqi + 1, prbs) >= tbs::tbs_bits(cqi, prbs));
+        prop_assert!(tbs::tbs_bits(cqi, prbs + 1) >= tbs::tbs_bits(cqi, prbs));
+    }
+
+    /// An empirical CDF is monotone, bounded to [0,1], and its quantiles
+    /// stay within the sample range.
+    #[test]
+    fn cdf_properties(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Cdf::new(samples);
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let x = lo + (hi - lo) * k as f64 / 20.0;
+            let v = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let quantile = cdf.quantile(q).expect("non-empty");
+            prop_assert!(quantile >= lo - 1e-9 && quantile <= hi + 1e-9);
+        }
+    }
+
+    /// The color-block timestamp codec round-trips any in-range timestamp,
+    /// even under averaged compression noise.
+    #[test]
+    fn timestamp_codec_roundtrip(ms in 0u64..9_999_999_999, noise_seed in any::<u64>()) {
+        let ts = SimTime::from_millis(ms);
+        let clean = timestamp::decode(&timestamp::encode(ts));
+        prop_assert_eq!(clean.as_millis(), ms);
+        let mut rng = SimRng::from_seed(noise_seed);
+        let noisy = timestamp::corrupt(&timestamp::encode(ts), 40.0, 32 * 32, &mut rng);
+        prop_assert_eq!(timestamp::decode(&noisy).as_millis(), ms);
+    }
+
+    /// Named RNG streams never collide for distinct names (spot check over
+    /// arbitrary name pairs).
+    #[test]
+    fn rng_streams_decorrelate(seed in any::<u64>(), a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        prop_assume!(a != b);
+        let mut ra = SimRng::stream(seed, &a);
+        let mut rb = SimRng::stream(seed, &b);
+        let matches = (0..32).filter(|_| {
+            use rand::RngCore;
+            ra.next_u64() == rb.next_u64()
+        }).count();
+        prop_assert!(matches <= 1);
+    }
+}
