@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Offline CI for the poi360 workspace. Everything here must pass with an
+# empty cargo registry — the repo has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== hermetic manifest check =="
+# No [dependencies]/[dev-dependencies] entry may name anything but
+# poi360-* path crates (workspace-dep references included).
+if grep -rn --include=Cargo.toml -E '^[a-zA-Z0-9_-]+ *= *[{"]' . \
+    | grep -vE '^\./target/' \
+    | sed -n '/\[.*dependencies\]/,$p' >/dev/null; then
+    bad=$(awk '
+        /^\[(dev-|build-)?dependencies/ { indeps = 1; next }
+        /^\[/ { indeps = 0 }
+        indeps && /^[a-zA-Z0-9_-]+ *=/ && !/^poi360-/ { print FILENAME ": " $0 }
+    ' Cargo.toml crates/*/Cargo.toml)
+    if [ -n "$bad" ]; then
+        echo "non-hermetic dependency entries found:" >&2
+        echo "$bad" >&2
+        exit 1
+    fi
+fi
+echo "ok: only poi360-* path dependencies"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== examples compile =="
+cargo build --examples
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== smoke bench (JSON output) =="
+cargo run --release -p poi360-bench --bin reproduce -- --smoke
+
+echo "CI green."

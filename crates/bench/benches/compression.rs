@@ -1,55 +1,47 @@
-//! Criterion benches for the spatial-compression hot path: matrix
-//! construction, the cyclic-shift recenter, and per-frame encoding. These
-//! run once per video frame in the prototype, so they must be far below
-//! the 27.8 ms frame budget.
+//! Benches for the spatial-compression hot path: matrix construction,
+//! the cyclic-shift recenter, and per-frame encoding. These run once per
+//! video frame in the prototype, so they must be far below the 27.8 ms
+//! frame budget. Results land in `bench_results/compression.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poi360_sim::time::SimTime;
+use poi360_testkit::{black_box, Bench};
 use poi360_video::compression::{CompressionMatrix, CompressionMode};
 use poi360_video::content::ContentModel;
 use poi360_video::encoder::{Encoder, EncoderConfig};
 use poi360_video::frame::{TileGrid, TilePos};
 use poi360_video::roi::Roi;
 
-fn bench_matrix(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("compression");
     let grid = TileGrid::POI360;
     let mode = CompressionMode::protected_geometric(1.4, 1, 1);
-    c.bench_function("compression/matrix_build", |b| {
-        b.iter(|| black_box(mode.matrix(&grid, TilePos::new(6, 4))))
+
+    b.bench("compression/matrix_build", || {
+        black_box(mode.matrix(&grid, TilePos::new(6, 4)));
     });
 
     let matrix = mode.matrix(&grid, TilePos::new(6, 4));
-    c.bench_function("compression/matrix_recenter", |b| {
-        b.iter(|| black_box(matrix.recenter(TilePos::new(9, 5))))
+    b.bench("compression/matrix_recenter", || {
+        black_box(matrix.recenter(TilePos::new(9, 5)));
     });
 
-    c.bench_function("compression/load_factor", |b| {
-        b.iter(|| black_box(CompressionMatrix::uniform(&grid, 2.0).load_factor()))
+    b.bench("compression/load_factor", || {
+        black_box(CompressionMatrix::uniform(&grid, 2.0).load_factor());
     });
-}
 
-fn bench_encode(c: &mut Criterion) {
-    let grid = TileGrid::POI360;
     let mut encoder = Encoder::new(EncoderConfig::default(), 1);
     let content = ContentModel::new(grid, 1);
     let roi = Roi::at_tile(&grid, TilePos::new(6, 4));
-    let matrix = CompressionMode::protected_geometric(1.4, 1, 1).matrix(&grid, roi.center);
+    let enc_matrix = CompressionMode::protected_geometric(1.4, 1, 1).matrix(&grid, roi.center);
     let mut now = SimTime::ZERO;
-    c.bench_function("compression/encode_frame", |b| {
-        b.iter(|| {
-            now = now + poi360_sim::SimDuration::from_micros(27_778);
-            black_box(encoder.encode(now, roi, &matrix, &content, 3.0e6))
-        })
+    b.bench("compression/encode_frame", || {
+        now = now + poi360_sim::SimDuration::from_micros(27_778);
+        black_box(encoder.encode(now, roi, &enc_matrix, &content, 3.0e6));
     });
 
-    c.bench_function("compression/required_bitrate", |b| {
-        b.iter(|| black_box(encoder.required_bitrate(&matrix, &content)))
+    b.bench("compression/required_bitrate", || {
+        black_box(encoder.required_bitrate(&enc_matrix, &content));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_matrix, bench_encode
+    b.finish().expect("write bench_results/compression.json");
 }
-criterion_main!(benches);

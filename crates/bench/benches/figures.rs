@@ -1,37 +1,30 @@
-//! Criterion benches timing the per-figure regeneration generators at a
-//! reduced scale — a regression guard on the cost of reproducing each
-//! paper figure (the `reproduce` binary runs the same generators at full
-//! scale).
+//! Benches timing the per-figure regeneration generators at a reduced
+//! scale — a regression guard on the cost of reproducing each paper
+//! figure (the `reproduce` binary runs the same generators at full
+//! scale). Results land in `bench_results/figures.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poi360_bench::experiments;
 use poi360_bench::runner::ExpConfig;
+use poi360_testkit::{black_box, Bench};
 
 fn tiny() -> ExpConfig {
     ExpConfig { duration_secs: 5, repeats: 1, base_seed: 77 }
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("figures/fig5_buffer_tbs_sweep", |b| {
-        b.iter(|| black_box(experiments::fig5_series(&tiny())))
-    });
-}
+fn main() {
+    let mut b = Bench::new("figures").samples(5).warmup(1);
 
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("figures/fig6_gcc_buffer_cdf", |b| {
-        b.iter(|| black_box(experiments::fig6_aggregate(&tiny())))
+    b.bench("figures/fig5_buffer_tbs_sweep", || {
+        black_box(experiments::fig5_series(&tiny()));
     });
-}
 
-fn bench_fig17(c: &mut Criterion) {
-    c.bench_function("figures/fig17_load_sweep", |b| {
-        b.iter(|| black_box(experiments::fig17_bench(&tiny(), experiments::Fig17Axis::Load)))
+    b.bench("figures/fig6_gcc_buffer_cdf", || {
+        black_box(experiments::fig6_aggregate(&tiny()));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig5, bench_fig6, bench_fig17
+    b.bench("figures/fig17_load_sweep", || {
+        black_box(experiments::fig17_bench(&tiny(), experiments::Fig17Axis::Load));
+    });
+
+    b.finish().expect("write bench_results/figures.json");
 }
-criterion_main!(benches);

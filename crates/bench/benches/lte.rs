@@ -1,14 +1,14 @@
-//! Criterion benches for the LTE substrate: the per-subframe cost of the
-//! channel model, the PF grant computation, and a loaded uplink subframe.
-//! One simulated second costs 1000 subframes, so these dominate whole-
-//! session simulation speed.
+//! Benches for the LTE substrate: the per-subframe cost of the channel
+//! model, the PF grant computation, and a loaded uplink subframe. One
+//! simulated second costs 1000 subframes, so these dominate whole-
+//! session simulation speed. Results land in `bench_results/lte.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poi360_lte::buffer::PacketLike;
 use poi360_lte::channel::{Channel, ChannelConfig};
 use poi360_lte::scheduler::{PfScheduler, SchedulerConfig};
 use poi360_lte::uplink::{CellUplink, UplinkConfig};
 use poi360_sim::time::SimTime;
+use poi360_testkit::{black_box, Bench};
 
 struct Pkt;
 impl PacketLike for Pkt {
@@ -17,41 +17,30 @@ impl PacketLike for Pkt {
     }
 }
 
-fn bench_channel(c: &mut Criterion) {
-    c.bench_function("lte/channel_subframe", |b| {
-        let mut ch = Channel::new(ChannelConfig::default(), 1);
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            now = now + poi360_sim::SUBFRAME;
-            black_box(ch.subframe(now))
-        })
-    });
-}
+fn main() {
+    let mut b = Bench::new("lte");
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("lte/pf_grant", |b| {
-        let mut s = PfScheduler::new(SchedulerConfig::default(), 2);
-        b.iter(|| black_box(s.grant_bits(black_box(12_000), 15, 0.3)))
+    let mut ch = Channel::new(ChannelConfig::default(), 1);
+    let mut now = SimTime::ZERO;
+    b.bench("lte/channel_subframe", || {
+        now = now + poi360_sim::SUBFRAME;
+        black_box(ch.subframe(now));
     });
-}
 
-fn bench_uplink(c: &mut Criterion) {
-    c.bench_function("lte/uplink_subframe_loaded", |b| {
-        let mut ul = CellUplink::new(UplinkConfig::default(), 3);
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            while ul.buffer_level() < 12_000 {
-                ul.enqueue(Pkt, now);
-            }
-            now = now + poi360_sim::SUBFRAME;
-            black_box(ul.subframe(now))
-        })
+    let mut s = PfScheduler::new(SchedulerConfig::default(), 2);
+    b.bench("lte/pf_grant", || {
+        black_box(s.grant_bits(black_box(12_000), 15, 0.3));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_channel, bench_scheduler, bench_uplink
+    let mut ul = CellUplink::new(UplinkConfig::default(), 3);
+    let mut now = SimTime::ZERO;
+    b.bench("lte/uplink_subframe_loaded", || {
+        while ul.buffer_level() < 12_000 {
+            ul.enqueue(Pkt, now);
+        }
+        now = now + poi360_sim::SUBFRAME;
+        black_box(ul.subframe(now));
+    });
+
+    b.finish().expect("write bench_results/lte.json");
 }
-criterion_main!(benches);

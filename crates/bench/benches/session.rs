@@ -1,15 +1,16 @@
-//! Criterion benches for whole-session simulation speed.
+//! Benches for whole-session simulation speed.
 //!
 //! The real-time-feasibility check: simulating one second of telephony
 //! (1000 subframes, 36 encoded frames, full feedback plane) must run far
 //! faster than real time, or the reproduce harness could not sweep the
-//! paper's 5 × 10 × 5-minute session grid.
+//! paper's 5 × 10 × 5-minute session grid. Results land in
+//! `bench_results/session.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use poi360_core::session::Session;
 use poi360_lte::scenario::Scenario;
 use poi360_sim::time::SimDuration;
+use poi360_testkit::{black_box, Bench};
 use poi360_viewport::motion::UserArchetype;
 
 fn cfg(rc: RateControlKind, net: NetworkKind) -> SessionConfig {
@@ -18,59 +19,40 @@ fn cfg(rc: RateControlKind, net: NetworkKind) -> SessionConfig {
         rate_control: rc,
         network: net,
         user: UserArchetype::EventDriven,
-        duration: SimDuration::from_secs(3600), // irrelevant: we step manually
+        // Far beyond what the bench will ever step: we drive it manually.
+        duration: SimDuration::from_secs(1_000_000),
         seed: 1,
         ..Default::default()
     }
 }
 
-fn bench_session_second(c: &mut Criterion) {
-    c.bench_function("session/one_simulated_second_cellular_fbcc", |b| {
-        b.iter_batched(
-            || {
-                let mut s = Session::new(cfg(
-                    RateControlKind::Fbcc,
-                    NetworkKind::Cellular(Scenario::baseline()),
-                ));
-                // Warm up past the startup transient.
-                for _ in 0..2_000 {
-                    s.step();
-                }
-                s
-            },
-            |mut s| {
-                for _ in 0..1_000 {
-                    s.step();
-                }
-                black_box(s.now())
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    let mut b = Bench::new("session");
+
+    // One long-lived warmed-up session per condition; each iteration
+    // advances it by one simulated second (1000 subframes).
+    let mut cellular =
+        Session::new(cfg(RateControlKind::Fbcc, NetworkKind::Cellular(Scenario::baseline())));
+    for _ in 0..2_000 {
+        cellular.step();
+    }
+    b.bench("session/one_simulated_second_cellular_fbcc", || {
+        for _ in 0..1_000 {
+            cellular.step();
+        }
+        black_box(cellular.now());
     });
 
-    c.bench_function("session/one_simulated_second_wireline_gcc", |b| {
-        b.iter_batched(
-            || {
-                let mut s = Session::new(cfg(RateControlKind::Gcc, NetworkKind::Wireline));
-                for _ in 0..2_000 {
-                    s.step();
-                }
-                s
-            },
-            |mut s| {
-                for _ in 0..1_000 {
-                    s.step();
-                }
-                black_box(s.now())
-            },
-            BatchSize::SmallInput,
-        )
+    let mut wireline = Session::new(cfg(RateControlKind::Gcc, NetworkKind::Wireline));
+    for _ in 0..2_000 {
+        wireline.step();
+    }
+    b.bench("session/one_simulated_second_wireline_gcc", || {
+        for _ in 0..1_000 {
+            wireline.step();
+        }
+        black_box(wireline.now());
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_session_second
+    b.finish().expect("write bench_results/session.json");
 }
-criterion_main!(benches);

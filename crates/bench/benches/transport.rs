@@ -1,81 +1,66 @@
-//! Criterion benches for the transport hot path: GCC's per-packet update,
-//! RTP packetization/reassembly, and the pacer tick. These run per packet
+//! Benches for the transport hot path: GCC's per-packet update, RTP
+//! packetization/reassembly, and the pacer tick. These run per packet
 //! (hundreds per second), so nanosecond-scale costs matter for the
-//! real-time claim.
+//! real-time claim. Results land in `bench_results/transport.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poi360_net::packet::{FrameTag, Packet};
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_testkit::{black_box, Bench};
 use poi360_transport::gcc::GccReceiver;
 use poi360_transport::pacer::Pacer;
 use poi360_transport::rtp::{Packetizer, Reassembler};
 
-fn bench_gcc(c: &mut Criterion) {
-    c.bench_function("transport/gcc_on_packet", |b| {
-        let mut rx = GccReceiver::new(2.0e6);
-        let mut frame = 0u64;
-        let mut seq = 0u64;
-        b.iter(|| {
-            let sent = SimTime::from_micros(frame * 27_778);
-            let arrival = sent + SimDuration::from_millis(60);
-            let pkt = Packet::video(seq, 1_240, sent, FrameTag { frame_no: frame, index: 0, count: 1 });
-            rx.on_packet(black_box(&pkt), arrival);
-            frame += 1;
+fn main() {
+    let mut b = Bench::new("transport");
+
+    let mut rx = GccReceiver::new(2.0e6);
+    let mut frame = 0u64;
+    let mut seq = 0u64;
+    b.bench("transport/gcc_on_packet", || {
+        let sent = SimTime::from_micros(frame * 27_778);
+        let arrival = sent + SimDuration::from_millis(60);
+        let pkt = Packet::video(seq, 1_240, sent, FrameTag { frame_no: frame, index: 0, count: 1 });
+        rx.on_packet(black_box(&pkt), arrival);
+        frame += 1;
+        seq += 1;
+    });
+
+    let mut pz = Packetizer::new();
+    let mut frame = 0u64;
+    b.bench("transport/packetize_10kB_frame", || {
+        frame += 1;
+        black_box(pz.packetize(frame, 10_000, SimTime::from_millis(frame)));
+    });
+
+    let mut pz = Packetizer::new();
+    let mut rs = Reassembler::new(SimDuration::from_millis(1_500));
+    let mut frame = 0u64;
+    b.bench("transport/reassemble_frame", || {
+        frame += 1;
+        let pkts = pz.packetize(frame, 10_000, SimTime::from_millis(frame));
+        let mut done = None;
+        for (k, p) in pkts.iter().enumerate() {
+            done = rs.on_packet(p, SimTime::from_millis(frame + k as u64));
+        }
+        black_box(done);
+    });
+
+    let mut pacer = Pacer::new(3.0e6);
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
+    b.bench("transport/pacer_tick", || {
+        for _ in 0..4 {
+            pacer.enqueue(Packet::video(
+                seq,
+                1_240,
+                now,
+                FrameTag { frame_no: seq, index: 0, count: 1 },
+            ));
             seq += 1;
-        })
-    });
-}
-
-fn bench_rtp(c: &mut Criterion) {
-    c.bench_function("transport/packetize_10kB_frame", |b| {
-        let mut pz = Packetizer::new();
-        let mut frame = 0u64;
-        b.iter(|| {
-            frame += 1;
-            black_box(pz.packetize(frame, 10_000, SimTime::from_millis(frame)))
-        })
+        }
+        now = now + SimDuration::from_millis(1);
+        black_box(pacer.tick(now));
     });
 
-    c.bench_function("transport/reassemble_frame", |b| {
-        let mut pz = Packetizer::new();
-        let mut rs = Reassembler::new(SimDuration::from_millis(1_500));
-        let mut frame = 0u64;
-        b.iter(|| {
-            frame += 1;
-            let pkts = pz.packetize(frame, 10_000, SimTime::from_millis(frame));
-            let mut done = None;
-            for (k, p) in pkts.iter().enumerate() {
-                done = rs.on_packet(p, SimTime::from_millis(frame + k as u64));
-            }
-            black_box(done)
-        })
-    });
+    b.finish().expect("write bench_results/transport.json");
 }
-
-fn bench_pacer(c: &mut Criterion) {
-    c.bench_function("transport/pacer_tick", |b| {
-        let mut pacer = Pacer::new(3.0e6);
-        let mut now = SimTime::ZERO;
-        let mut seq = 0u64;
-        b.iter(|| {
-            for _ in 0..4 {
-                pacer.enqueue(Packet::video(
-                    seq,
-                    1_240,
-                    now,
-                    FrameTag { frame_no: seq, index: 0, count: 1 },
-                ));
-                seq += 1;
-            }
-            now = now + SimDuration::from_millis(1);
-            black_box(pacer.tick(now))
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_gcc, bench_rtp, bench_pacer
-}
-criterion_main!(benches);

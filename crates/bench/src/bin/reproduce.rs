@@ -14,14 +14,38 @@
 
 use poi360_bench::experiments as exp;
 use poi360_bench::runner::ExpConfig;
+use poi360_sim::json::{FromKv, KvMap, ToJson};
+use poi360_testkit::{black_box, Bench};
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation|all> \
-         [--full] [--seconds N] [--repeats N] [--seed N]"
+         [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
+         \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)"
     );
     std::process::exit(2);
+}
+
+/// Quick hermetic sanity run for CI: a tiny timed suite over the figure
+/// generators plus a reduced-scale aggregate, all emitted as JSON
+/// (`bench_results/smoke.json` / `smoke_aggregate.json`).
+fn smoke() {
+    let cfg = ExpConfig { duration_secs: 5, repeats: 1, base_seed: 77 };
+    let mut b = Bench::new("smoke").samples(3).warmup(1);
+    b.bench("smoke/fig5_buffer_tbs_sweep", || {
+        black_box(exp::fig5_series(&cfg));
+    });
+    b.bench("smoke/table1_modes", || {
+        black_box(exp::table1());
+    });
+    b.finish().expect("write bench_results/smoke.json");
+
+    let agg = exp::fig6_aggregate(&cfg);
+    std::fs::create_dir_all("bench_results").ok();
+    std::fs::write("bench_results/smoke_aggregate.json", agg.to_json() + "\n")
+        .expect("write bench_results/smoke_aggregate.json");
+    println!("{}", agg.to_json());
 }
 
 fn main() {
@@ -30,19 +54,49 @@ fn main() {
         usage();
     }
     let what = args[0].clone();
+    if what == "--smoke" || what == "smoke" {
+        smoke();
+        return;
+    }
     let mut cfg = ExpConfig::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--full" => cfg = ExpConfig { base_seed: cfg.base_seed, ..ExpConfig::full() },
             "--seconds" => {
-                cfg.duration_secs = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.duration_secs =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
             }
             "--repeats" => {
-                cfg.repeats = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.repeats =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
             }
             "--seed" => {
-                cfg.base_seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                cfg.base_seed =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--exp" => {
+                // `key=value` overrides, validated by ExpConfig's FromKv;
+                // only the keys actually present are merged in, so --exp
+                // composes with --full/--seconds/--repeats/--seed.
+                let text = it.next().unwrap_or_else(|| usage());
+                let kv = KvMap::parse(text).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                let parsed = ExpConfig::from_kv(&kv).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                if kv.get("duration_secs").is_some() {
+                    cfg.duration_secs = parsed.duration_secs;
+                }
+                if kv.get("repeats").is_some() {
+                    cfg.repeats = parsed.repeats;
+                }
+                if kv.get("base_seed").is_some() {
+                    cfg.base_seed = parsed.base_seed;
+                }
             }
             other => {
                 eprintln!("unknown flag {other}");

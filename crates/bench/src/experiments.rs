@@ -95,10 +95,7 @@ pub fn fig6(exp: &ExpConfig) -> String {
         t.row(vec![fnum(x, 1), fnum(cdf.at(x), 3)]);
     }
     let mut out = t.render();
-    out.push_str(&format!(
-        "near-empty (<0.5 KB) fraction: {}\n",
-        pct(cdf.at(0.5))
-    ));
+    out.push_str(&format!("near-empty (<0.5 KB) fraction: {}\n", pct(cdf.at(0.5))));
     out
 }
 
@@ -108,7 +105,8 @@ pub fn fig6(exp: &ExpConfig) -> String {
 
 /// Render Table 1 (the mapping is implemented in `poi360-metrics::mos`).
 pub fn table1() -> String {
-    let mut t = Table::new("Table 1 — PSNR to Mean Opinion Score mapping", &["MOS", "PSNR range (dB)"]);
+    let mut t =
+        Table::new("Table 1 — PSNR to Mean Opinion Score mapping", &["MOS", "PSNR range (dB)"]);
     t.row(vec!["Excellent".into(), "> 37".into()]);
     t.row(vec!["Good".into(), "31 - 37".into()]);
     t.row(vec!["Fair".into(), "25 - 31".into()]);
@@ -162,7 +160,14 @@ pub fn compression_bench(exp: &ExpConfig) -> CompressionBench {
         cellular: schemes
             .iter()
             .map(|&s| {
-                (s, run(s, NetworkKind::Cellular(Scenario::baseline()), &format!("{}/cellular", s.label())))
+                (
+                    s,
+                    run(
+                        s,
+                        NetworkKind::Cellular(Scenario::baseline()),
+                        &format!("{}/cellular", s.label()),
+                    ),
+                )
             })
             .collect(),
     }
@@ -290,7 +295,9 @@ pub fn fig15(rows: &[(RateControlKind, Aggregate)]) -> String {
             &["Buffer (KB)", "p25 TBS (Mbps)", "median TBS", "p75 TBS", "samples"],
         );
         // Bucket the (buffer, rate) scatter like the paper's regions.
-        for (lo, hi) in [(0.0, 2.0), (2.0, 5.0), (5.0, 10.0), (10.0, 15.0), (15.0, 25.0), (25.0, 1e9)] {
+        for (lo, hi) in
+            [(0.0, 2.0), (2.0, 5.0), (5.0, 10.0), (10.0, 15.0), (15.0, 25.0), (25.0, 1e9)]
+        {
             let rates: Vec<f64> = agg
                 .buffer_rate_pairs
                 .iter()
@@ -562,14 +569,8 @@ pub fn prediction_policy_ablation(exp: &ExpConfig) -> String {
             user.label().into(),
             fnum(vals[0].mean_psnr_db(), 1),
             fnum(vals[1].mean_psnr_db(), 1),
-            fnum(
-                poi360_metrics::dist::Summary::of(&vals[0].mismatch_ms).mean,
-                0,
-            ),
-            fnum(
-                poi360_metrics::dist::Summary::of(&vals[1].mismatch_ms).mean,
-                0,
-            ),
+            fnum(poi360_metrics::dist::Summary::of(&vals[0].mismatch_ms).mean, 0),
+            fnum(poi360_metrics::dist::Summary::of(&vals[1].mismatch_ms).mean, 0),
         ]);
     }
     t.render()

@@ -5,6 +5,7 @@
 use poi360_core::config::SessionConfig;
 use poi360_core::report::{Aggregate, SessionReport};
 use poi360_core::session::Session;
+use poi360_sim::json::{FromKv, KvMap};
 use poi360_sim::time::SimDuration;
 use poi360_viewport::motion::UserArchetype;
 
@@ -36,6 +37,29 @@ impl ExpConfig {
     /// Session duration.
     pub fn duration(&self) -> SimDuration {
         SimDuration::from_secs(self.duration_secs)
+    }
+}
+
+impl FromKv for ExpConfig {
+    /// Override any subset of the defaults from `key=value` text, e.g.
+    /// `reproduce fig6 --exp duration_secs=30,repeats=2`. Unknown keys are
+    /// errors so a typo cannot silently run the wrong experiment.
+    fn from_kv(kv: &KvMap) -> Result<Self, String> {
+        const KEYS: [&str; 3] = ["duration_secs", "repeats", "base_seed"];
+        if let Some(bad) = kv.keys().find(|k| !KEYS.contains(k)) {
+            return Err(format!("unknown ExpConfig key {bad:?} (expected one of {KEYS:?})"));
+        }
+        let mut cfg = ExpConfig::default();
+        if let Some(v) = kv.get_parsed("duration_secs")? {
+            cfg.duration_secs = v;
+        }
+        if let Some(v) = kv.get_parsed("repeats")? {
+            cfg.repeats = v;
+        }
+        if let Some(v) = kv.get_parsed("base_seed")? {
+            cfg.base_seed = v;
+        }
+        Ok(cfg)
     }
 }
 
@@ -93,6 +117,16 @@ pub fn run_parallel(jobs: Vec<SessionConfig>) -> Vec<SessionReport> {
 mod tests {
     use super::*;
     use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind};
+
+    #[test]
+    fn exp_config_from_kv_overrides_and_rejects() {
+        let cfg = ExpConfig::from_kv_str("duration_secs=12,repeats=2").unwrap();
+        assert_eq!(cfg.duration_secs, 12);
+        assert_eq!(cfg.repeats, 2);
+        assert_eq!(cfg.base_seed, ExpConfig::default().base_seed);
+        assert!(ExpConfig::from_kv_str("duraton=12").is_err());
+        assert!(ExpConfig::from_kv_str("repeats=abc").is_err());
+    }
 
     #[test]
     fn seeds_are_distinct_across_users_and_repeats() {

@@ -74,7 +74,13 @@ impl RoiMismatchMonitor {
     /// `dv` is the one-way video frame delay (from the embedded timestamp);
     /// `frame` carries the sender's compression matrix; `client_roi` is the
     /// viewer's ROI at render time.
-    pub fn on_frame(&mut self, now: SimTime, frame: &EncodedFrame, client_roi: &Roi, dv: SimDuration) -> SimDuration {
+    pub fn on_frame(
+        &mut self,
+        now: SimTime,
+        frame: &EncodedFrame,
+        client_roi: &Roi,
+        dv: SimDuration,
+    ) -> SimDuration {
         let level_at_gaze = frame.matrix.level(client_roi.center);
         let converged = (level_at_gaze - L_MIN).abs() < 1e-9;
         let m = if converged {
@@ -174,8 +180,8 @@ impl CompressionPolicy for AdaptiveCompression {
     fn on_mismatch_feedback(&mut self, now: SimTime, m: SimDuration) {
         // Light smoothing so a single outlier frame does not flap the mode.
         let alpha = 0.3;
-        let smoothed = self.m_smooth.as_micros() as f64 * (1.0 - alpha)
-            + m.as_micros() as f64 * alpha;
+        let smoothed =
+            self.m_smooth.as_micros() as f64 * (1.0 - alpha) + m.as_micros() as f64 * alpha;
         self.m_smooth = SimDuration::from_micros(smoothed as u64);
 
         // i_m = clamp(ceil(M / 200 ms), 1, 8); modes[0] = F1 (C=1.8).
@@ -326,7 +332,10 @@ mod tests {
         // A sudden M jump switches once, then holds for the dwell.
         a.on_mismatch_feedback(now, SimDuration::from_millis(2_500));
         let after_first = a.mode_index().unwrap();
-        a.on_mismatch_feedback(now + SimDuration::from_millis(100), SimDuration::from_millis(2_500));
+        a.on_mismatch_feedback(
+            now + SimDuration::from_millis(100),
+            SimDuration::from_millis(2_500),
+        );
         assert_eq!(a.mode_index(), Some(after_first), "second switch must wait out the dwell");
     }
 

@@ -4,10 +4,9 @@ use poi360_lte::scenario::Scenario;
 use poi360_sim::time::SimDuration;
 use poi360_video::encoder::EncoderConfig;
 use poi360_viewport::motion::UserArchetype;
-use serde::{Deserialize, Serialize};
 
 /// Which spatial compression scheme the sender runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CompressionScheme {
     /// POI360's adaptive compression (§4.2).
     Poi360,
@@ -48,7 +47,7 @@ impl CompressionScheme {
 }
 
 /// Which rate control the sender runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RateControlKind {
     /// WebRTC's stock Google Congestion Control.
     Gcc,
@@ -67,7 +66,7 @@ impl RateControlKind {
 }
 
 /// Which access network carries the session uplink.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum NetworkKind {
     /// LTE cellular uplink under a field scenario.
     Cellular(Scenario),
@@ -91,7 +90,7 @@ impl NetworkKind {
 }
 
 /// Full configuration of one telephony session.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SessionConfig {
     /// Spatial compression scheme.
     pub scheme: CompressionScheme,

@@ -28,11 +28,10 @@
 
 use poi360_lte::diag::DiagReport;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// FBCC tuning parameters (paper values where given).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FbccConfig {
     /// Consecutive buffer increases required by Eq. 3 ("a small K = 10").
     pub k_consecutive: usize,
@@ -111,9 +110,12 @@ impl BstarLearner {
             .zip(&self.counts)
             .map(|(&s, &c)| if c >= 10 { Some(s / c as f64) } else { None })
             .collect();
-        let Some(best) = means.iter().flatten().cloned().fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.max(v)))
-        }) else {
+        let Some(best) = means
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        else {
             return;
         };
         if best <= 0.0 {
@@ -243,11 +245,7 @@ impl Fbcc {
                 self.recent_fine.pop_front();
             }
             let inc = self.recent_fine.len() == self.cfg.k_consecutive + 1
-                && self
-                    .recent_fine
-                    .iter()
-                    .zip(self.recent_fine.iter().skip(1))
-                    .all(|(a, b)| b > a);
+                && self.recent_fine.iter().zip(self.recent_fine.iter().skip(1)).all(|(a, b)| b > a);
             if inc && (mean as f64) > self.gamma {
                 fine_fired = true;
             }
@@ -256,8 +254,7 @@ impl Fbcc {
         let epoch_mean = if report.samples.is_empty() {
             0
         } else {
-            report.samples.iter().map(|s| s.buffer_bytes).sum::<u64>()
-                / report.samples.len() as u64
+            report.samples.iter().map(|s| s.buffer_bytes).sum::<u64>() / report.samples.len() as u64
         };
         self.recent.push_back(epoch_mean);
         if self.recent.len() > self.cfg.k_consecutive + 1 {
@@ -337,10 +334,7 @@ mod tests {
                 tbs_bits: tbs,
             })
             .collect();
-        DiagReport {
-            delivered_at: SimTime::from_millis(start_ms + buffers.len() as u64),
-            samples,
-        }
+        DiagReport { delivered_at: SimTime::from_millis(start_ms + buffers.len() as u64), samples }
     }
 
     const RTT: SimDuration = SimDuration::from_millis(100);
@@ -379,7 +373,11 @@ mod tests {
         let mut f = Fbcc::new(FbccConfig::default());
         // Γ warms up around 50k.
         for epoch in 0..25u64 {
-            f.on_diag(&report(epoch * 40, &[50_000; 40], 3_000), RTT, SimTime::from_millis(epoch * 40 + 40));
+            f.on_diag(
+                &report(epoch * 40, &[50_000; 40], 3_000),
+                RTT,
+                SimTime::from_millis(epoch * 40 + 40),
+            );
         }
         // A small ramp well below Γ: not congestion (Eq. 3's second clause).
         let buffers: Vec<u64> = (0..40).map(|k| 1_000 + k * 100).collect();
@@ -391,9 +389,7 @@ mod tests {
     fn non_monotone_growth_does_not_detect() {
         let mut f = warmed();
         // Sawtooth above Γ but never K consecutive increases.
-        let buffers: Vec<u64> = (0..40)
-            .map(|k| 20_000 + (k % 5) * 1_000)
-            .collect();
+        let buffers: Vec<u64> = (0..40).map(|k| 20_000 + (k % 5) * 1_000).collect();
         let detected = f.on_diag(&report(1_000, &buffers, 3_000), RTT, SimTime::from_millis(1_040));
         assert!(!detected);
     }
@@ -429,7 +425,11 @@ mod tests {
         let before = f.rtp_component;
         // Empty buffer epochs: controller should raise the RTP rate.
         for epoch in 0..5u64 {
-            f.on_diag(&report(2_000 + epoch * 40, &[0; 40], 0), RTT, SimTime::from_millis(2_040 + epoch * 40));
+            f.on_diag(
+                &report(2_000 + epoch * 40, &[0; 40], 0),
+                RTT,
+                SimTime::from_millis(2_040 + epoch * 40),
+            );
         }
         assert!(f.rtp_component > before, "{} -> {}", before, f.rtp_component);
     }
@@ -456,17 +456,21 @@ mod tests {
         // Emulate the Fig. 5 curve: rate saturates at ~3.5 Mbps beyond ~12 kB.
         let mut now_ms = 0u64;
         for _ in 0..200u64 {
-            for &(b, tbs) in &[(1_000u64, 600u32), (5_000, 1_800), (9_000, 2_800), (13_000, 3_400), (17_000, 3_500), (25_000, 3_550)] {
+            for &(b, tbs) in &[
+                (1_000u64, 600u32),
+                (5_000, 1_800),
+                (9_000, 2_800),
+                (13_000, 3_400),
+                (17_000, 3_500),
+                (25_000, 3_550),
+            ] {
                 let r = report(now_ms, &vec![b; 40], tbs);
                 now_ms += 40;
                 f.on_diag(&r, RTT, SimTime::from_millis(now_ms));
             }
         }
         let bstar = f.bstar();
-        assert!(
-            (11_000..=16_000).contains(&bstar),
-            "B* should sit at the knee: {bstar}"
-        );
+        assert!((11_000..=16_000).contains(&bstar), "B* should sit at the knee: {bstar}");
     }
 
     #[test]
@@ -474,7 +478,11 @@ mod tests {
         let mut f = Fbcc::new(FbccConfig::default());
         // 200 ms of 3000-bit subframes = 3 Mbps.
         for epoch in 0..5u64 {
-            f.on_diag(&report(epoch * 40, &[5_000; 40], 3_000), RTT, SimTime::from_millis(epoch * 40 + 40));
+            f.on_diag(
+                &report(epoch * 40, &[5_000; 40], 3_000),
+                RTT,
+                SimTime::from_millis(epoch * 40 + 40),
+            );
         }
         let rate = f.phy_rate_bps(SimTime::from_millis(200));
         assert!((rate - 3.0e6).abs() < 0.2e6, "rate {rate}");

@@ -64,10 +64,8 @@ impl CompressionPolicy for PredictiveCompression {
     fn matrix(&mut self, grid: &TileGrid, sender_roi: &Roi) -> CompressionMatrix {
         // Keep the predictor fed even between feedback messages (the
         // session passes the latest knowledge every frame).
-        let target = self
-            .predictor
-            .predict_roi(grid, self.horizon.as_secs_f64())
-            .unwrap_or(*sender_roi);
+        let target =
+            self.predictor.predict_roi(grid, self.horizon.as_secs_f64()).unwrap_or(*sender_roi);
         self.inner.matrix(grid, &target)
     }
 

@@ -186,7 +186,10 @@ mod tests {
         let mut f = FbccRate::new(8.0e6, FbccConfig::default());
         // Warm Γ.
         for epoch in 0..25u64 {
-            f.on_diag(&report(epoch * 40, &[5_000; 40], 3_000), SimTime::from_millis(epoch * 40 + 40));
+            f.on_diag(
+                &report(epoch * 40, &[5_000; 40], 3_000),
+                SimTime::from_millis(epoch * 40 + 40),
+            );
         }
         // Ramp: congestion.
         let ramp: Vec<u64> = (0..40).map(|k| 6_000 + k * 1_200).collect();

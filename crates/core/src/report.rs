@@ -7,12 +7,12 @@
 use poi360_metrics::dist::Summary;
 use poi360_metrics::freeze::FreezeStats;
 use poi360_metrics::mos::MosPdf;
+use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::series::TimeSeries;
 use poi360_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Everything measured in one session.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SessionReport {
     /// Session label (scheme, rate control, network, user, seed).
     pub label: String,
@@ -85,15 +85,37 @@ impl SessionReport {
     /// Short-term ROI compression-level variation: the std of the displayed
     /// level over 2 s sliding windows (paper Fig. 12).
     pub fn roi_level_sliding_std(&self) -> Vec<f64> {
-        self.roi_level.sliding_window_std(
-            SimDuration::from_secs(2),
-            SimDuration::from_millis(500),
-        )
+        self.roi_level.sliding_window_std(SimDuration::from_secs(2), SimDuration::from_millis(500))
+    }
+}
+
+impl ToJson for SessionReport {
+    /// Serializes the complete per-session record, field for field, in a
+    /// fixed order — two runs of the same seed must produce byte-identical
+    /// JSON (asserted by `tests/determinism.rs`).
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("label", &self.label)
+            .field("frames_sent", &self.frames_sent)
+            .field("frames_delivered", &self.frames_delivered)
+            .field("frames_lost", &self.frames_lost)
+            .field("freeze", &self.freeze)
+            .field("roi_psnr_db", &self.roi_psnr_db)
+            .field("roi_level", &self.roi_level)
+            .field("mismatch_ms", &self.mismatch_ms)
+            .field("fw_buffer", &self.fw_buffer)
+            .field("phy_rate", &self.phy_rate)
+            .field("video_rate", &self.video_rate)
+            .field("rtp_rate", &self.rtp_rate)
+            .field("throughput", &self.throughput)
+            .field("uplink_detections", &self.uplink_detections)
+            .field("packets_dropped", &self.packets_dropped)
+            .write(out);
     }
 }
 
 /// Pooled statistics across sessions (users × repetitions).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Aggregate {
     /// Condition label.
     pub label: String,
@@ -188,6 +210,28 @@ impl Aggregate {
             return 0.0;
         }
         self.fw_buffer.iter().filter(|&&b| b < 1.0).count() as f64 / self.fw_buffer.len() as f64
+    }
+}
+
+impl ToJson for Aggregate {
+    /// Serializes the headline reductions rather than the raw pools: the
+    /// bench runner wants comparable condition-level numbers, not megabytes
+    /// of per-frame samples.
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("label", &self.label)
+            .field("sessions", &self.sessions)
+            .field("frames", &self.roi_psnr_db.len())
+            .field("mean_psnr_db", &self.mean_psnr_db())
+            .field("psnr_std_db", &self.psnr_std_db())
+            .field("freeze_ratio", &self.freeze_ratio())
+            .field("median_delay_ms", &self.median_delay_ms())
+            .field("mean_level_std", &self.mean_level_std())
+            .field("mean_throughput_bps", &self.mean_throughput_bps())
+            .field("throughput_std_bps", &self.throughput_std_bps())
+            .field("buffer_empty_fraction", &self.buffer_empty_fraction())
+            .field("mos_counts", &self.mos())
+            .write(out);
     }
 }
 

@@ -138,7 +138,9 @@ impl Session {
         };
         let rate: Box<dyn RateController> = match cfg.rate_control {
             RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
-            RateControlKind::Fbcc => Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default())),
+            RateControlKind::Fbcc => {
+                Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default()))
+            }
         };
         let (access, downstream_cfg, feedback_cfg) = match cfg.network {
             NetworkKind::Cellular(scenario) => (
@@ -295,10 +297,7 @@ impl Session {
                 }
             }
             FeedbackMsg::ReceiverReport { loss, latest_departed_at, hold } => {
-                let rtt = self
-                    .now
-                    .saturating_since(latest_departed_at)
-                    .saturating_sub(hold);
+                let rtt = self.now.saturating_since(latest_departed_at).saturating_sub(hold);
                 self.rate.on_receiver_report(loss, rtt);
             }
             FeedbackMsg::Remb(remb) => self.rate.on_remb(remb),
@@ -317,19 +316,14 @@ impl Session {
         let grid = self.cfg.encoder.geometry.grid;
         let matrix = self.policy.matrix(&grid, &self.sender_roi);
         let rv = self.rate.video_rate_bps(self.now);
-        let frame = self
-            .encoder
-            .encode(self.now, self.sender_roi, &matrix, &self.content, rv);
+        let frame = self.encoder.encode(self.now, self.sender_roi, &matrix, &self.content, rv);
         self.content.advance_frame();
 
         self.report.frames_sent += 1;
         self.report.video_rate.push(self.now, rv);
         self.report.rtp_rate.push(self.now, self.rate.rtp_rate_bps(self.now));
 
-        for pkt in self
-            .packetizer
-            .packetize(frame.frame_no, frame.bytes, self.now)
-        {
+        for pkt in self.packetizer.packetize(frame.frame_no, frame.bytes, self.now) {
             self.pacer.enqueue(pkt);
         }
         self.sent_frames.insert(frame.frame_no, frame);
@@ -351,9 +345,7 @@ impl Session {
         if second > self.current_second {
             // Close the finished second(s).
             let rate = self.rx_bytes_this_second as f64 * 8.0;
-            self.report
-                .throughput
-                .push(SimTime::from_secs(self.current_second + 1), rate);
+            self.report.throughput.push(SimTime::from_secs(self.current_second + 1), rate);
             self.rx_bytes_this_second = 0;
             self.current_second = second;
         }
@@ -378,33 +370,29 @@ impl Session {
 
         // User-perceived ROI quality: encoded quality in the viewer's FoV,
         // capped by staleness.
-        let encoded_psnr =
-            meta.region_psnr(&self.rd, &self.cfg.encoder.geometry, client_roi.fov_tiles(&grid, 1, 1));
+        let encoded_psnr = meta.region_psnr(
+            &self.rd,
+            &self.cfg.encoder.geometry,
+            client_roi.fov_tiles(&grid, 1, 1),
+        );
         let staleness_cap =
             55.0 - STALENESS_SLOPE * (delay.as_secs_f64() - STALENESS_ONSET).max(0.0);
         let displayed = encoded_psnr.min(staleness_cap).max(8.0);
         self.report.roi_psnr_db.push(displayed);
 
         // Displayed compression level at the gaze tile (Fig. 12 input).
-        self.report
-            .roi_level
-            .push(completed_at, meta.matrix.level(client_roi.center));
+        self.report.roi_level.push(completed_at, meta.matrix.level(client_roi.center));
 
         // ROI mismatch measurement (Eq. 2) and its window.
         let m = self.monitor.on_frame(completed_at, &meta, client_roi, delay);
-        self.report
-            .mismatch_ms
-            .push(completed_at, m.as_micros() as f64 / 1e3);
+        self.report.mismatch_ms.push(completed_at, m.as_micros() as f64 / 1e3);
     }
 
     fn client_housekeeping(&mut self, client_roi: &Roi) {
         let now = self.now;
 
         // NACK generation.
-        for nack in self
-            .reassembler
-            .poll_nacks(now, SimDuration::from_millis(100), 4)
-        {
+        for nack in self.reassembler.poll_nacks(now, SimDuration::from_millis(100), 4) {
             self.feedback.send(FeedbackMsg::Nack(nack.seq), now);
         }
 
@@ -442,10 +430,8 @@ impl Session {
         // ROI + M feedback every frame interval.
         if now >= self.next_roi_feedback_at {
             self.next_roi_feedback_at = now + self.cfg.encoder.frame_interval();
-            self.feedback.send(
-                FeedbackMsg::RoiAndM { roi: *client_roi, m: self.monitor.average() },
-                now,
-            );
+            self.feedback
+                .send(FeedbackMsg::RoiAndM { roi: *client_roi, m: self.monitor.average() }, now);
         }
     }
 
@@ -465,7 +451,12 @@ mod tests {
     use poi360_lte::scenario::Scenario;
     use poi360_viewport::motion::UserArchetype;
 
-    fn cfg(scheme: CompressionScheme, rc: RateControlKind, network: NetworkKind, seed: u64) -> SessionConfig {
+    fn cfg(
+        scheme: CompressionScheme,
+        rc: RateControlKind,
+        network: NetworkKind,
+        seed: u64,
+    ) -> SessionConfig {
         SessionConfig {
             scheme,
             rate_control: rc,
@@ -483,13 +474,9 @@ mod tests {
 
     #[test]
     fn poi360_cellular_session_delivers_frames() {
-        let report = Session::new(cfg(
-            CompressionScheme::Poi360,
-            RateControlKind::Fbcc,
-            cellular(),
-            42,
-        ))
-        .run();
+        let report =
+            Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 42))
+                .run();
         // 30 s at 36 FPS = 1080 frames sent.
         assert!((1_050..=1_120).contains(&report.frames_sent), "sent {}", report.frames_sent);
         let delivered_frac = report.frames_delivered as f64 / report.frames_sent as f64;
@@ -514,8 +501,10 @@ mod tests {
 
     #[test]
     fn sessions_are_deterministic() {
-        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7)).run();
-        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7)).run();
+        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7))
+            .run();
+        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 7))
+            .run();
         assert_eq!(a.frames_sent, b.frames_sent);
         assert_eq!(a.frames_delivered, b.frames_delivered);
         assert_eq!(a.roi_psnr_db, b.roi_psnr_db);
@@ -524,8 +513,10 @@ mod tests {
 
     #[test]
     fn seeds_change_outcomes() {
-        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 1)).run();
-        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 2)).run();
+        let a = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 1))
+            .run();
+        let b = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 2))
+            .run();
         assert_ne!(a.roi_psnr_db, b.roi_psnr_db);
     }
 
@@ -554,15 +545,14 @@ mod tests {
             .run()
             .freeze_ratio();
         }
-        assert!(
-            fbcc_frozen <= gcc_frozen,
-            "fbcc {fbcc_frozen} vs gcc {gcc_frozen}"
-        );
+        assert!(fbcc_frozen <= gcc_frozen, "fbcc {fbcc_frozen} vs gcc {gcc_frozen}");
     }
 
     #[test]
     fn mismatch_feedback_flows() {
-        let report = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 21)).run();
+        let report =
+            Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 21))
+                .run();
         assert!(!report.mismatch_ms.is_empty());
         // M is at least the frame delay, so its mean is positive.
         assert!(report.mismatch_ms.mean().unwrap() > 0.0);
@@ -576,19 +566,31 @@ mod tests {
         let mut pyr = 0.0;
         let mut poi = 0.0;
         for seed in [31u64, 32, 33] {
-            pyr += Session::new(cfg(CompressionScheme::Pyramid, RateControlKind::Gcc, cellular(), seed))
-                .run()
-                .mean_psnr_db();
-            poi += Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Gcc, cellular(), seed))
-                .run()
-                .mean_psnr_db();
+            pyr += Session::new(cfg(
+                CompressionScheme::Pyramid,
+                RateControlKind::Gcc,
+                cellular(),
+                seed,
+            ))
+            .run()
+            .mean_psnr_db();
+            poi += Session::new(cfg(
+                CompressionScheme::Poi360,
+                RateControlKind::Gcc,
+                cellular(),
+                seed,
+            ))
+            .run()
+            .mean_psnr_db();
         }
         assert!(pyr < poi, "pyramid {pyr} vs poi {poi}");
     }
 
     #[test]
     fn throughput_is_recorded_and_sane() {
-        let report = Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 51)).run();
+        let report =
+            Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 51))
+                .run();
         let tput = report.mean_throughput_bps();
         assert!((0.3e6..6.0e6).contains(&tput), "throughput {tput}");
     }
@@ -641,13 +643,9 @@ mod tests {
             63,
         ))
         .run();
-        let internet = Session::new(cfg(
-            CompressionScheme::Poi360,
-            RateControlKind::Fbcc,
-            cellular(),
-            63,
-        ))
-        .run();
+        let internet =
+            Session::new(cfg(CompressionScheme::Poi360, RateControlKind::Fbcc, cellular(), 63))
+                .run();
         assert!(
             edge.median_delay_ms() < internet.median_delay_ms(),
             "edge {} vs internet {}",

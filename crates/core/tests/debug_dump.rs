@@ -16,7 +16,11 @@ fn run(scheme: CompressionScheme, rc: RateControlKind, net: NetworkKind, seed: u
     };
     let r = Session::new(cfg).run();
     let bufs = r.fw_buffer.values();
-    let empty = if bufs.is_empty() { 0.0 } else { bufs.iter().filter(|&&b| b < 1.0).count() as f64 / bufs.len() as f64 };
+    let empty = if bufs.is_empty() {
+        0.0
+    } else {
+        bufs.iter().filter(|&&b| b < 1.0).count() as f64 / bufs.len() as f64
+    };
     println!(
         "{:8} {:5} {:18} rv={:5.2}M tput={:5.2}M tput_std={:4.2}M buf={:5.1}K empty={:4.1}% freeze={:5.2}% med={:4.0}ms psnr={:4.1} std={:4.1} lost={:3} det={}",
         scheme.label(), rc.label(),
@@ -39,9 +43,12 @@ fn run(scheme: CompressionScheme, rc: RateControlKind, net: NetworkKind, seed: u
 #[ignore]
 fn dump() {
     let base = NetworkKind::Cellular(Scenario::baseline());
-    let busy = NetworkKind::Cellular(Scenario { load: BackgroundLoad::Busy, ..Scenario::baseline() });
+    let busy =
+        NetworkKind::Cellular(Scenario { load: BackgroundLoad::Busy, ..Scenario::baseline() });
     for seed in [11u64, 12] {
-        for scheme in [CompressionScheme::Poi360, CompressionScheme::Conduit, CompressionScheme::Pyramid] {
+        for scheme in
+            [CompressionScheme::Poi360, CompressionScheme::Conduit, CompressionScheme::Pyramid]
+        {
             run(scheme, RateControlKind::Gcc, base, seed);
         }
         run(CompressionScheme::Poi360, RateControlKind::Fbcc, base, seed);

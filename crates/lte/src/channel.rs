@@ -18,10 +18,9 @@
 use poi360_sim::process::OrnsteinUhlenbeck;
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Channel configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ChannelConfig {
     /// Mean received signal strength in dBm.
     pub rss_dbm: f64,
@@ -81,7 +80,7 @@ impl ChannelConfig {
 }
 
 /// Per-subframe channel state.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChannelState {
     /// Instantaneous SINR in dB.
     pub sinr_db: f64,
@@ -107,7 +106,8 @@ impl Channel {
     pub fn new(cfg: ChannelConfig, seed: u64) -> Self {
         let mut rng = SimRng::stream(seed, "lte.channel");
         let fading_std = cfg.fading_std_db * (1.0 + (cfg.speed_mph / 50.0) * 0.5);
-        let shadow = OrnsteinUhlenbeck::with_stationary(0.0, cfg.shadow_std_db, cfg.shadow_tau_secs());
+        let shadow =
+            OrnsteinUhlenbeck::with_stationary(0.0, cfg.shadow_std_db, cfg.shadow_tau_secs());
         let fading = OrnsteinUhlenbeck::with_stationary(0.0, fading_std, cfg.fading_tau_secs());
         let next_handover = match cfg.handover_mean_interval_secs() {
             Some(mean) => SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(mean)),
@@ -137,7 +137,8 @@ impl Channel {
                 .cfg
                 .handover_mean_interval_secs()
                 .expect("handover scheduled implies mobility");
-            self.next_handover = now + SimDuration::from_secs_f64(self.rng.exponential(mean).max(1.0));
+            self.next_handover =
+                now + SimDuration::from_secs_f64(self.rng.exponential(mean).max(1.0));
         }
         let in_outage = now < self.outage_until;
 
@@ -164,8 +165,7 @@ mod tests {
     #[test]
     fn strong_signal_mostly_top_cqi() {
         let states = run(ChannelConfig::default(), 1, 30);
-        let mean_cqi =
-            states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
+        let mean_cqi = states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
         assert!(mean_cqi > 13.0, "mean CQI {mean_cqi}");
     }
 
@@ -173,8 +173,7 @@ mod tests {
     fn weak_signal_bottom_cqi() {
         let cfg = ChannelConfig { rss_dbm: -115.0, ..Default::default() };
         let states = run(cfg, 2, 30);
-        let mean_cqi =
-            states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
+        let mean_cqi = states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
         assert!(mean_cqi < 4.0, "mean CQI {mean_cqi}");
     }
 
@@ -182,8 +181,7 @@ mod tests {
     fn moderate_signal_in_between() {
         let cfg = ChannelConfig { rss_dbm: -82.0, ..Default::default() };
         let states = run(cfg, 3, 30);
-        let mean_cqi =
-            states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
+        let mean_cqi = states.iter().map(|s| s.cqi as f64).sum::<f64>() / states.len() as f64;
         assert!((8.0..14.5).contains(&mean_cqi), "mean CQI {mean_cqi}");
     }
 

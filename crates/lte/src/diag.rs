@@ -10,10 +10,9 @@
 //! controller (Eq. 7) acts once per 40 ms epoch.
 
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One per-subframe diagnostic record.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DiagSample {
     /// Subframe start time.
     pub at: SimTime,
@@ -24,7 +23,7 @@ pub struct DiagSample {
 }
 
 /// A 40 ms batch of diagnostic samples.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DiagReport {
     /// Delivery time of the batch (end of the reporting epoch).
     pub delivered_at: SimTime,

@@ -12,13 +12,12 @@
 //!
 //! [`Scenario`] composes those axes into an [`UplinkConfig`].
 
-use crate::channel::ChannelConfig;
 use crate as poi360_lte;
+use crate::channel::ChannelConfig;
 use crate::uplink::{LoadConfig, UplinkConfig};
-use serde::{Deserialize, Serialize};
 
 /// Competing-traffic condition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BackgroundLoad {
     /// Early morning, idle channel.
     Idle,
@@ -29,7 +28,7 @@ pub enum BackgroundLoad {
 }
 
 /// Received-signal-strength tier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SignalStrength {
     /// Concrete parking garage, −115 dBm.
     Weak,
@@ -64,7 +63,7 @@ impl SignalStrength {
 }
 
 /// Mobility tier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Mobility {
     /// Stationary experiments.
     Static,
@@ -99,7 +98,7 @@ impl Mobility {
 }
 
 /// A complete field condition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Scenario {
     /// Competing cell traffic.
     pub load: BackgroundLoad,
@@ -181,10 +180,7 @@ impl Scenario {
         // A weekend garage cell is nearly empty: PF compensation can hand a
         // deep-fade UE far more PRBs than its fair share on a loaded cell.
         let scheduler = if self.signal == SignalStrength::Weak {
-            poi360_lte::scheduler::SchedulerConfig {
-                max_prbs: 40,
-                ..Default::default()
-            }
+            poi360_lte::scheduler::SchedulerConfig { max_prbs: 40, ..Default::default() }
         } else {
             Default::default()
         };

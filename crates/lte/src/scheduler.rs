@@ -22,10 +22,9 @@
 
 use crate::tbs;
 use poi360_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Scheduler model parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
     /// PF share of PRBs for this UE at top CQI in an idle cell.
     pub ue_base_prbs: f64,
@@ -88,7 +87,9 @@ impl PfScheduler {
         // sub-linearly (sqrt) so capacity still degrades with channel.
         let pf_boost = (tbs::cqi_efficiency(tbs::MAX_CQI) / eff).sqrt();
         let jitter = 1.0 + self.rng.uniform_range(-self.cfg.share_jitter, self.cfg.share_jitter);
-        let share = self.cfg.ue_base_prbs * pf_boost * jitter
+        let share = self.cfg.ue_base_prbs
+            * pf_boost
+            * jitter
             * (1.0 - self.cfg.load_prb_penalty * load_frac.clamp(0.0, 1.0));
         share.clamp(0.0, self.cfg.max_prbs as f64)
     }
@@ -133,7 +134,8 @@ impl PfScheduler {
             return 0.0;
         }
         let pf_boost = (tbs::cqi_efficiency(tbs::MAX_CQI) / tbs::cqi_efficiency(cqi)).sqrt();
-        let share = (self.cfg.ue_base_prbs * pf_boost
+        let share = (self.cfg.ue_base_prbs
+            * pf_boost
             * (1.0 - self.cfg.load_prb_penalty * load_frac.clamp(0.0, 1.0)))
         .clamp(0.0, self.cfg.max_prbs as f64);
         tbs::bits_per_prb(cqi) * share * (1.0 - self.cfg.harq_fail_prob)
@@ -146,7 +148,8 @@ impl PfScheduler {
             return 0.0;
         }
         let pf_boost = (tbs::cqi_efficiency(tbs::MAX_CQI) / eff).sqrt();
-        let share = (self.cfg.ue_base_prbs * pf_boost
+        let share = (self.cfg.ue_base_prbs
+            * pf_boost
             * (1.0 - self.cfg.load_prb_penalty * load_frac.clamp(0.0, 1.0)))
         .clamp(0.0, self.cfg.max_prbs as f64);
         eff * tbs::DATA_RE_PER_PRB * share * (1.0 - self.cfg.harq_fail_prob)

@@ -14,11 +14,10 @@ use crate::scheduler::{PfScheduler, SchedulerConfig};
 use poi360_sim::process::{MarkovOnOff, OrnsteinUhlenbeck};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Competing-cell-load model configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LoadConfig {
     /// Mean competing load in `[0, 1)` (fraction of cell UL resources).
     pub mean: f64,
@@ -106,7 +105,7 @@ impl CellLoad {
 }
 
 /// Full uplink configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct UplinkConfig {
     /// Radio channel model.
     pub channel: ChannelConfig,
@@ -244,20 +243,15 @@ impl<T: PacketLike> CellUplink<T> {
         };
         let serve_bytes = grant_bits / 8;
         let departed = self.fw.serve(serve_bytes);
-        let served_bits = departed
-            .iter()
-            .map(|(p, _)| p.wire_bytes())
-            .sum::<u32>()
-            .saturating_mul(8);
+        let served_bits =
+            departed.iter().map(|(p, _)| p.wire_bytes()).sum::<u32>().saturating_mul(8);
         // TBS reflects the grant actually used: bounded by both the grant
         // and what was in the buffer.
-        let tbs_bits = grant_bits.min(served_bits.max(grant_bits.min((buffer_at_start * 8) as u32)));
+        let tbs_bits =
+            grant_bits.min(served_bits.max(grant_bits.min((buffer_at_start * 8) as u32)));
 
-        let diag = self.diag.record(DiagSample {
-            at: now,
-            buffer_bytes: buffer_at_start,
-            tbs_bits,
-        });
+        let diag =
+            self.diag.record(DiagSample { at: now, buffer_bytes: buffer_at_start, tbs_bits });
 
         SubframeOutcome {
             departed,

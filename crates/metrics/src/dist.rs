@@ -1,9 +1,9 @@
 //! Summary statistics and empirical distributions.
 
-use serde::{Deserialize, Serialize};
+use poi360_sim::json::{JsonObject, ToJson};
 
 /// Summary statistics over a sample set.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     /// Sample count.
     pub n: usize,
@@ -32,6 +32,18 @@ impl Summary {
     }
 }
 
+impl ToJson for Summary {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("n", &self.n)
+            .field("mean", &self.mean)
+            .field("std", &self.std)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .write(out);
+    }
+}
+
 /// Percentile of a sample set (linear interpolation between order
 /// statistics). `q` in `[0, 1]`. Returns `None` on an empty slice.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
@@ -54,7 +66,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
 }
 
 /// An empirical CDF over the sample set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -110,7 +122,7 @@ impl Cdf {
 }
 
 /// A fixed-bin histogram normalized to a PDF.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     lo: f64,
     bin_width: f64,
@@ -160,9 +172,7 @@ impl Histogram {
 
     /// Bin center x-values.
     pub fn centers(&self) -> Vec<f64> {
-        (0..self.counts.len())
-            .map(|k| self.lo + (k as f64 + 0.5) * self.bin_width)
-            .collect()
+        (0..self.counts.len()).map(|k| self.lo + (k as f64 + 0.5) * self.bin_width).collect()
     }
 
     /// Total samples observed (including out-of-range).

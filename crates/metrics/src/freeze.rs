@@ -4,14 +4,14 @@
 //! that experience higher than 600 ms delay" (§6.1.1) and calls it "the
 //! most crucial user experience metric".
 
+use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The paper's freeze threshold.
 pub const FREEZE_THRESHOLD: SimDuration = SimDuration::from_millis(600);
 
 /// Accumulates per-frame delays and reduces them to delay/freeze metrics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FreezeStats {
     delays_ms: Vec<f64>,
     /// Frames that never arrived (counted as frozen).
@@ -76,6 +76,12 @@ impl FreezeStats {
     pub fn merge(&mut self, other: &FreezeStats) {
         self.delays_ms.extend_from_slice(&other.delays_ms);
         self.lost += other.lost;
+    }
+}
+
+impl ToJson for FreezeStats {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new().field("delays_ms", &self.delays_ms).field("lost", &self.lost).write(out);
     }
 }
 

@@ -11,10 +11,8 @@
 //! The paper computes per-frame MOS from frame-level ROI PSNR and reports
 //! PDFs over the five bands.
 
-use serde::{Deserialize, Serialize};
-
 /// The five MOS bands.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mos {
     /// PSNR below 20 dB.
     Bad,
@@ -62,7 +60,7 @@ impl Mos {
 }
 
 /// A PDF over the five MOS bands.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MosPdf {
     counts: [u64; 5],
 }
@@ -126,6 +124,13 @@ impl MosPdf {
         for k in 0..5 {
             self.counts[k] += other.counts[k];
         }
+    }
+}
+
+impl poi360_sim::json::ToJson for MosPdf {
+    /// Band counts, worst band first (`[bad, poor, fair, good, excellent]`).
+    fn write_json(&self, out: &mut String) {
+        poi360_sim::json::ToJson::write_json(self.counts.as_slice(), out);
     }
 }
 

@@ -1,26 +1,32 @@
-//! Property-based tests for the metrics crate.
+//! Property-based tests for the metrics crate, on the in-repo
+//! `poi360_testkit` harness (64+ seeded cases per property).
 
 use poi360_metrics::dist::{percentile, Histogram, Summary};
 use poi360_metrics::freeze::FreezeStats;
 use poi360_metrics::mos::{Mos, MosPdf};
 use poi360_sim::time::SimDuration;
-use proptest::prelude::*;
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
-    /// Summary statistics are internally consistent.
-    #[test]
-    fn summary_consistent(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+/// Summary statistics are internally consistent.
+#[test]
+fn summary_consistent() {
+    prop_check!(64, |g| {
+        let values = g.vec_f64(1, 200, -1e4, 1e4);
         let s = Summary::of(&values);
         prop_assert_eq!(s.n, values.len());
         prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
         prop_assert!(s.std >= 0.0);
         // std is bounded by the half-range.
         prop_assert!(s.std <= (s.max - s.min) / 2.0 + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Percentiles are monotone in q and bounded by the extremes.
-    #[test]
-    fn percentiles_monotone(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+/// Percentiles are monotone in q and bounded by the extremes.
+#[test]
+fn percentiles_monotone() {
+    prop_check!(64, |g| {
+        let values = g.vec_f64(1, 200, -1e4, 1e4);
         let mut last = f64::NEG_INFINITY;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
             let p = percentile(&values, q).expect("non-empty");
@@ -31,11 +37,15 @@ proptest! {
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(percentile(&values, 0.0).unwrap(), lo);
         prop_assert_eq!(percentile(&values, 1.0).unwrap(), hi);
-    }
+        Ok(())
+    });
+}
 
-    /// Every PSNR lands in exactly one MOS band, and the PDF sums to 1.
-    #[test]
-    fn mos_partition(psnrs in prop::collection::vec(0f64..60.0, 1..300)) {
+/// Every PSNR lands in exactly one MOS band, and the PDF sums to 1.
+#[test]
+fn mos_partition() {
+    prop_check!(64, |g| {
+        let psnrs = g.vec_f64(1, 300, 0.0, 60.0);
         let pdf = MosPdf::from_psnrs(psnrs.iter().copied());
         prop_assert_eq!(pdf.total() as usize, psnrs.len());
         let total: f64 = pdf.pdf().iter().sum();
@@ -50,12 +60,17 @@ proptest! {
                 prop_assert_eq!(band, Mos::Bad);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Freeze ratio is a valid probability and counts exactly the >600 ms
-    /// frames plus losses.
-    #[test]
-    fn freeze_ratio_counts(delays in prop::collection::vec(1u64..3_000, 1..200), lost in 0u64..20) {
+/// Freeze ratio is a valid probability and counts exactly the >600 ms
+/// frames plus losses.
+#[test]
+fn freeze_ratio_counts() {
+    prop_check!(64, |g| {
+        let delays = g.vec_u64(1, 200, 1, 2_999);
+        let lost = g.u64_in(0, 19);
         let mut s = FreezeStats::new();
         for &d in &delays {
             s.record(SimDuration::from_millis(d));
@@ -68,11 +83,15 @@ proptest! {
         let frozen = delays.iter().filter(|&&d| d > 600).count() as u64 + lost;
         let expect = frozen as f64 / (delays.len() as u64 + lost) as f64;
         prop_assert!((ratio - expect).abs() < 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    /// A histogram never loses samples: in-range + out-of-range == total.
-    #[test]
-    fn histogram_conserves(values in prop::collection::vec(-50f64..150.0, 0..300)) {
+/// A histogram never loses samples: in-range + out-of-range == total.
+#[test]
+fn histogram_conserves() {
+    prop_check!(64, |g| {
+        let values = g.vec_f64(0, 300, -50.0, 150.0);
         let mut h = Histogram::new(0.0, 100.0, 20);
         for &v in &values {
             h.add(v);
@@ -83,5 +102,6 @@ proptest! {
         if !values.is_empty() {
             prop_assert!((in_range - expected_in_range as f64 / values.len() as f64).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
 }

@@ -20,4 +20,4 @@ pub mod wireline;
 
 pub use packet::{FlowKind, FrameTag, Packet};
 pub use pipe::{CongestionEpisodes, DelayPipe, PipeConfig};
-pub use wireline::{WirelineLink, WirelineConfig};
+pub use wireline::{WirelineConfig, WirelineLink};

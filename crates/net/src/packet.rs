@@ -2,12 +2,11 @@
 
 use poi360_lte::buffer::PacketLike;
 use poi360_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Which flow a packet belongs to. The prototype multiplexes the video
 /// stream and the WebRTC data channel (ROI + M feedback) over UDP with equal
 /// priority (paper §5 footnote), plus RTCP for transport feedback.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FlowKind {
     /// RTP video payload.
     Video,
@@ -20,7 +19,7 @@ pub enum FlowKind {
 }
 
 /// Frame membership of a video packet.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FrameTag {
     /// Which encoded frame the packet carries.
     pub frame_no: u64,
@@ -31,7 +30,7 @@ pub struct FrameTag {
 }
 
 /// A packet in flight.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Packet {
     /// Flow the packet belongs to.
     pub flow: FlowKind,

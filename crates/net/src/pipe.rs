@@ -11,10 +11,9 @@ use poi360_sim::event::EventQueue;
 use poi360_sim::process::MarkovOnOff;
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for a delay pipe.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipeConfig {
     /// Base one-way delay.
     pub base_delay: SimDuration,
@@ -243,7 +242,11 @@ mod tests {
 
     #[test]
     fn delivers_after_base_delay() {
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(50), jitter_sigma: 0.0, loss_prob: 0.0 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(50),
+            jitter_sigma: 0.0,
+            loss_prob: 0.0,
+        };
         let mut p = pipe(cfg, 1);
         p.send(7, SimTime::ZERO);
         assert!(p.poll(SimTime::from_millis(49)).is_empty());
@@ -255,7 +258,11 @@ mod tests {
 
     #[test]
     fn preserves_order_despite_jitter() {
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(40), jitter_sigma: 0.5, loss_prob: 0.0 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(40),
+            jitter_sigma: 0.5,
+            loss_prob: 0.0,
+        };
         let mut p = pipe(cfg, 2);
         for k in 0..500u64 {
             p.send(k, SimTime::from_millis(k));
@@ -271,7 +278,11 @@ mod tests {
 
     #[test]
     fn loss_rate_near_configured() {
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(10), jitter_sigma: 0.0, loss_prob: 0.05 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(10),
+            jitter_sigma: 0.0,
+            loss_prob: 0.05,
+        };
         let mut p = pipe(cfg, 3);
         for k in 0..20_000u64 {
             p.send(k, SimTime::from_micros(k));
@@ -282,7 +293,11 @@ mod tests {
 
     #[test]
     fn jitter_spreads_delays() {
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(50), jitter_sigma: 0.3, loss_prob: 0.0 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(50),
+            jitter_sigma: 0.3,
+            loss_prob: 0.0,
+        };
         let mut p = pipe(cfg, 4);
         // Spaced sends so FIFO clamping doesn't mask the jitter.
         for k in 0..200u64 {
@@ -308,7 +323,11 @@ mod tests {
             0.0,
             &mut rng,
         );
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(20), jitter_sigma: 0.0, loss_prob: 0.0 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(20),
+            jitter_sigma: 0.0,
+            loss_prob: 0.0,
+        };
         let mut p = DelayPipe::new(cfg, 6).with_congestion(episodes);
         // Let the ramp build.
         for ms in 0..2_000 {
@@ -330,7 +349,11 @@ mod tests {
 
     #[test]
     fn next_arrival_tracks_queue() {
-        let cfg = PipeConfig { base_delay: SimDuration::from_millis(30), jitter_sigma: 0.0, loss_prob: 0.0 };
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(30),
+            jitter_sigma: 0.0,
+            loss_prob: 0.0,
+        };
         let mut p = pipe(cfg, 8);
         assert!(p.next_arrival().is_none());
         p.send(1, SimTime::ZERO);

@@ -7,11 +7,10 @@
 
 use poi360_lte::buffer::PacketLike;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Wireline link configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct WirelineConfig {
     /// Link rate in bits per second.
     pub rate_bps: f64,

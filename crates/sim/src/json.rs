@@ -1,0 +1,332 @@
+//! Hand-rolled JSON writing and `key=value` parsing.
+//!
+//! The workspace builds offline against an empty registry, so instead of
+//! `serde` the measurement plane serializes through two tiny traits kept
+//! here in the kernel crate where every other crate can implement them:
+//!
+//! * [`ToJson`] — append a JSON representation to a `String`. Reports,
+//!   aggregates and bench results implement it so the `reproduce` harness
+//!   and `poi360-testkit::bench` can emit machine-readable output.
+//! * [`FromKv`] — construct a value from a flat `key=value` map, the
+//!   inverse direction used for CLI/experiment configuration overrides.
+//!
+//! The JSON writer is write-only by design: nothing in the repo needs a
+//! JSON *parser*, and keeping the surface minimal keeps it auditable.
+
+use std::collections::BTreeMap;
+
+/// Serialize a value as JSON into a caller-provided buffer.
+pub trait ToJson {
+    /// Append this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: render to a fresh string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Escape and quote a string per RFC 8259.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            // JSON has no NaN/Inf; null is the conventional stand-in.
+            out.push_str("null");
+        }
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_tojson_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (k, v) in self.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl ToJson for crate::time::SimTime {
+    fn write_json(&self, out: &mut String) {
+        self.as_micros().write_json(out);
+    }
+}
+
+impl ToJson for crate::time::SimDuration {
+    fn write_json(&self, out: &mut String) {
+        self.as_micros().write_json(out);
+    }
+}
+
+impl ToJson for crate::series::TimeSeries {
+    /// A series serializes as `[[t_us, value], ...]`.
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (k, (t, v)) in self.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            (t, v).write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+/// Incremental JSON object writer: `field()` for each key, then `finish()`.
+///
+/// Keys are written in call order, so a struct's `ToJson` impl produces
+/// the same byte sequence every run — the determinism tests rely on that.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Start an object.
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::from("{"), any: false }
+    }
+
+    /// Append one `"key": value` member.
+    pub fn field(mut self, key: &str, value: &dyn ToJson) -> JsonObject {
+        if self.any {
+            self.buf.push(',');
+        }
+        write_json_string(key, &mut self.buf);
+        self.buf.push(':');
+        value.write_json(&mut self.buf);
+        self.any = true;
+        self
+    }
+
+    /// Close the object and append it to `out`.
+    pub fn write(mut self, out: &mut String) {
+        self.buf.push('}');
+        out.push_str(&self.buf);
+    }
+
+    /// Close the object and return it.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A flat string→string map parsed from `key=value` text.
+///
+/// Accepted separators between pairs: commas, whitespace, and newlines.
+/// Lines starting with `#` are ignored so the format doubles as a minimal
+/// config-file syntax.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvMap {
+    pairs: BTreeMap<String, String>,
+}
+
+impl KvMap {
+    /// Parse `key=value` pairs. Later duplicates win.
+    pub fn parse(text: &str) -> Result<KvMap, String> {
+        let mut pairs = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            for token in line.split(|c: char| c == ',' || c.is_whitespace()) {
+                if token.is_empty() {
+                    continue;
+                }
+                let Some((k, v)) = token.split_once('=') else {
+                    return Err(format!("malformed key=value token: {token:?}"));
+                };
+                pairs.insert(k.trim().to_string(), v.trim().to_string());
+            }
+        }
+        Ok(KvMap { pairs })
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.get(key).map(String::as_str)
+    }
+
+    /// Parse a value with `FromStr`; `Ok(None)` when the key is absent.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => {
+                raw.parse::<T>().map(Some).map_err(|_| format!("cannot parse {key}={raw:?}"))
+            }
+        }
+    }
+
+    /// Keys present in the map.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.pairs.keys().map(String::as_str)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Construct a value from a parsed [`KvMap`].
+pub trait FromKv: Sized {
+    /// Build from the map, erroring on malformed values. Implementations
+    /// should treat missing keys as "keep the default".
+    fn from_kv(kv: &KvMap) -> Result<Self, String>;
+
+    /// Parse straight from `key=value` text.
+    fn from_kv_str(text: &str) -> Result<Self, String> {
+        Self::from_kv(&KvMap::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+    use crate::time::SimTime;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-7i64).to_json(), "-7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u64, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!((1u64, 2.5f64).to_json(), "[1,2.5]");
+        assert_eq!(Option::<u64>::None.to_json(), "null");
+        assert_eq!(Some(3u64).to_json(), "3");
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let s = JsonObject::new().field("b", &1u64).field("a", &"x").finish();
+        assert_eq!(s, r#"{"b":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn series_renders_pairs() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(1), 2.0);
+        ts.push(SimTime::from_millis(2), 3.5);
+        assert_eq!(ts.to_json(), "[[1000,2.0],[2000,3.5]]");
+    }
+
+    #[test]
+    fn kv_parses_mixed_separators() {
+        let kv = KvMap::parse("a=1, b=2\n# comment\nc=hello d=4.5").unwrap();
+        assert_eq!(kv.get("a"), Some("1"));
+        assert_eq!(kv.get_parsed::<u64>("b").unwrap(), Some(2));
+        assert_eq!(kv.get("c"), Some("hello"));
+        assert_eq!(kv.get_parsed::<f64>("d").unwrap(), Some(4.5));
+        assert_eq!(kv.get("missing"), None);
+        assert_eq!(kv.len(), 4);
+    }
+
+    #[test]
+    fn kv_rejects_malformed() {
+        assert!(KvMap::parse("novalue").is_err());
+        let kv = KvMap::parse("x=notanum").unwrap();
+        assert!(kv.get_parsed::<u64>("x").is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //!   tie-breaking for events scheduled at the same instant.
 //! * [`series`] — a time-series recorder used by the measurement plane of
 //!   every experiment.
+//! * [`json`] — hand-rolled `ToJson`/`FromKv` serialization traits; the
+//!   workspace is hermetic (no external crates), so reports and bench
+//!   output serialize through these instead of `serde`.
 //! * [`process`] — small reusable stochastic processes (Ornstein–Uhlenbeck,
 //!   Markov on/off) used by the channel and cross-traffic models.
 //!
@@ -22,12 +25,14 @@
 //! single-threaded by construction.
 
 pub mod event;
+pub mod json;
 pub mod process;
 pub mod rng;
 pub mod series;
 pub mod time;
 
 pub use event::EventQueue;
+pub use json::{FromKv, KvMap, ToJson};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

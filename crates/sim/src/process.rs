@@ -84,12 +84,8 @@ impl MarkovOnOff {
         rng: &mut SimRng,
     ) -> Self {
         assert!(!mean_on.is_zero() && !mean_off.is_zero());
-        let mut chain = MarkovOnOff {
-            mean_on,
-            mean_off,
-            on: start_on,
-            remaining: SimDuration::ZERO,
-        };
+        let mut chain =
+            MarkovOnOff { mean_on, mean_off, on: start_on, remaining: SimDuration::ZERO };
         chain.remaining = chain.draw_dwell(rng);
         chain
     }

@@ -7,12 +7,10 @@
 //! evolves.
 //!
 //! The generator is a small splitmix64-seeded xoshiro256++ implemented
-//! locally so the workspace does not depend on `rand`'s unstable `SmallRng`
-//! selection, and exposed through the `rand` traits so distributions from
-//! `rand` still work. Gaussian sampling is provided directly (Box–Muller)
-//! because `rand_distr` is not part of the approved dependency set.
-
-use rand::RngCore;
+//! locally so the workspace carries no external dependency at all (the
+//! repo builds offline against an empty registry). All samplers — raw
+//! 64-bit output, bounded integers, uniform/Gaussian (Box–Muller)/
+//! exponential/log-normal floats — are inherent methods on [`SimRng`].
 
 /// Deterministic 64-bit PRNG (xoshiro256++) with convenience samplers.
 #[derive(Clone, Debug)]
@@ -73,10 +71,7 @@ impl SimRng {
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -164,27 +159,25 @@ impl SimRng {
     pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
         self.normal(mu, sigma).exp()
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Next raw 32-bit output (upper half of the 64-bit state update).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fill a byte slice with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let v = self.next().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

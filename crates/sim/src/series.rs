@@ -7,10 +7,9 @@
 //! representation.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// An append-only series of timestamped scalar samples.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     samples: Vec<(SimTime, f64)>,
 }
@@ -68,27 +67,25 @@ impl TimeSeries {
     /// Population standard deviation, or `None` when empty.
     pub fn std(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|&(_, v)| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }
 
     /// Minimum value, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum value, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Last sample, or `None` when empty.
@@ -177,10 +174,7 @@ mod tests {
     use super::*;
 
     fn series(values: &[(u64, f64)]) -> TimeSeries {
-        values
-            .iter()
-            .map(|&(ms, v)| (SimTime::from_millis(ms), v))
-            .collect()
+        values.iter().map(|&(ms, v)| (SimTime::from_millis(ms), v)).collect()
     }
 
     #[test]
@@ -220,13 +214,9 @@ mod tests {
 
     #[test]
     fn sliding_std_constant_series_is_zero() {
-        let s: TimeSeries = (0..100)
-            .map(|i| (SimTime::from_millis(i * 10), 5.0))
-            .collect();
-        let stds = s.sliding_window_std(
-            SimDuration::from_millis(200),
-            SimDuration::from_millis(100),
-        );
+        let s: TimeSeries = (0..100).map(|i| (SimTime::from_millis(i * 10), 5.0)).collect();
+        let stds =
+            s.sliding_window_std(SimDuration::from_millis(200), SimDuration::from_millis(100));
         assert!(!stds.is_empty());
         assert!(stds.iter().all(|&v| v == 0.0));
     }
@@ -236,10 +226,8 @@ mod tests {
         let s: TimeSeries = (0..100)
             .map(|i| (SimTime::from_millis(i * 10), if i % 2 == 0 { 0.0 } else { 2.0 }))
             .collect();
-        let stds = s.sliding_window_std(
-            SimDuration::from_millis(200),
-            SimDuration::from_millis(100),
-        );
+        let stds =
+            s.sliding_window_std(SimDuration::from_millis(200), SimDuration::from_millis(100));
         assert!(stds.iter().all(|&v| (v - 1.0).abs() < 1e-9));
     }
 

@@ -1,37 +1,48 @@
-//! Property-based tests for the simulation kernel.
+//! Property-based tests for the simulation kernel, on the in-repo
+//! `poi360_testkit` harness (64+ seeded cases per property).
 
 use poi360_sim::event::EventQueue;
 use poi360_sim::process::{MarkovOnOff, OrnsteinUhlenbeck};
 use poi360_sim::rng::SimRng;
 use poi360_sim::series::TimeSeries;
 use poi360_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
-    /// Time arithmetic: (t + d) - d == t and (t + d) - t == d.
-    #[test]
-    fn time_arithmetic_roundtrips(t in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+/// Time arithmetic: (t + d) - d == t and (t + d) - t == d.
+#[test]
+fn time_arithmetic_roundtrips() {
+    prop_check!(128, |g| {
+        let t = g.u64_in(0, 999_999_999);
+        let d = g.u64_in(0, 999_999_999);
         let time = SimTime::from_micros(t);
         let dur = SimDuration::from_micros(d);
         prop_assert_eq!((time + dur) - dur, time);
         prop_assert_eq!((time + dur) - time, dur);
-    }
+        Ok(())
+    });
+}
 
-    /// saturating_since never underflows and matches checked_since when
-    /// ordered.
-    #[test]
-    fn since_is_safe(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+/// saturating_since never underflows and matches checked_since when
+/// ordered.
+#[test]
+fn since_is_safe() {
+    prop_check!(128, |g| {
+        let (a, b) = (g.u64_in(0, 999_999), g.u64_in(0, 999_999));
         let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
         let sat = ta.saturating_since(tb);
         match ta.checked_since(tb) {
             Some(d) => prop_assert_eq!(d, sat),
             None => prop_assert_eq!(sat, SimDuration::ZERO),
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Any schedule drains fully and in order, with FIFO ties.
-    #[test]
-    fn queue_drains_completely(times in prop::collection::vec(0u64..1_000, 0..100)) {
+/// Any schedule drains fully and in order, with FIFO ties.
+#[test]
+fn queue_drains_completely() {
+    prop_check!(64, |g| {
+        let times = g.vec_u64(0, 100, 0, 999);
         let mut q = EventQueue::new();
         for (k, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), k);
@@ -45,26 +56,32 @@ proptest! {
                 prop_assert!(w[0].1 < w[1].1);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// TimeSeries window means average exactly the contained samples.
-    #[test]
-    fn window_means_average(values in prop::collection::vec(-100f64..100.0, 1..50)) {
-        let series: TimeSeries = values
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| (SimTime::from_millis(k as u64), v))
-            .collect();
+/// TimeSeries window means average exactly the contained samples.
+#[test]
+fn window_means_average() {
+    prop_check!(64, |g| {
+        let values = g.vec_f64(1, 50, -100.0, 100.0);
+        let series: TimeSeries =
+            values.iter().enumerate().map(|(k, &v)| (SimTime::from_millis(k as u64), v)).collect();
         // One window covering everything equals the plain mean.
         let windows = series.window_means(SimDuration::from_secs(10));
         prop_assert_eq!(windows.len(), 1);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         prop_assert!((windows[0].1 - mean).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// OU stays finite under arbitrary step patterns.
-    #[test]
-    fn ou_stays_finite(seed in any::<u64>(), steps in prop::collection::vec(1u64..1_000, 1..200)) {
+/// OU stays finite under arbitrary step patterns.
+#[test]
+fn ou_stays_finite() {
+    prop_check!(64, |g| {
+        let seed = g.any_u64();
+        let steps = g.vec_u64(1, 200, 1, 999);
         let mut rng = SimRng::from_seed(seed);
         let mut ou = OrnsteinUhlenbeck::with_stationary(5.0, 2.0, 1.0);
         for ms in steps {
@@ -72,11 +89,16 @@ proptest! {
             prop_assert!(v.is_finite());
             prop_assert!(v.abs() < 1_000.0, "implausible excursion {v}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Markov chain state is always consistent after arbitrary stepping.
-    #[test]
-    fn markov_always_valid(seed in any::<u64>(), steps in prop::collection::vec(1u64..10_000, 1..100)) {
+/// Markov chain state is always consistent after arbitrary stepping.
+#[test]
+fn markov_always_valid() {
+    prop_check!(64, |g| {
+        let seed = g.any_u64();
+        let steps = g.vec_u64(1, 100, 1, 9_999);
         let mut rng = SimRng::from_seed(seed);
         let mut chain = MarkovOnOff::new(
             SimDuration::from_millis(100),
@@ -89,13 +111,16 @@ proptest! {
         }
         let duty = chain.duty_cycle();
         prop_assert!((duty - 0.25).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Uniform, normal, exponential samplers produce finite values in
-    /// expected supports.
-    #[test]
-    fn samplers_respect_supports(seed in any::<u64>()) {
-        let mut rng = SimRng::from_seed(seed);
+/// Uniform, normal, exponential samplers produce finite values in
+/// expected supports.
+#[test]
+fn samplers_respect_supports() {
+    prop_check!(64, |g| {
+        let mut rng = SimRng::from_seed(g.any_u64());
         for _ in 0..100 {
             let u = rng.uniform();
             prop_assert!((0.0..1.0).contains(&u));
@@ -104,5 +129,6 @@ proptest! {
             let r = rng.uniform_range(-3.0, 7.0);
             prop_assert!((-3.0..7.0).contains(&r));
         }
-    }
+        Ok(())
+    });
 }

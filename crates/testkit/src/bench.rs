@@ -1,0 +1,225 @@
+//! Wall-clock micro-benchmark harness (in-repo `criterion` replacement).
+//!
+//! Each benchmark runs a closure in timed batches: the batch size is
+//! calibrated so one batch takes roughly [`TARGET_BATCH`], a few warmup
+//! batches prime caches and branch predictors, then the per-iteration
+//! time is the **median** over [`Bench::samples`] timed batches — robust
+//! to scheduler noise without criterion's statistical machinery.
+//!
+//! [`Bench::finish`] writes every result as JSON to
+//! `bench_results/<suite>.json` (one object per line inside a JSON array)
+//! and prints a human-readable table, so bench binaries stay useful both
+//! interactively and from `reproduce --smoke`.
+
+use std::time::{Duration, Instant};
+
+use poi360_sim::json::{JsonObject, ToJson};
+
+/// Calibration target for one timed batch.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Timed batches per benchmark (median taken over these).
+const DEFAULT_SAMPLES: usize = 11;
+
+/// Warmup batches before timing starts.
+const DEFAULT_WARMUP: usize = 3;
+
+/// One benchmark's measurements.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (unique within the suite).
+    pub name: String,
+    /// Iterations per timed batch (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed batches.
+    pub samples: usize,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-iteration time across batches, nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time across batches, nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// Median per-iteration time in milliseconds (for table display).
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
+impl ToJson for BenchResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("name", &self.name)
+            .field("iters_per_sample", &self.iters_per_sample)
+            .field("samples", &self.samples)
+            .field("median_ns", &self.median_ns)
+            .field("min_ns", &self.min_ns)
+            .field("mean_ns", &self.mean_ns)
+            .write(out);
+    }
+}
+
+/// A benchmark suite: run with [`Bench::bench`], report with
+/// [`Bench::finish`].
+pub struct Bench {
+    suite: String,
+    samples: usize,
+    warmup: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Start a suite named `suite` (also the output file stem).
+    pub fn new(suite: impl Into<String>) -> Self {
+        Bench {
+            suite: suite.into(),
+            samples: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the number of timed batches (odd keeps the median exact).
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Override the number of warmup batches.
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Time `f`, recording the result under `name`. Wrap inputs/outputs in
+    /// [`crate::black_box`] inside `f` to defeat dead-code elimination.
+    pub fn bench(&mut self, name: impl Into<String>, mut f: impl FnMut()) -> &BenchResult {
+        let name = name.into();
+        let iters = calibrate(&mut f);
+        for _ in 0..self.warmup {
+            run_batch(&mut f, iters);
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| run_batch(&mut f, iters).as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let min_ns = per_iter_ns[0];
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        eprintln!("  {name:<44} {:>12.3} ms/iter  (x{iters})", median_ns / 1e6);
+        self.results.push(BenchResult {
+            name,
+            iters_per_sample: iters,
+            samples: self.samples,
+            median_ns,
+            min_ns,
+            mean_ns,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Render the suite as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"suite\":");
+        self.suite.write_json(&mut out);
+        out.push_str(",\"results\":[\n");
+        for (k, r) in self.results.iter().enumerate() {
+            if k > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            r.write_json(&mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Print the summary table and write `bench_results/<suite>.json`.
+    /// Returns the path written, or an IO error (missing directory is
+    /// created).
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        println!("\nsuite {}:", self.suite);
+        for r in &self.results {
+            println!(
+                "  {:<44} median {:>12.3} ms  min {:>12.3} ms",
+                r.name,
+                r.median_ns / 1e6,
+                r.min_ns / 1e6
+            );
+        }
+        let dir = std::path::Path::new("bench_results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.suite));
+        std::fs::write(&path, self.to_json())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Find an iteration count whose batch takes roughly [`TARGET_BATCH`]:
+/// double from 1 until the batch is measurable, then scale linearly.
+fn calibrate(f: &mut impl FnMut()) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let t = run_batch(f, iters);
+        if t >= TARGET_BATCH {
+            return iters;
+        }
+        if t >= Duration::from_micros(500) {
+            // Close enough to extrapolate in one step.
+            let scale = TARGET_BATCH.as_secs_f64() / t.as_secs_f64();
+            return ((iters as f64 * scale).ceil() as u64).max(1);
+        }
+        iters = iters.saturating_mul(2);
+        if iters >= 1 << 24 {
+            return iters; // sub-nanosecond body; cap the calibration
+        }
+    }
+}
+
+fn run_batch(f: &mut impl FnMut(), iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_serializes() {
+        let mut b = Bench::new("unit").samples(3).warmup(1);
+        let mut acc = 0u64;
+        b.bench("spin", || {
+            for k in 0..100u64 {
+                acc = acc.wrapping_add(crate::black_box(k));
+            }
+        });
+        assert_eq!(b.results().len(), 1);
+        let r = &b.results()[0];
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(r.samples, 3);
+        let json = b.to_json();
+        assert!(json.contains("\"suite\":\"unit\""));
+        assert!(json.contains("\"name\":\"spin\""));
+        assert!(json.contains("median_ns"));
+    }
+
+    #[test]
+    fn calibrate_scales_up_cheap_bodies() {
+        let mut noop = || {};
+        assert!(calibrate(&mut noop) > 1);
+    }
+}

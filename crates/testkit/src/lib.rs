@@ -1,0 +1,25 @@
+//! Deterministic test harness for the POI360 workspace.
+//!
+//! The workspace builds hermetically — no external crates — so the roles
+//! `proptest` and `criterion` used to play are implemented here, on top of
+//! the same [`poi360_sim::rng::SimRng`] streams the experiments use:
+//!
+//! * [`prop`] — seeded property-based testing. [`prop_check!`] runs a
+//!   property over N generated cases; a failing case is shrunk by
+//!   bisection over its raw random draws and reported with the exact
+//!   seed (`POI360_PROP_SEED=...`) that reproduces it.
+//! * [`bench`] — wall-clock micro-benchmarks: warmup, then the median of
+//!   N timed batches, with JSON results written to `bench_results/`.
+//!
+//! Both harnesses are deterministic by construction: case seeds derive
+//! from the property's name, never from ambient entropy, so CI and a
+//! developer laptop always test the identical case set.
+
+pub mod bench;
+pub mod prop;
+
+pub use bench::{Bench, BenchResult};
+pub use prop::{CaseError, CaseResult, Gen};
+
+// Benches moved off criterion still want a `black_box`.
+pub use std::hint::black_box;

@@ -1,0 +1,565 @@
+//! Seeded property-based testing with shrinking-by-bisection.
+//!
+//! A property is a closure `FnMut(&mut Gen) -> CaseResult`. The harness
+//! runs it over `cases` generated inputs; each case's randomness comes
+//! from a [`SimRng`] seeded deterministically from the property name and
+//! case index, so the case set is identical on every machine and every
+//! run.
+//!
+//! # Reproducing a failure
+//!
+//! A failing property panics with the case's seed. Re-run just that case
+//! with `POI360_PROP_SEED=<seed> cargo test <name>`. `POI360_PROP_CASES`
+//! scales the case count globally (e.g. `POI360_PROP_CASES=1000` for a
+//! soak run).
+//!
+//! # Shrinking
+//!
+//! [`Gen`] records every raw 64-bit draw a case makes. All generator
+//! methods map raw draws *monotonically* onto their output range, so a
+//! smaller raw draw always means a smaller (or earlier) value. On
+//! failure, the harness bisects each recorded draw toward zero, keeping
+//! a reduction whenever the property still fails, until a fixpoint. The
+//! shrunk raw draws are replayed through the same property, which turns
+//! "some 80-element vector fails" into a minimal counterexample without
+//! any per-type shrinking machinery.
+
+use poi360_sim::rng::SimRng;
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum CaseError {
+    /// The property's assertion failed; the string explains where/why.
+    Fail(String),
+    /// The generated input was outside the property's precondition
+    /// (`prop_assume!`); the harness replaces it with a fresh case.
+    Reject,
+}
+
+impl CaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> CaseError {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// Outcome of one property evaluation.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Deterministic input generator handed to each property case.
+///
+/// Every sampler consumes exactly one raw `u64` draw per scalar and maps
+/// it monotonically onto the requested range (so shrinking the raw draw
+/// shrinks the value). Draws are recorded to enable replay/shrinking.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+    /// Overrides for replay: draw `i` yields `forced[i]` when present.
+    forced: Vec<u64>,
+    /// Every raw draw made so far in this case.
+    draws: Vec<u64>,
+}
+
+impl Gen {
+    /// A generator for a fresh case.
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen { rng: SimRng::from_seed(seed), forced: Vec::new(), draws: Vec::new() }
+    }
+
+    /// A generator that replays `forced` draws (falling back to the seeded
+    /// stream once past the recorded prefix).
+    fn replay(seed: u64, forced: Vec<u64>) -> Gen {
+        Gen { rng: SimRng::from_seed(seed), forced, draws: Vec::new() }
+    }
+
+    /// One raw 64-bit draw (recorded).
+    fn raw(&mut self) -> u64 {
+        let fresh = self.rng.next_u64();
+        let v = match self.forced.get(self.draws.len()) {
+            Some(&f) => f,
+            None => fresh,
+        };
+        self.draws.push(v);
+        v
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn any_u64(&mut self) -> u64 {
+        self.raw()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Monotone in the raw draw.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "u64_in: empty range {lo}..={hi}");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full-range request: the raw draw is already uniform.
+            return self.raw();
+        }
+        lo + ((self.raw() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in: empty range {lo}..={hi}");
+        lo.wrapping_add(self.u64_in(0, lo.abs_diff(hi)) as i64)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `u8` in `[lo, hi]` (inclusive).
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`. Monotone in the raw draw.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "f64_in: empty range {lo}..{hi}");
+        let unit = (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    /// Index into a collection of `len` elements (`len > 0`).
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index into empty collection");
+        self.usize_in(0, len - 1)
+    }
+
+    /// Bernoulli draw (probability of `true` = `p`). `true` shrinks to
+    /// `false`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_in(0.0, 1.0) < p
+    }
+
+    /// Vector with a generated length in `[min_len, max_len]`, elements
+    /// from `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// Vector of uniform `u64`s in `[lo, hi]`.
+    pub fn vec_u64(&mut self, min_len: usize, max_len: usize, lo: u64, hi: u64) -> Vec<u64> {
+        self.vec_of(min_len, max_len, |g| g.u64_in(lo, hi))
+    }
+
+    /// Vector of uniform `u32`s in `[lo, hi]`.
+    pub fn vec_u32(&mut self, min_len: usize, max_len: usize, lo: u32, hi: u32) -> Vec<u32> {
+        self.vec_of(min_len, max_len, |g| g.u32_in(lo, hi))
+    }
+
+    /// Vector of uniform floats in `[lo, hi)`.
+    pub fn vec_f64(&mut self, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        self.vec_of(min_len, max_len, |g| g.f64_in(lo, hi))
+    }
+
+    /// Lowercase ASCII string with a generated length in
+    /// `[min_len, max_len]`.
+    pub fn lowercase(&mut self, min_len: usize, max_len: usize) -> String {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| (b'a' + self.u8_in(0, 25)) as char).collect()
+    }
+}
+
+/// FNV-1a, the same stable hash `SimRng::stream` uses for names.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hard cap on precondition rejections per case slot before the harness
+/// declares the property's `prop_assume!` unsatisfiable.
+const MAX_REJECTS_PER_CASE: u32 = 1_000;
+
+/// Budget of property evaluations the shrinker may spend.
+const SHRINK_BUDGET: u32 = 2_000;
+
+/// Run `f` against `cases` generated inputs (see [`prop_check!`]).
+///
+/// Panics on the first failing case after shrinking it, reporting the
+/// reproducing seed. `POI360_PROP_SEED` re-runs exactly one seed;
+/// `POI360_PROP_CASES` overrides the case count.
+pub fn check(name: &str, cases: u64, mut f: impl FnMut(&mut Gen) -> CaseResult) {
+    if let Ok(seed_text) = std::env::var("POI360_PROP_SEED") {
+        let seed = parse_seed(&seed_text)
+            .unwrap_or_else(|| panic!("unparsable POI360_PROP_SEED {seed_text:?}"));
+        run_one(name, seed, u64::MAX, &mut f);
+        return;
+    }
+    let cases = match std::env::var("POI360_PROP_CASES") {
+        Ok(n) => n.parse().unwrap_or_else(|_| panic!("unparsable POI360_PROP_CASES {n:?}")),
+        Err(_) => cases,
+    };
+    let mut state = hash_name(name);
+    for case_no in 0..cases {
+        let mut rejects = 0u32;
+        loop {
+            let seed = splitmix64(&mut state);
+            match run_case(seed, &mut f) {
+                Ok(()) => break,
+                Err(CaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < MAX_REJECTS_PER_CASE,
+                        "property '{name}': prop_assume! rejected {MAX_REJECTS_PER_CASE} \
+                         inputs in a row at case {case_no}; the precondition is too narrow"
+                    );
+                }
+                Err(CaseError::Fail(msg)) => {
+                    report_failure(name, case_no, seed, &msg, &mut f);
+                }
+            }
+        }
+    }
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn run_one(name: &str, seed: u64, case_no: u64, f: &mut impl FnMut(&mut Gen) -> CaseResult) {
+    match run_case(seed, f) {
+        Ok(()) => {}
+        Err(CaseError::Reject) => {
+            eprintln!("property '{name}': seed {seed:#x} rejected by prop_assume!");
+        }
+        Err(CaseError::Fail(msg)) => report_failure(name, case_no, seed, &msg, f),
+    }
+}
+
+/// Evaluate one fresh case.
+fn run_case(seed: u64, f: &mut impl FnMut(&mut Gen) -> CaseResult) -> CaseResult {
+    f(&mut Gen::from_seed(seed))
+}
+
+/// Evaluate a replay with forced draws; returns the failure message and
+/// the draws actually made, if it still fails.
+fn run_forced(
+    seed: u64,
+    forced: &[u64],
+    f: &mut impl FnMut(&mut Gen) -> CaseResult,
+) -> Option<(String, Vec<u64>)> {
+    let mut g = Gen::replay(seed, forced.to_vec());
+    match f(&mut g) {
+        Err(CaseError::Fail(msg)) => Some((msg, g.draws)),
+        _ => None,
+    }
+}
+
+/// Shrink the failing case by bisecting each recorded raw draw toward
+/// zero, then panic with the reproduction seed and minimal failure.
+fn report_failure(
+    name: &str,
+    case_no: u64,
+    seed: u64,
+    first_msg: &str,
+    f: &mut impl FnMut(&mut Gen) -> CaseResult,
+) -> ! {
+    // Recover the original draw trace.
+    let mut g = Gen::from_seed(seed);
+    let _ = f(&mut g);
+    let mut draws = g.draws;
+    let mut msg = first_msg.to_string();
+    let mut evals = 0u32;
+    let mut shrunk = 0u32;
+    // Passes of per-draw bisection until a fixpoint (or budget). The trace
+    // may shorten mid-pass (shrinking a length draw drops later element
+    // draws), so positions are re-checked against the live trace.
+    loop {
+        let mut changed = false;
+        let mut i = 0usize;
+        while i < draws.len() && evals < SHRINK_BUDGET {
+            if draws[i] == 0 {
+                i += 1;
+                continue;
+            }
+            // Bisect for the smallest replacement of draw `i` that still
+            // fails; `best` tracks the failing run at the current `hi`.
+            let (mut lo, mut hi) = (0u64, draws[i]);
+            let mut best: Option<(String, Vec<u64>)> = None;
+            while lo < hi && evals < SHRINK_BUDGET {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = draws.clone();
+                candidate[i] = mid;
+                evals += 1;
+                match run_forced(seed, &candidate, f) {
+                    Some(found) => {
+                        hi = mid;
+                        best = Some(found);
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+            if let Some((m, observed)) = best {
+                // Adopt the trace the shrunk run actually consumed, so
+                // later positions index real draws.
+                msg = m;
+                draws = observed;
+                changed = true;
+                shrunk += 1;
+            }
+            i += 1;
+        }
+        if !changed || evals >= SHRINK_BUDGET {
+            break;
+        }
+    }
+    let preview: Vec<u64> = draws.iter().copied().take(16).collect();
+    panic!(
+        "property '{name}' failed at case {case_no} (seed {seed:#018x}).\n\
+         minimal failure after shrinking ({shrunk} draws reduced, {evals} evals): {msg}\n\
+         raw draws ({} total, first {}): {preview:?}\n\
+         reproduce with: POI360_PROP_SEED={seed:#x} cargo test {name}",
+        draws.len(),
+        preview.len(),
+    );
+}
+
+/// Run a property over generated cases:
+/// `prop_check!(64, |g| { ...; Ok(()) });` or with an explicit name
+/// `prop_check!("queue_drains", 64, |g| ...)`.
+///
+/// The property receives `&mut Gen` and returns [`CaseResult`]; use
+/// [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] inside.
+#[macro_export]
+macro_rules! prop_check {
+    ($cases:expr, $f:expr) => {
+        $crate::prop::check(concat!(module_path!(), ":", line!()), $cases as u64, $f)
+    };
+    ($name:expr, $cases:expr, $f:expr) => {
+        $crate::prop::check($name, $cases as u64, $f)
+    };
+}
+
+/// Assert inside a property; returns `CaseError::Fail` with location and
+/// an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::prop::CaseError::fail(format!(
+                "assertion failed at {}:{}: {} == {} ({:?} vs {:?})",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Reject the current input (precondition not met); the harness draws a
+/// replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let draw = || {
+            let mut g = Gen::from_seed(7);
+            (g.u64_in(0, 100), g.f64_in(-1.0, 1.0), g.vec_u32(1, 10, 0, 9), g.lowercase(1, 8))
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::from_seed(1);
+        for _ in 0..10_000 {
+            let v = g.u64_in(3, 17);
+            assert!((3..=17).contains(&v));
+            let x = g.f64_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let i = g.i64_in(-4, 4);
+            assert!((-4..=4).contains(&i));
+            let n = g.index(7);
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_panic() {
+        let mut g = Gen::from_seed(2);
+        for _ in 0..100 {
+            let _ = g.u64_in(0, u64::MAX);
+            let _ = g.i64_in(i64::MIN, i64::MAX);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_bounds() {
+        let mut g = Gen::from_seed(3);
+        for _ in 0..1_000 {
+            let v = g.vec_f64(2, 30, 0.0, 1.0);
+            assert!((2..=30).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn monotone_mapping_of_raw_draws() {
+        // Forcing a smaller raw draw must never increase the mapped value —
+        // the shrinker relies on this.
+        for &(lo, hi) in &[(0u64, 9u64), (5, 5), (100, 10_000)] {
+            let mut prev = None;
+            for raw in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+                let mut g = Gen::replay(0, vec![raw]);
+                let v = g.u64_in(lo, hi);
+                if let Some(p) = prev {
+                    assert!(v >= p, "u64_in not monotone: raw {raw} gave {v} < {p}");
+                }
+                prev = Some(v);
+            }
+        }
+    }
+
+    #[test]
+    fn passing_property_completes() {
+        check("testkit::always_passes", 64, |g| {
+            let v = g.u64_in(0, 10);
+            prop_assert!(v <= 10);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check("testkit::fails_above_5", 64, |g| {
+                let v = g.u64_in(0, 1000);
+                prop_assert!(v <= 5, "v = {v}");
+                Ok(())
+            });
+        }));
+        let msg = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".into()),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("POI360_PROP_SEED="), "missing repro seed in: {msg}");
+        // Bisection must land on the boundary: the minimal failure is v = 6.
+        assert!(msg.contains("v = 6"), "expected shrunk counterexample v = 6 in: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vectors() {
+        // Fails whenever the vector contains an element >= 50; the minimal
+        // counterexample is a single-element vector [50].
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check("testkit::vec_shrink", 64, |g| {
+                let v = g.vec_u64(0, 40, 0, 100);
+                prop_assert!(v.iter().all(|&x| x < 50), "offending vec {v:?}");
+                Ok(())
+            });
+        }));
+        let msg = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".into()),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("offending vec [50]"), "expected minimal vec [50] in: {msg}");
+    }
+
+    #[test]
+    fn assume_rejects_and_resamples() {
+        let mut evens = 0u32;
+        check("testkit::assume_filters", 64, |g| {
+            let v = g.u64_in(0, 1_000_000);
+            prop_assume!(v % 2 == 0);
+            evens += 1;
+            prop_assert!(v % 2 == 0);
+            Ok(())
+        });
+        assert_eq!(evens, 64);
+    }
+
+    #[test]
+    fn unsatisfiable_assume_panics() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check("testkit::never_satisfied", 4, |_g| -> CaseResult {
+                prop_assume!(false);
+                Ok(())
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed(" 0X2A "), Some(42));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+}

@@ -30,10 +30,9 @@
 use crate::rtcp::RttEstimator;
 use poi360_net::packet::Packet;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Detector output signal.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RateControlSignal {
     /// Queuing delay gradient significantly positive: back off.
     Overuse,
@@ -173,11 +172,8 @@ impl AimdController {
             (_, RateControlSignal::Normal) => RateState::Increase,
             (_, RateControlSignal::Underuse) => RateState::Hold,
         };
-        let dt = self
-            .last_update
-            .map(|l| now.saturating_since(l).as_secs_f64())
-            .unwrap_or(0.0)
-            .min(1.0);
+        let dt =
+            self.last_update.map(|l| now.saturating_since(l).as_secs_f64()).unwrap_or(0.0).min(1.0);
         self.last_update = Some(now);
 
         match self.state {
@@ -213,7 +209,7 @@ impl AimdController {
 }
 
 /// One REMB feedback message.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Remb {
     /// The receiver-estimated maximum bitrate, bps.
     pub rate_bps: f64,
@@ -275,13 +271,10 @@ impl GccReceiver {
     /// Incoming media rate over the last 500 ms, bps.
     pub fn incoming_rate_bps(&self, now: SimTime) -> f64 {
         let horizon = SimDuration::from_millis(500);
-        let cutoff = if now.as_micros() > horizon.as_micros() { now - horizon } else { SimTime::ZERO };
-        let bytes: u64 = self
-            .window
-            .iter()
-            .filter(|&&(t, _)| t >= cutoff)
-            .map(|&(_, b)| b as u64)
-            .sum();
+        let cutoff =
+            if now.as_micros() > horizon.as_micros() { now - horizon } else { SimTime::ZERO };
+        let bytes: u64 =
+            self.window.iter().filter(|&&(t, _)| t >= cutoff).map(|&(_, b)| b as u64).sum();
         let span = now.saturating_since(cutoff);
         poi360_sim::time::bits_per_sec(bytes, span)
     }

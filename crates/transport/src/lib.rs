@@ -26,7 +26,7 @@ pub mod rtp;
 
 pub use gcc::{GccReceiver, GccSender, RateControlSignal};
 pub use pacer::Pacer;
-pub use rtcp::{ReceiverReport, ReceiverStats};
-pub use rtp::{Packetizer, ReassembledFrame, Reassembler};
 pub use rtcp::RttEstimator;
+pub use rtcp::{ReceiverReport, ReceiverStats};
 pub use rtp::Nack;
+pub use rtp::{Packetizer, ReassembledFrame, Reassembler};

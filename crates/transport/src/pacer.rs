@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn burst_cap_limits_idle_credit() {
         let mut p = Pacer::new(8.0e6); // 1 MB/s
-        // Idle for 10 seconds: credit must not accumulate unboundedly.
+                                       // Idle for 10 seconds: credit must not accumulate unboundedly.
         p.tick(SimTime::from_secs(10));
         for k in 0..100 {
             p.enqueue(pkt(k, 1_250));

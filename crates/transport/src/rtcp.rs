@@ -7,10 +7,9 @@
 
 use poi360_net::packet::Packet;
 use poi360_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A receiver report (the fields GCC and FBCC need).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReceiverReport {
     /// When the report was generated at the receiver.
     pub generated_at: SimTime,
@@ -133,9 +132,7 @@ impl RttEstimator {
     pub fn on_sample(&mut self, rtt: SimDuration) {
         self.srtt = Some(match self.srtt {
             None => rtt,
-            Some(s) => {
-                SimDuration::from_micros((s.as_micros() * 7 + rtt.as_micros()) / 8)
-            }
+            Some(s) => SimDuration::from_micros((s.as_micros() * 7 + rtt.as_micros()) / 8),
         });
     }
 
@@ -206,7 +203,7 @@ mod tests {
             s.on_packet(&vpkt(k, k), SimTime::from_millis(k + 50));
         }
         s.make_report(SimTime::from_millis(100)); // expected start is now 5
-        // Only a retransmission of seq 2 arrives before the next report.
+                                                  // Only a retransmission of seq 2 arrives before the next report.
         let mut old = vpkt(2, 2);
         old.retransmit = true;
         s.on_packet(&old, SimTime::from_millis(150));

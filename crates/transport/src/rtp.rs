@@ -36,7 +36,12 @@ impl Packetizer {
     }
 
     /// Packetize a frame of `payload_bytes` captured at `sent_at`.
-    pub fn packetize(&mut self, frame_no: u64, payload_bytes: u32, sent_at: SimTime) -> Vec<Packet> {
+    pub fn packetize(
+        &mut self,
+        frame_no: u64,
+        payload_bytes: u32,
+        sent_at: SimTime,
+    ) -> Vec<Packet> {
         let count = payload_bytes.div_ceil(MAX_PAYLOAD).max(1);
         let mut remaining = payload_bytes;
         (0..count)
@@ -194,7 +199,12 @@ impl Reassembler {
 
     /// Collect NACKs to send at `now`: new gaps immediately, outstanding
     /// ones re-NACKed every `renack_every`. Gives up after `max_nacks`.
-    pub fn poll_nacks(&mut self, now: SimTime, renack_every: SimDuration, max_nacks: u32) -> Vec<Nack> {
+    pub fn poll_nacks(
+        &mut self,
+        now: SimTime,
+        renack_every: SimDuration,
+        max_nacks: u32,
+    ) -> Vec<Nack> {
         let mut out = Vec::new();
         for (&seq, m) in self.missing.iter_mut() {
             let due = match m.last_nack {

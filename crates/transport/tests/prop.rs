@@ -1,21 +1,21 @@
-//! Property-based tests for the transport crate.
+//! Property-based tests for the transport crate, on the in-repo
+//! `poi360_testkit` harness (64+ seeded cases per property).
 
 use poi360_net::packet::{FrameTag, Packet};
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 use poi360_transport::gcc::{GccReceiver, GccSender};
 use poi360_transport::pacer::Pacer;
 use poi360_transport::rtp::Packetizer;
-use proptest::prelude::*;
 
-proptest! {
-    /// The pacer conserves packets: everything enqueued is eventually
-    /// released, in order, and never faster than the configured rate
-    /// (beyond the burst allowance).
-    #[test]
-    fn pacer_conserves_and_limits(
-        rate_kbps in 200u64..10_000,
-        sizes in prop::collection::vec(100u32..1_500, 1..100),
-    ) {
+/// The pacer conserves packets: everything enqueued is eventually
+/// released, in order, and never faster than the configured rate
+/// (beyond the burst allowance).
+#[test]
+fn pacer_conserves_and_limits() {
+    prop_check!(64, |g| {
+        let rate_kbps = g.u64_in(200, 9_999);
+        let sizes = g.vec_u32(1, 100, 100, 1_499);
         let rate = rate_kbps as f64 * 1e3;
         let mut pacer = Pacer::new(rate);
         let total_bytes: u64 = sizes.iter().map(|&b| b as u64).sum();
@@ -45,18 +45,19 @@ proptest! {
         prop_assert_eq!(released_bytes, total_bytes);
         let expect: Vec<u64> = (0..sizes.len() as u64).collect();
         prop_assert_eq!(released, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// Packetizer output always reassembles to the input size, for any
-    /// payload size.
-    #[test]
-    fn packetizer_partition(payload in 0u32..500_000) {
+/// Packetizer output always reassembles to the input size, for any
+/// payload size.
+#[test]
+fn packetizer_partition() {
+    prop_check!(128, |g| {
+        let payload = g.u32_in(0, 499_999);
         let mut pz = Packetizer::new();
         let pkts = pz.packetize(9, payload, SimTime::ZERO);
-        let total: u32 = pkts
-            .iter()
-            .map(|p| p.bytes - poi360_transport::rtp::HEADER_BYTES)
-            .sum();
+        let total: u32 = pkts.iter().map(|p| p.bytes - poi360_transport::rtp::HEADER_BYTES).sum();
         prop_assert_eq!(total, payload);
         // Tags are a proper partition.
         let count = pkts.len() as u32;
@@ -65,19 +66,28 @@ proptest! {
             prop_assert_eq!(tag.count, count);
             prop_assert_eq!(tag.index, k as u32);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// GCC receiver never proposes a rate outside its clamps, whatever the
-    /// arrival pattern.
-    #[test]
-    fn gcc_receiver_rate_clamped(delays in prop::collection::vec(10u64..500, 10..120)) {
+/// GCC receiver never proposes a rate outside its clamps, whatever the
+/// arrival pattern.
+#[test]
+fn gcc_receiver_rate_clamped() {
+    prop_check!(64, |g| {
+        let delays = g.vec_u64(10, 120, 10, 499);
         let mut rx = GccReceiver::new(2.0e6);
         let mut seq = 0u64;
         for (f, &d) in delays.iter().enumerate() {
             let sent = SimTime::from_millis(f as u64 * 28);
             let arrival = sent + SimDuration::from_millis(d);
             rx.on_packet(
-                &Packet::video(seq, 1_240, sent, FrameTag { frame_no: f as u64, index: 0, count: 1 }),
+                &Packet::video(
+                    seq,
+                    1_240,
+                    sent,
+                    FrameTag { frame_no: f as u64, index: 0, count: 1 },
+                ),
                 arrival,
             );
             seq += 1;
@@ -86,12 +96,17 @@ proptest! {
             prop_assert!(remb.rate_bps >= 50_000.0);
             prop_assert!(remb.rate_bps <= 30.0e6);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The sender-side loss controller is monotone in loss: a lossier
-    /// report never yields a higher rate than a cleaner one.
-    #[test]
-    fn gcc_sender_monotone_in_loss(l1 in 0f64..0.5, l2 in 0f64..0.5) {
+/// The sender-side loss controller is monotone in loss: a lossier
+/// report never yields a higher rate than a cleaner one.
+#[test]
+fn gcc_sender_monotone_in_loss() {
+    prop_check!(128, |g| {
+        let l1 = g.f64_in(0.0, 0.5);
+        let l2 = g.f64_in(0.0, 0.5);
         prop_assume!(l1 < l2);
         let mut clean = GccSender::new(2.0e6);
         let mut lossy = GccSender::new(2.0e6);
@@ -100,5 +115,6 @@ proptest! {
             lossy.on_receiver_report(l2, SimDuration::from_millis(80));
         }
         prop_assert!(lossy.target_rate_bps() <= clean.target_rate_bps() + 1e-9);
-    }
+        Ok(())
+    });
 }

@@ -18,14 +18,13 @@
 //! which is how the paper describes matrix updates.
 
 use crate::frame::{TileGrid, TilePos};
-use serde::{Deserialize, Serialize};
 
 /// The lowest (identity) compression level, always assigned to the ROI
 /// center tile.
 pub const L_MIN: f64 = 1.0;
 
 /// How a compression mode assigns levels by distance from the ROI center.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Falloff {
     /// Paper Eq. 1: `l = C^(dx+dy)` — geometric falloff with base `C`.
     Geometric {
@@ -61,7 +60,7 @@ pub enum Falloff {
 }
 
 /// A compression mode: a named falloff shape.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CompressionMode {
     /// Falloff shape.
     pub falloff: Falloff,
@@ -92,9 +91,7 @@ impl CompressionMode {
     /// the viewer's 3×3-tile FoV region at full quality; `C` shapes how
     /// sharply quality falls off beyond it.
     pub fn poi360_modes() -> Vec<CompressionMode> {
-        (0..8)
-            .map(|k| CompressionMode::protected_geometric(1.8 - 0.1 * k as f64, 1, 1))
-            .collect()
+        (0..8).map(|k| CompressionMode::protected_geometric(1.8 - 0.1 * k as f64, 1, 1)).collect()
     }
 
     /// The compression level this mode assigns at tile distance `(dx, dy)`
@@ -138,7 +135,7 @@ impl CompressionMode {
 }
 
 /// The per-tile compression levels for one frame (paper's matrix `L`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompressionMatrix {
     /// Grid geometry the matrix is defined over.
     pub grid: TileGrid,

@@ -23,10 +23,9 @@ use crate::rd::RdModel;
 use crate::roi::Roi;
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Encoder configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EncoderConfig {
     /// Frame geometry (canvas + grid).
     pub geometry: FrameGeometry,
@@ -87,7 +86,7 @@ impl EncoderConfig {
 }
 
 /// Per-tile encoding result.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EncodedTile {
     /// Spatial compression level `l_ij` the tile was encoded at.
     pub level: f64,
@@ -116,7 +115,7 @@ impl EncodedTile {
 
 /// One encoded 360° frame, including the metadata the prototype embeds in
 /// the canvas (§5): sender ROI knowledge, compression matrix, timestamp.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EncodedFrame {
     /// Monotonic frame number.
     pub frame_no: u64,
@@ -188,7 +187,11 @@ impl Encoder {
     }
 
     /// Bits required to hit full quality for every tile under `matrix`.
-    pub fn required_bits_per_frame(&self, matrix: &CompressionMatrix, content: &ContentModel) -> f64 {
+    pub fn required_bits_per_frame(
+        &self,
+        matrix: &CompressionMatrix,
+        content: &ContentModel,
+    ) -> f64 {
         let geo = &self.cfg.geometry;
         let tile_px = geo.tile_pixels() as f64;
         geo.grid
@@ -245,18 +248,15 @@ impl Encoder {
         // Budget: target bits/frame, minus outstanding debt, times keyframe
         // factor when applicable. Never below a minimal floor.
         let per_frame = (target_bitrate_bps / self.cfg.fps).max(0.0);
-        let mut budget = (per_frame - self.rate_debt_bits.max(0.0))
-            .max(self.cfg.min_frame_bytes as f64 * 8.0);
+        let mut budget =
+            (per_frame - self.rate_debt_bits.max(0.0)).max(self.cfg.min_frame_bytes as f64 * 8.0);
         if keyframe {
             budget *= self.cfg.keyframe_cost;
         }
 
         let required = self.required_bits_per_frame(matrix, content);
-        let mut spend_target = budget.min(if keyframe {
-            required * self.cfg.keyframe_cost
-        } else {
-            required
-        });
+        let mut spend_target =
+            budget.min(if keyframe { required * self.cfg.keyframe_cost } else { required });
 
         // Intra-refresh burst: pixels whose quality was upgraded since the
         // previous frame (level dropped) cannot be predicted and must be
@@ -267,7 +267,8 @@ impl Encoder {
         // operating quality, so the burst scales with the rate ratio: a
         // starved encoder refreshes cheaply coarse tiles, not pristine ones.
         if !keyframe {
-            let quality_ratio = if required > 0.0 { (budget / required).clamp(0.05, 1.0) } else { 1.0 };
+            let quality_ratio =
+                if required > 0.0 { (budget / required).clamp(0.05, 1.0) } else { 1.0 };
             spend_target += upgraded_px
                 * self.cfg.full_quality_bpp
                 * self.cfg.intra_upgrade_factor
@@ -426,10 +427,7 @@ mod tests {
         let roi_psnr = f.region_psnr(&rd, &geo, roi.fov_tiles(&geo.grid, 1, 1));
         let far = TilePos::new((roi.center.i + 6) % 12, 7 - roi.center.j);
         let far_psnr = f.region_psnr(&rd, &geo, [far]);
-        assert!(
-            roi_psnr > far_psnr + 6.0,
-            "roi {roi_psnr} dB vs far {far_psnr} dB"
-        );
+        assert!(roi_psnr > far_psnr + 6.0, "roi {roi_psnr} dB vs far {far_psnr} dB");
     }
 
     #[test]
@@ -451,10 +449,7 @@ mod tests {
         }
         // ROI jumps: 9 tiles upgraded floor -> full.
         let burst = enc.encode(now, roi_b, &m_b, &content, target).bytes;
-        assert!(
-            burst as f64 > steady as f64 * 2.0,
-            "upgrade burst {burst} vs steady {steady}"
-        );
+        assert!(burst as f64 > steady as f64 * 2.0, "upgrade burst {burst} vs steady {steady}");
     }
 
     #[test]
@@ -462,7 +457,8 @@ mod tests {
         let grid = TileGrid::POI360;
         let content = ContentModel::new(grid, 7);
         let measure = |mode: CompressionMode| -> f64 {
-            let mut enc = Encoder::new(EncoderConfig { rate_jitter_std: 0.0, ..Default::default() }, 7);
+            let mut enc =
+                Encoder::new(EncoderConfig { rate_jitter_std: 0.0, ..Default::default() }, 7);
             let m_a = mode.matrix(&grid, TilePos::new(2, 4));
             let m_b = mode.matrix(&grid, TilePos::new(5, 4));
             let roi_a = Roi::at_tile(&grid, TilePos::new(2, 4));

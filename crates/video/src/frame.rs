@@ -6,11 +6,9 @@
 //! vertically a tile spans 22.5° of pitch and the axis is clamped at the
 //! poles.
 
-use serde::{Deserialize, Serialize};
-
 /// Position of a tile in the grid: `i` indexes the x-axis (yaw), `j` the
 /// y-axis (pitch) — same convention as paper §4.1.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct TilePos {
     /// Column, `0 <= i < cols`; cyclic (yaw wraps around).
     pub i: u8,
@@ -26,7 +24,7 @@ impl TilePos {
 }
 
 /// The tile grid over an equirectangular frame.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TileGrid {
     /// Number of tile columns (12 in the paper's prototype).
     pub cols: u8,
@@ -104,14 +102,14 @@ impl TileGrid {
         let pitch = pitch_deg.clamp(-90.0, 90.0);
         let i = ((yaw / self.yaw_per_tile()) as i64).clamp(0, self.cols as i64 - 1) as u8;
         // Pitch -90 maps to row 0 (bottom), +90 to the top row.
-        let j = (((pitch + 90.0) / self.pitch_per_tile()) as i64).clamp(0, self.rows as i64 - 1)
-            as u8;
+        let j =
+            (((pitch + 90.0) / self.pitch_per_tile()) as i64).clamp(0, self.rows as i64 - 1) as u8;
         TilePos::new(i, j)
     }
 }
 
 /// Full-frame geometry: canvas size plus the tile grid.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FrameGeometry {
     /// Canvas width in pixels.
     pub width: u32,
@@ -129,11 +127,8 @@ impl Default for FrameGeometry {
 
 impl FrameGeometry {
     /// The paper's configuration: 4K equirectangular, 12×8 tiles.
-    pub const UHD_4K: FrameGeometry = FrameGeometry {
-        width: 3840,
-        height: 1920,
-        grid: TileGrid::POI360,
-    };
+    pub const UHD_4K: FrameGeometry =
+        FrameGeometry { width: 3840, height: 1920, grid: TileGrid::POI360 };
 
     /// Pixels per tile (the grid is assumed to divide the canvas exactly;
     /// asserted because a ragged grid would skew every per-tile statistic).
@@ -199,11 +194,7 @@ mod tests {
     #[test]
     fn max_distance_bounded() {
         let g = TileGrid::POI360;
-        let max = g
-            .iter()
-            .flat_map(|a| g.iter().map(move |b| g.distance(a, b)))
-            .max()
-            .unwrap();
+        let max = g.iter().flat_map(|a| g.iter().map(move |b| g.distance(a, b))).max().unwrap();
         // 6 cyclic columns + 7 rows.
         assert_eq!(max, 13);
     }

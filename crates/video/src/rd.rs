@@ -20,13 +20,11 @@
 //! * deep non-ROI levels (l ≈ 16–32) should land in the "poor"/"bad" bands
 //!   (PSNR ≈ 18–21 dB), which is what makes an ROI mismatch visible.
 
-use serde::{Deserialize, Serialize};
-
 /// Peak signal value for 8-bit video.
 const PEAK: f64 = 255.0;
 
 /// Rate–distortion model constants.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct RdModel {
     /// Quantization MSE coefficient `k_q`.
     pub k_q: f64,

@@ -8,10 +8,9 @@
 //! mobile HMD optics.
 
 use crate::frame::{TileGrid, TilePos};
-use serde::{Deserialize, Serialize};
 
 /// A region of interest: continuous gaze angles plus the derived center tile.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Roi {
     /// Gaze yaw in degrees, normalized to `[0, 360)`.
     pub yaw_deg: f64,
@@ -47,9 +46,7 @@ impl Roi {
     /// in y. With the default `half_w = half_h = 1` this is the 3×3 region
     /// used for ROI quality measurement.
     pub fn fov_tiles(&self, grid: &TileGrid, half_w: u8, half_h: u8) -> Vec<TilePos> {
-        let mut tiles = Vec::with_capacity(
-            (2 * half_w as usize + 1) * (2 * half_h as usize + 1),
-        );
+        let mut tiles = Vec::with_capacity((2 * half_w as usize + 1) * (2 * half_h as usize + 1));
         for dj in -(half_h as i16)..=half_h as i16 {
             let j = self.center.j as i16 + dj;
             if j < 0 || j >= grid.rows as i16 {

@@ -11,10 +11,9 @@
 
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One RGB color, 8 bits per channel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Rgb {
     /// Red channel.
     pub r: u8,
@@ -83,7 +82,12 @@ pub fn decode(blocks: &[Rgb; DIGITS]) -> SimTime {
 /// Simulate the channel the blocks survive: per-pixel compression noise that
 /// the receiver averages over an `n`-pixel block, leaving Gaussian noise on
 /// the block mean with std `sigma / sqrt(n)`.
-pub fn corrupt(blocks: &[Rgb; DIGITS], pixel_noise_std: f64, block_pixels: u32, rng: &mut SimRng) -> [Rgb; DIGITS] {
+pub fn corrupt(
+    blocks: &[Rgb; DIGITS],
+    pixel_noise_std: f64,
+    block_pixels: u32,
+    rng: &mut SimRng,
+) -> [Rgb; DIGITS] {
     let sigma = pixel_noise_std / (block_pixels as f64).sqrt();
     let mut out = *blocks;
     for b in &mut out {

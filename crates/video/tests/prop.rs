@@ -1,25 +1,25 @@
-//! Property-based tests for the 360° video substrate.
+//! Property-based tests for the 360° video substrate, on the in-repo
+//! `poi360_testkit` harness (64+ seeded cases per property).
 
 use poi360_sim::time::SimTime;
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_check};
 use poi360_video::compression::CompressionMode;
 use poi360_video::content::ContentModel;
 use poi360_video::encoder::{Encoder, EncoderConfig};
 use poi360_video::frame::{TileGrid, TilePos};
 use poi360_video::rd::RdModel;
 use poi360_video::roi::Roi;
-use proptest::prelude::*;
 
-proptest! {
-    /// Encoded frames are well-formed for any target bitrate and ROI:
-    /// 96 tiles, positive size, tile bits summing to the frame size.
-    #[test]
-    fn encoded_frames_are_well_formed(
-        rate_kbps in 50u64..20_000,
-        i in 0u8..12,
-        j in 0u8..8,
-        c in 1.05f64..1.9,
-        seed in any::<u64>(),
-    ) {
+/// Encoded frames are well-formed for any target bitrate and ROI:
+/// 96 tiles, positive size, tile bits summing to the frame size.
+#[test]
+fn encoded_frames_are_well_formed() {
+    prop_check!(64, |g| {
+        let rate_kbps = g.u64_in(50, 19_999);
+        let i = g.u8_in(0, 11);
+        let j = g.u8_in(0, 7);
+        let c = g.f64_in(1.05, 1.9);
+        let seed = g.any_u64();
         let grid = TileGrid::POI360;
         let mut enc = Encoder::new(EncoderConfig::default(), seed);
         let content = ContentModel::new(grid, seed);
@@ -34,11 +34,16 @@ proptest! {
             prop_assert!(t.bits >= 0.0);
             prop_assert!(t.level >= 1.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Region PSNR is bounded and monotone in the bitrate (same seed).
-    #[test]
-    fn psnr_bounded_and_rate_monotone(i in 0u8..12, j in 0u8..8) {
+/// Region PSNR is bounded and monotone in the bitrate (same seed).
+#[test]
+fn psnr_bounded_and_rate_monotone() {
+    prop_check!(96, |g| {
+        let i = g.u8_in(0, 11);
+        let j = g.u8_in(0, 7);
         let grid = TileGrid::POI360;
         let rd = RdModel::default();
         let geo = EncoderConfig::default().geometry;
@@ -56,21 +61,32 @@ proptest! {
             psnrs.push(p);
         }
         prop_assert!(psnrs[0] <= psnrs[1] + 1e-9 && psnrs[1] <= psnrs[2] + 1e-9, "{psnrs:?}");
-    }
+        Ok(())
+    });
+}
 
-    /// The R-D model is monotone: more bits never hurt, deeper spatial
-    /// compression never helps.
-    #[test]
-    fn rd_model_monotone(w in 0.3f64..2.5, bpp in 0.005f64..0.5, l in 1.0f64..32.0) {
+/// The R-D model is monotone: more bits never hurt, deeper spatial
+/// compression never helps.
+#[test]
+fn rd_model_monotone() {
+    prop_check!(128, |g| {
+        let w = g.f64_in(0.3, 2.5);
+        let bpp = g.f64_in(0.005, 0.5);
+        let l = g.f64_in(1.0, 32.0);
         let rd = RdModel::default();
         prop_assert!(rd.tile_psnr(w, bpp * 1.5, l) >= rd.tile_psnr(w, bpp, l) - 1e-9);
         prop_assert!(rd.tile_psnr(w, bpp, l + 1.0) <= rd.tile_psnr(w, bpp, l) + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// FoV tile sets: always contain the center, never exceed the 3x3
-    /// bound, and stay within the grid.
-    #[test]
-    fn fov_tiles_well_formed(yaw in -720f64..720.0, pitch in -100f64..100.0) {
+/// FoV tile sets: always contain the center, never exceed the 3x3
+/// bound, and stay within the grid.
+#[test]
+fn fov_tiles_well_formed() {
+    prop_check!(128, |g| {
+        let yaw = g.f64_in(-720.0, 720.0);
+        let pitch = g.f64_in(-100.0, 100.0);
         let grid = TileGrid::POI360;
         let roi = Roi::from_angles(&grid, yaw, pitch);
         let tiles = roi.fov_tiles(&grid, 1, 1);
@@ -79,23 +95,35 @@ proptest! {
         for t in tiles {
             prop_assert!(t.i < grid.cols && t.j < grid.rows);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Mode load factors stay in (0, 1] and shrink as C grows.
-    #[test]
-    fn load_factor_behaviour(c in 1.05f64..2.0, i in 0u8..12, j in 0u8..8) {
+/// Mode load factors stay in (0, 1] and shrink as C grows.
+#[test]
+fn load_factor_behaviour() {
+    prop_check!(128, |g| {
+        let c = g.f64_in(1.05, 2.0);
+        let i = g.u8_in(0, 11);
+        let j = g.u8_in(0, 7);
         let grid = TileGrid::POI360;
         let center = TilePos::new(i, j);
         let lf = CompressionMode::protected_geometric(c, 1, 1).load_factor(&grid, center);
         prop_assert!(lf > 0.0 && lf <= 1.0);
-        let heavier = CompressionMode::protected_geometric(c + 0.3, 1, 1).load_factor(&grid, center);
+        let heavier =
+            CompressionMode::protected_geometric(c + 0.3, 1, 1).load_factor(&grid, center);
         prop_assert!(heavier <= lf + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    /// Content weights are always positive and bounded after arbitrary
-    /// evolution.
-    #[test]
-    fn content_weights_bounded(seed in any::<u64>(), frames in 0usize..300) {
+/// Content weights are always positive and bounded after arbitrary
+/// evolution.
+#[test]
+fn content_weights_bounded() {
+    prop_check!(64, |g| {
+        let seed = g.any_u64();
+        let frames = g.usize_in(0, 299);
         let mut content = ContentModel::new(TileGrid::POI360, seed);
         for _ in 0..frames {
             content.advance_frame();
@@ -104,5 +132,6 @@ proptest! {
             let w = content.weight(pos);
             prop_assert!(w > 0.05 && w < 5.0, "weight {w}");
         }
-    }
+        Ok(())
+    });
 }

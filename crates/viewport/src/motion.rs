@@ -11,10 +11,9 @@ use poi360_sim::rng::SimRng;
 use poi360_sim::time::SimDuration;
 use poi360_video::frame::TileGrid;
 use poi360_video::roi::Roi;
-use serde::{Deserialize, Serialize};
 
 /// Kinematic limits, defaults from the Oculus numbers cited in paper §8.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MotionConfig {
     /// Maximum angular speed (deg/s).
     pub max_speed: f64,
@@ -35,7 +34,7 @@ impl Default for MotionConfig {
 }
 
 /// The five user archetypes substituting for the paper's five participants.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UserArchetype {
     /// Mostly still (video-chat posture); occasional glances that return to
     /// a home direction.
@@ -137,9 +136,15 @@ impl HeadMotion {
                 until: 2.0 + rng.exponential(6.0),
             },
             UserArchetype::SmoothPanner => Behaviour::SmoothPanner { rate_dps: 25.0 },
-            UserArchetype::Saccadic => Behaviour::Saccadic { next_saccade: rng.uniform_range(0.5, 2.0) },
-            UserArchetype::EventDriven => Behaviour::EventDriven { next_event: 2.0 + rng.exponential(4.0) },
-            UserArchetype::Passenger => Behaviour::Passenger { next_scan: rng.uniform_range(1.0, 4.0) },
+            UserArchetype::Saccadic => {
+                Behaviour::Saccadic { next_saccade: rng.uniform_range(0.5, 2.0) }
+            }
+            UserArchetype::EventDriven => {
+                Behaviour::EventDriven { next_event: 2.0 + rng.exponential(4.0) }
+            }
+            UserArchetype::Passenger => {
+                Behaviour::Passenger { next_scan: rng.uniform_range(1.0, 4.0) }
+            }
         };
         HeadMotion {
             sway_yaw: OrnsteinUhlenbeck::with_stationary(0.0, cfg.sway_std, 0.8),
@@ -163,7 +168,9 @@ impl HeadMotion {
         UserArchetype::all()
             .iter()
             .enumerate()
-            .map(|(k, &a)| HeadMotion::new(a, MotionConfig::default(), seed ^ ((k as u64 + 1) << 32)))
+            .map(|(k, &a)| {
+                HeadMotion::new(a, MotionConfig::default(), seed ^ ((k as u64 + 1) << 32))
+            })
             .collect()
     }
 
@@ -232,7 +239,8 @@ impl HeadMotion {
                 *rate_dps += self.rng.gaussian() * 0.4;
                 *rate_dps = rate_dps.clamp(10.0, 45.0);
                 self.target_yaw = (self.yaw + *rate_dps * 0.5).rem_euclid(360.0);
-                self.target_pitch = (self.target_pitch + self.rng.gaussian() * 0.2).clamp(-15.0, 15.0);
+                self.target_pitch =
+                    (self.target_pitch + self.rng.gaussian() * 0.2).clamp(-15.0, 15.0);
             }
             Behaviour::Saccadic { next_saccade } => {
                 if clock >= *next_saccade {
@@ -259,7 +267,8 @@ impl HeadMotion {
                         *next_scan = clock + self.rng.uniform_range(0.8, 1.5);
                     } else {
                         // Scan the forward hemisphere.
-                        self.target_yaw = (180.0 + self.rng.uniform_range(-80.0, 80.0)).rem_euclid(360.0);
+                        self.target_yaw =
+                            (180.0 + self.rng.uniform_range(-80.0, 80.0)).rem_euclid(360.0);
                         *next_scan = clock + self.rng.uniform_range(1.5, 5.0);
                     }
                     self.target_pitch = self.rng.uniform_range(-15.0, 10.0);
@@ -331,10 +340,7 @@ mod tests {
             let (_, trace) = run(a, 30.0, 13);
             for w in trace.windows(2) {
                 let dv = (w[1].2 - w[0].2).abs();
-                assert!(
-                    dv <= 500.0 * DT.as_secs_f64() * 2.0 + 1e-6,
-                    "{a:?} accel {dv}"
-                );
+                assert!(dv <= 500.0 * DT.as_secs_f64() * 2.0 + 1e-6, "{a:?} accel {dv}");
             }
         }
     }
@@ -384,10 +390,8 @@ mod tests {
     fn anchored_returns_home() {
         let (_, trace) = run(UserArchetype::Anchored, 240.0, 31);
         // Most of the time the anchored user looks near home (180°).
-        let near_home = trace
-            .iter()
-            .filter(|t| wrap_delta(t.0 - 180.0).abs() < 35.0)
-            .count() as f64
+        let near_home = trace.iter().filter(|t| wrap_delta(t.0 - 180.0).abs() < 35.0).count()
+            as f64
             / trace.len() as f64;
         assert!(near_home > 0.5, "near-home fraction {near_home}");
     }

@@ -9,11 +9,10 @@
 
 use poi360_video::frame::TileGrid;
 use poi360_video::roi::Roi;
-use serde::{Deserialize, Serialize};
 
 /// First-order (constant-velocity) gaze predictor with exponential velocity
 /// smoothing, the standard HMD tracking baseline the paper cites.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LinearPredictor {
     /// Velocity smoothing factor per update, in `(0, 1]`; 1 = no smoothing.
     pub alpha: f64,

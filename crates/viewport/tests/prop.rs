@@ -1,24 +1,24 @@
-//! Property-based tests for the viewport substrate.
+//! Property-based tests for the viewport substrate, on the in-repo
+//! `poi360_testkit` harness (64+ seeded cases per property).
 
 use poi360_sim::time::SimDuration;
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_check};
 use poi360_video::frame::TileGrid;
 use poi360_viewport::motion::{HeadMotion, MotionConfig, UserArchetype};
 use poi360_viewport::predictor::LinearPredictor;
-use proptest::prelude::*;
 
 fn archetype(idx: usize) -> UserArchetype {
     UserArchetype::all()[idx % 5]
 }
 
-proptest! {
-    /// Head state is always physical: yaw in [0,360), pitch within limits,
-    /// for any archetype, seed, and step pattern.
-    #[test]
-    fn head_state_always_physical(
-        arch in 0usize..5,
-        seed in any::<u64>(),
-        steps in prop::collection::vec(1u64..100, 1..200),
-    ) {
+/// Head state is always physical: yaw in [0,360), pitch within limits,
+/// for any archetype, seed, and step pattern.
+#[test]
+fn head_state_always_physical() {
+    prop_check!(64, |g| {
+        let arch = g.usize_in(0, 4);
+        let seed = g.any_u64();
+        let steps = g.vec_u64(1, 200, 1, 99);
         let cfg = MotionConfig::default();
         let mut head = HeadMotion::new(archetype(arch), cfg, seed);
         for ms in steps {
@@ -27,11 +27,16 @@ proptest! {
             prop_assert!(head.pitch().abs() <= cfg.pitch_limit + 1e-9, "pitch {}", head.pitch());
             prop_assert!(head.speed().is_finite());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The derived ROI always lies on the grid.
-    #[test]
-    fn roi_always_on_grid(arch in 0usize..5, seed in any::<u64>()) {
+/// The derived ROI always lies on the grid.
+#[test]
+fn roi_always_on_grid() {
+    prop_check!(64, |g| {
+        let arch = g.usize_in(0, 4);
+        let seed = g.any_u64();
         let grid = TileGrid::POI360;
         let mut head = HeadMotion::new(archetype(arch), MotionConfig::default(), seed);
         for _ in 0..500 {
@@ -40,11 +45,15 @@ proptest! {
             prop_assert!(roi.center.i < grid.cols);
             prop_assert!(roi.center.j < grid.rows);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The predictor's output is always a valid gaze direction.
-    #[test]
-    fn predictions_valid(observations in prop::collection::vec((-720f64..720.0, -90f64..90.0), 2..50)) {
+/// The predictor's output is always a valid gaze direction.
+#[test]
+fn predictions_valid() {
+    prop_check!(64, |g| {
+        let observations = g.vec_of(2, 50, |g| (g.f64_in(-720.0, 720.0), g.f64_in(-90.0, 90.0)));
         let mut pred = LinearPredictor::default();
         for (yaw, pitch) in observations {
             pred.observe(yaw.rem_euclid(360.0), pitch, 0.01);
@@ -54,11 +63,16 @@ proptest! {
             prop_assert!((0.0..360.0).contains(&yaw));
             prop_assert!((-90.0..=90.0).contains(&pitch));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Motion is exactly reproducible from a seed.
-    #[test]
-    fn motion_reproducible(arch in 0usize..5, seed in any::<u64>()) {
+/// Motion is exactly reproducible from a seed.
+#[test]
+fn motion_reproducible() {
+    prop_check!(64, |g| {
+        let arch = g.usize_in(0, 4);
+        let seed = g.any_u64();
         let run = || {
             let mut h = HeadMotion::new(archetype(arch), MotionConfig::default(), seed);
             (0..100)
@@ -69,5 +83,6 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
-    }
+        Ok(())
+    });
 }

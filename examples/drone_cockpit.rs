@@ -26,7 +26,14 @@ fn main() {
 
     let mut table = Table::new(
         "virtual cockpit at 50 mph: FBCC vs stock GCC",
-        &["Rate control", "PSNR (dB)", "Median delay (ms)", "Freeze", "Tput (Mbps)", "Uplink detections"],
+        &[
+            "Rate control",
+            "PSNR (dB)",
+            "Median delay (ms)",
+            "Freeze",
+            "Tput (Mbps)",
+            "Uplink detections",
+        ],
     );
 
     for rc in [RateControlKind::Fbcc, RateControlKind::Gcc] {

@@ -16,10 +16,7 @@ use poi360::sim::time::SimDuration;
 use poi360::viewport::motion::UserArchetype;
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(45);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(45);
 
     let conditions: Vec<Scenario> = Scenario::load_sweep()
         .into_iter()

@@ -42,10 +42,7 @@ fn session_accounting_is_conserved() {
     assert!(report.frames_delivered + report.frames_lost <= report.frames_sent);
     assert!(report.frames_delivered > report.frames_sent * 8 / 10);
     // One PSNR sample per delivered or lost frame.
-    assert_eq!(
-        report.roi_psnr_db.len() as u64,
-        report.frames_delivered + report.frames_lost
-    );
+    assert_eq!(report.roi_psnr_db.len() as u64, report.frames_delivered + report.frames_lost);
 }
 
 #[test]

@@ -1,0 +1,69 @@
+//! Golden-output tests: re-run the Table 1 and Fig. 5/6 generators at
+//! the default fixed-seed configuration and assert the headline numbers
+//! match the checked-in `bench_results/{table1,fig5,fig6}.txt` within
+//! tolerance. Regenerate the files with
+//! `cargo run --release -p poi360-bench --bin reproduce -- <name>` after
+//! an intentional calibration change.
+
+use poi360_bench::experiments as exp;
+use poi360_bench::runner::ExpConfig;
+
+/// Absolute + relative tolerance for one golden number.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 0.05 + 0.02 * a.abs().max(b.abs())
+}
+
+/// Every parseable number per line, in order (tables plus headline
+/// summary lines; prose tokens are skipped).
+fn numeric_rows(text: &str) -> Vec<Vec<f64>> {
+    text.lines()
+        .filter_map(|l| {
+            let nums: Vec<f64> =
+                l.split_whitespace().filter_map(|t| t.trim_end_matches('%').parse().ok()).collect();
+            (!nums.is_empty()).then_some(nums)
+        })
+        .collect()
+}
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/bench_results/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"))
+}
+
+fn assert_rows_match(name: &str, fresh: &str, golden: &str) {
+    let (f, g) = (numeric_rows(fresh), numeric_rows(golden));
+    assert_eq!(
+        f.len(),
+        g.len(),
+        "{name}: row count changed\n--- fresh ---\n{fresh}\n--- golden ---\n{golden}"
+    );
+    for (row, (fr, gr)) in f.iter().zip(&g).enumerate() {
+        assert_eq!(fr.len(), gr.len(), "{name} row {row}: shape changed ({fr:?} vs {gr:?})");
+        for (a, b) in fr.iter().zip(gr) {
+            assert!(close(*a, *b), "{name} row {row}: {a} vs golden {b}\n--- fresh ---\n{fresh}");
+        }
+    }
+}
+
+/// Table 1 is pure arithmetic (the PSNR→MOS mapping); it must reproduce
+/// byte for byte.
+#[test]
+fn table1_matches_golden_exactly() {
+    assert_eq!(exp::table1(), golden("table1"), "table1 output drifted");
+}
+
+/// Fig. 5's buffer→TBS sweep at the default seed must match the
+/// checked-in curve.
+#[test]
+fn fig5_matches_golden() {
+    let fresh = exp::fig5(&ExpConfig::default());
+    assert_rows_match("fig5", &fresh, &golden("fig5"));
+}
+
+/// Fig. 6's firmware-buffer CDF under GCC at the default seed must match
+/// the checked-in distribution.
+#[test]
+fn fig6_matches_golden() {
+    let fresh = exp::fig6(&ExpConfig::default());
+    assert_rows_match("fig6", &fresh, &golden("fig6"));
+}

@@ -16,9 +16,10 @@ const SECS: u64 = 45;
 /// Pool a few users × seeds for one configuration.
 fn pooled(scheme: CompressionScheme, rc: RateControlKind, network: NetworkKind) -> Aggregate {
     let mut agg = Aggregate::new("pool");
-    for (k, user) in [UserArchetype::Anchored, UserArchetype::SmoothPanner, UserArchetype::EventDriven]
-        .iter()
-        .enumerate()
+    for (k, user) in
+        [UserArchetype::Anchored, UserArchetype::SmoothPanner, UserArchetype::EventDriven]
+            .iter()
+            .enumerate()
     {
         for seed in 0..2u64 {
             let cfg = SessionConfig {

@@ -1,5 +1,6 @@
 //! Property-based tests over the workspace's core data structures and
-//! invariants, spanning crates.
+//! invariants, spanning crates — on the in-repo `poi360_testkit`
+//! harness (64+ seeded cases per property).
 
 use poi360::lte::tbs;
 use poi360::metrics::dist::Cdf;
@@ -10,18 +11,17 @@ use poi360::transport::rtp::{Packetizer, Reassembler};
 use poi360::video::compression::{CompressionMode, L_MIN};
 use poi360::video::frame::{TileGrid, TilePos};
 use poi360::video::timestamp;
-use proptest::prelude::*;
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
-proptest! {
-    /// Compression levels are >= 1 everywhere and exactly 1 at the ROI
-    /// center, for every mode family and ROI position.
-    #[test]
-    fn compression_levels_valid(
-        c in 1.01f64..2.5,
-        i in 0u8..12,
-        j in 0u8..8,
-        protect in 0u8..3,
-    ) {
+/// Compression levels are >= 1 everywhere and exactly 1 at the ROI
+/// center, for every mode family and ROI position.
+#[test]
+fn compression_levels_valid() {
+    prop_check!(96, |g| {
+        let c = g.f64_in(1.01, 2.5);
+        let i = g.u8_in(0, 11);
+        let j = g.u8_in(0, 7);
+        let protect = g.u8_in(0, 2);
         let grid = TileGrid::POI360;
         let center = TilePos::new(i, j);
         for mode in [
@@ -35,17 +35,19 @@ proptest! {
                 prop_assert!(m.level(pos) >= L_MIN - 1e-12);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Recentering a distance-based matrix equals rebuilding it, for any
-    /// pair of centers on the same row (no pole clamping involved).
-    #[test]
-    fn recenter_matches_rebuild(
-        c in 1.05f64..2.0,
-        from in 0u8..12,
-        to in 0u8..12,
-        row in 0u8..8,
-    ) {
+/// Recentering a distance-based matrix equals rebuilding it, for any
+/// pair of centers on the same row (no pole clamping involved).
+#[test]
+fn recenter_matches_rebuild() {
+    prop_check!(96, |g| {
+        let c = g.f64_in(1.05, 2.0);
+        let from = g.u8_in(0, 11);
+        let to = g.u8_in(0, 11);
+        let row = g.u8_in(0, 7);
         let grid = TileGrid::POI360;
         let mode = CompressionMode::geometric(c);
         let built = mode.matrix(&grid, TilePos::new(to, row));
@@ -53,34 +55,35 @@ proptest! {
         for pos in grid.iter() {
             prop_assert!((built.level(pos) - shifted.level(pos)).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Cyclic tile distance is a metric: symmetric, zero iff equal, and
-    /// respects the triangle inequality.
-    #[test]
-    fn tile_distance_is_a_metric(
-        a in (0u8..12, 0u8..8),
-        b in (0u8..12, 0u8..8),
-        c in (0u8..12, 0u8..8),
-    ) {
-        let g = TileGrid::POI360;
-        let (pa, pb, pc) = (
-            TilePos::new(a.0, a.1),
-            TilePos::new(b.0, b.1),
-            TilePos::new(c.0, c.1),
-        );
-        prop_assert_eq!(g.distance(pa, pb), g.distance(pb, pa));
-        prop_assert_eq!(g.distance(pa, pa), 0);
+/// Cyclic tile distance is a metric: symmetric, zero iff equal, and
+/// respects the triangle inequality.
+#[test]
+fn tile_distance_is_a_metric() {
+    prop_check!(128, |g| {
+        let g9 = TileGrid::POI360;
+        let pa = TilePos::new(g.u8_in(0, 11), g.u8_in(0, 7));
+        let pb = TilePos::new(g.u8_in(0, 11), g.u8_in(0, 7));
+        let pc = TilePos::new(g.u8_in(0, 11), g.u8_in(0, 7));
+        prop_assert_eq!(g9.distance(pa, pb), g9.distance(pb, pa));
+        prop_assert_eq!(g9.distance(pa, pa), 0);
         if pa != pb {
-            prop_assert!(g.distance(pa, pb) > 0);
+            prop_assert!(g9.distance(pa, pb) > 0);
         }
-        prop_assert!(g.distance(pa, pc) <= g.distance(pa, pb) + g.distance(pb, pc));
-    }
+        prop_assert!(g9.distance(pa, pc) <= g9.distance(pa, pb) + g9.distance(pb, pc));
+        Ok(())
+    });
+}
 
-    /// Packetize → deliver (in any loss-free order) → reassemble recovers
-    /// exactly one frame with the right byte count.
-    #[test]
-    fn rtp_roundtrip(payload in 1u32..200_000) {
+/// Packetize → deliver (in any loss-free order) → reassemble recovers
+/// exactly one frame with the right byte count.
+#[test]
+fn rtp_roundtrip() {
+    prop_check!(128, |g| {
+        let payload = g.u32_in(1, 199_999);
         let mut pz = Packetizer::new();
         let mut rs = Reassembler::new(SimDuration::from_secs(10));
         let pkts = pz.packetize(0, payload, SimTime::ZERO);
@@ -93,22 +96,27 @@ proptest! {
         let headers = pkts.len() as u32 * poi360::transport::rtp::HEADER_BYTES;
         prop_assert_eq!(frame.bytes, payload + headers);
         prop_assert!(!frame.suffered_loss);
-    }
+        Ok(())
+    });
+}
 
-    /// Dropping any single packet triggers exactly one NACK for it, and a
-    /// retransmission completes the frame.
-    #[test]
-    fn rtp_single_loss_recovers(payload in 2_500u32..50_000, drop_pick in any::<prop::sample::Index>()) {
+/// Dropping any single packet triggers exactly one NACK for it, and a
+/// retransmission completes the frame.
+#[test]
+fn rtp_single_loss_recovers() {
+    prop_check!(64, |g| {
+        let payload = g.u32_in(2_500, 49_999);
         let mut pz = Packetizer::new();
         let mut rs = Reassembler::new(SimDuration::from_secs(10));
         // Two frames so a trailing drop is still detected by later seqs.
         let pkts_a = pz.packetize(0, payload, SimTime::ZERO);
         let pkts_b = pz.packetize(1, 2_000, SimTime::from_millis(28));
         let all: Vec<_> = pkts_a.iter().chain(pkts_b.iter()).cloned().collect();
-        let drop_idx = drop_pick.index(pkts_a.len()); // drop within frame 0
-        // A loss of the very first packet of a stream is undetectable by
-        // sequence-gap analysis (nothing earlier was seen) — real WebRTC
-        // relies on frame timeouts there too.
+        let drop_idx = g.index(pkts_a.len()); // drop within frame 0
+                                              // A loss of the very first packet of a stream is undetectable by
+                                              // sequence-gap analysis (nothing earlier was seen) — real WebRTC
+                                              // relies on frame timeouts there too. See
+                                              // `first_packet_loss_is_undetectable_by_seq_gap` for that case.
         prop_assume!(drop_idx > 0);
         for (k, p) in all.iter().enumerate() {
             if k != drop_idx {
@@ -123,12 +131,45 @@ proptest! {
         let frame = rs.on_packet(&retx, SimTime::from_millis(200)).expect("completes");
         prop_assert!(frame.suffered_loss);
         prop_assert_eq!(frame.frame_no, 0);
-    }
+        Ok(())
+    });
+}
 
-    /// The event queue dequeues in non-decreasing time order regardless of
-    /// insertion order.
-    #[test]
-    fn event_queue_orders(times in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Regression (formerly `tests/property_based.proptest-regressions`,
+/// payload = 2500 with the *first* packet dropped): a loss of the very
+/// first packet of a stream produces no NACK, because sequence-gap
+/// analysis has seen nothing earlier than the gap. The frame must not
+/// complete, and no spurious NACK may be emitted for any other packet.
+#[test]
+fn first_packet_loss_is_undetectable_by_seq_gap() {
+    let payload = 2_500u32;
+    let mut pz = Packetizer::new();
+    let mut rs = Reassembler::new(SimDuration::from_secs(10));
+    let pkts_a = pz.packetize(0, payload, SimTime::ZERO);
+    let pkts_b = pz.packetize(1, 2_000, SimTime::from_millis(28));
+    assert!(pkts_a.len() >= 2, "payload 2500 must split across packets");
+    let all: Vec<_> = pkts_a.iter().chain(pkts_b.iter()).cloned().collect();
+    let mut frame0_completed = false;
+    for (k, p) in all.iter().enumerate().skip(1) {
+        if let Some(frame) = rs.on_packet(p, SimTime::from_millis(k as u64 + 1)) {
+            frame0_completed |= frame.frame_no == 0;
+        }
+    }
+    let nacks = rs.poll_nacks(SimTime::from_millis(100), SimDuration::from_millis(100), 4);
+    assert!(
+        !nacks.iter().any(|n| n.seq == all[0].seq),
+        "seq-gap analysis cannot have detected the first packet of the stream"
+    );
+    assert!(nacks.is_empty(), "no other packet was lost, got {nacks:?}");
+    assert!(!frame0_completed, "frame 0 is missing its first packet");
+}
+
+/// The event queue dequeues in non-decreasing time order regardless of
+/// insertion order.
+#[test]
+fn event_queue_orders() {
+    prop_check!(64, |g| {
+        let times = g.vec_u64(1, 200, 0, 9_999);
         let mut q = EventQueue::new();
         for (k, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), k);
@@ -141,19 +182,28 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
-    }
+        Ok(())
+    });
+}
 
-    /// TBS is monotone in both CQI and PRB count.
-    #[test]
-    fn tbs_monotone(cqi in 1u8..15, prbs in 1u32..50) {
+/// TBS is monotone in both CQI and PRB count.
+#[test]
+fn tbs_monotone() {
+    prop_check!(128, |g| {
+        let cqi = g.u8_in(1, 14);
+        let prbs = g.u32_in(1, 49);
         prop_assert!(tbs::tbs_bits(cqi + 1, prbs) >= tbs::tbs_bits(cqi, prbs));
         prop_assert!(tbs::tbs_bits(cqi, prbs + 1) >= tbs::tbs_bits(cqi, prbs));
-    }
+        Ok(())
+    });
+}
 
-    /// An empirical CDF is monotone, bounded to [0,1], and its quantiles
-    /// stay within the sample range.
-    #[test]
-    fn cdf_properties(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+/// An empirical CDF is monotone, bounded to [0,1], and its quantiles
+/// stay within the sample range.
+#[test]
+fn cdf_properties() {
+    prop_check!(64, |g| {
+        let samples = g.vec_f64(1, 300, -1e6, 1e6);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let cdf = Cdf::new(samples);
@@ -169,31 +219,40 @@ proptest! {
             let quantile = cdf.quantile(q).expect("non-empty");
             prop_assert!(quantile >= lo - 1e-9 && quantile <= hi + 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The color-block timestamp codec round-trips any in-range timestamp,
-    /// even under averaged compression noise.
-    #[test]
-    fn timestamp_codec_roundtrip(ms in 0u64..9_999_999_999, noise_seed in any::<u64>()) {
+/// The color-block timestamp codec round-trips any in-range timestamp,
+/// even under averaged compression noise.
+#[test]
+fn timestamp_codec_roundtrip() {
+    prop_check!(64, |g| {
+        let ms = g.u64_in(0, 9_999_999_998);
+        let noise_seed = g.any_u64();
         let ts = SimTime::from_millis(ms);
         let clean = timestamp::decode(&timestamp::encode(ts));
         prop_assert_eq!(clean.as_millis(), ms);
         let mut rng = SimRng::from_seed(noise_seed);
         let noisy = timestamp::corrupt(&timestamp::encode(ts), 40.0, 32 * 32, &mut rng);
         prop_assert_eq!(timestamp::decode(&noisy).as_millis(), ms);
-    }
+        Ok(())
+    });
+}
 
-    /// Named RNG streams never collide for distinct names (spot check over
-    /// arbitrary name pairs).
-    #[test]
-    fn rng_streams_decorrelate(seed in any::<u64>(), a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+/// Named RNG streams never collide for distinct names (spot check over
+/// arbitrary name pairs).
+#[test]
+fn rng_streams_decorrelate() {
+    prop_check!(64, |g| {
+        let seed = g.any_u64();
+        let a = g.lowercase(1, 12);
+        let b = g.lowercase(1, 12);
         prop_assume!(a != b);
         let mut ra = SimRng::stream(seed, &a);
         let mut rb = SimRng::stream(seed, &b);
-        let matches = (0..32).filter(|_| {
-            use rand::RngCore;
-            ra.next_u64() == rb.next_u64()
-        }).count();
+        let matches = (0..32).filter(|_| ra.next_u64() == rb.next_u64()).count();
         prop_assert!(matches <= 1);
-    }
+        Ok(())
+    });
 }
