@@ -38,4 +38,10 @@ cargo test -q --workspace
 echo "== smoke bench (JSON output) =="
 cargo run --release -p poi360-bench --bin reproduce -- --smoke
 
+echo "== coexist smoke (shared-cell ensembles) =="
+cargo run --release -p poi360-bench --bin reproduce -- coexist --seconds 6 --repeats 1 --seed 77 >/dev/null
+
+echo "== cell-scale micro-benchmark =="
+cargo bench -p poi360-bench --bench cell_scale
+
 echo "CI green."

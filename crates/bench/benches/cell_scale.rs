@@ -1,0 +1,41 @@
+//! How the shared-cell scheduler scales with UE count: per-subframe cost
+//! (and therefore simulated subframes per wall-clock second) as the
+//! attached population grows 10 → 500. One foreground UE is kept
+//! backlogged so the PF allocator always has contention to resolve.
+//! Results land in `bench_results/cell_scale.json` at the workspace root.
+
+use poi360_lte::buffer::PacketLike;
+use poi360_lte::cell::{Cell, CellConfig, UeId};
+use poi360_lte::channel::ChannelConfig;
+use poi360_sim::time::SimTime;
+use poi360_testkit::{black_box, Bench};
+
+struct Pkt;
+impl PacketLike for Pkt {
+    fn wire_bytes(&self) -> u32 {
+        1_240
+    }
+}
+
+fn main() {
+    let mut b = Bench::new("cell_scale").samples(5).warmup(1);
+
+    for ues in [10usize, 50, 100, 250, 500] {
+        let mut cell = Cell::new(CellConfig::default(), 42);
+        let fg = cell.attach_foreground("fg.0", ChannelConfig::default());
+        cell.attach_background_population(ues - 1);
+        let mut now = SimTime::ZERO;
+        let r = b.bench(format!("cell_scale/subframe_{ues}_ues"), || {
+            while cell.buffer_level(fg) < 20_000 {
+                cell.enqueue(fg, Pkt, now);
+            }
+            now = now + poi360_sim::SUBFRAME;
+            black_box(cell.subframe(now));
+        });
+        let subframes_per_sec = 1e9 / r.median_ns;
+        eprintln!("  {ues:>4} UEs: {subframes_per_sec:>12.0} subframes/sec");
+        assert_eq!(UeId(0), fg);
+    }
+
+    b.finish().expect("write bench_results/cell_scale.json");
+}

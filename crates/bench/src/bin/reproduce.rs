@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Subcommands: `fig5 fig6 table1 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 ablation all`. Flags: `--full` (paper scale: 300 s × 10 repeats),
-//! `--seconds N`, `--repeats N`, `--seed N`. Output also lands in
-//! `bench_results/<name>.txt`.
+//! fig17 coexist ablation all`. Flags: `--full` (paper scale: 300 s × 10
+//! repeats), `--seconds N`, `--repeats N`, `--seed N`. Output also lands
+//! in `bench_results/<name>.txt` at the workspace root, regardless of the
+//! invoking directory.
 
 use poi360_bench::experiments as exp;
 use poi360_bench::runner::ExpConfig;
@@ -20,7 +21,7 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation|all> \
+        "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|coexist|ablation|all> \
          [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)"
     );
@@ -42,9 +43,10 @@ fn smoke() {
     b.finish().expect("write bench_results/smoke.json");
 
     let agg = exp::fig6_aggregate(&cfg);
-    std::fs::create_dir_all("bench_results").ok();
-    std::fs::write("bench_results/smoke_aggregate.json", agg.to_json() + "\n")
-        .expect("write bench_results/smoke_aggregate.json");
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("smoke_aggregate.json"), agg.to_json() + "\n")
+        .expect("write smoke_aggregate.json");
     println!("{}", agg.to_json());
 }
 
@@ -131,6 +133,7 @@ fn main() {
             outputs.push(("fig17_signal", exp::fig17(&cfg, exp::Fig17Axis::Signal)));
             outputs.push(("fig17_speed", exp::fig17(&cfg, exp::Fig17Axis::Speed)));
         }
+        "coexist" => outputs.push(("coexist", exp::coexist(&cfg))),
         "ablation" => {
             outputs.push(("ablation_prediction", exp::roi_prediction_ablation()));
             outputs.push(("ablation_modes", exp::mode_ablation(&cfg)));
@@ -152,6 +155,7 @@ fn main() {
             outputs.push(("fig17_load", exp::fig17(&cfg, exp::Fig17Axis::Load)));
             outputs.push(("fig17_signal", exp::fig17(&cfg, exp::Fig17Axis::Signal)));
             outputs.push(("fig17_speed", exp::fig17(&cfg, exp::Fig17Axis::Speed)));
+            outputs.push(("coexist", exp::coexist(&cfg)));
             outputs.push(("ablation_prediction", exp::roi_prediction_ablation()));
             outputs.push(("ablation_modes", exp::mode_ablation(&cfg)));
             outputs.push(("ablation_prediction_policy", exp::prediction_policy_ablation(&cfg)));
@@ -160,10 +164,11 @@ fn main() {
         _ => usage(),
     }
 
-    std::fs::create_dir_all("bench_results").ok();
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
     for (name, text) in &outputs {
         println!("{text}");
-        if let Ok(mut f) = std::fs::File::create(format!("bench_results/{name}.txt")) {
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
             let _ = f.write_all(text.as_bytes());
         }
     }

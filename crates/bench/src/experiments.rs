@@ -5,11 +5,13 @@
 //! (and, where useful for tests, structured results). The mapping to paper
 //! figures is the experiment index in DESIGN.md §3.
 
-use crate::runner::{run_sessions, ExpConfig};
+use crate::runner::{run_multicells, run_sessions, ExpConfig};
 use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use poi360_core::multicell::{FlowSpec, MultiCellConfig, MultiCellReport};
 use poi360_core::report::Aggregate;
 use poi360_lte::buffer::PacketLike;
-use poi360_lte::scenario::Scenario;
+use poi360_lte::cell::background_population_for;
+use poi360_lte::scenario::{BackgroundLoad, Scenario};
 use poi360_lte::uplink::CellUplink;
 use poi360_metrics::dist::{percentile, Cdf};
 use poi360_metrics::mos::Mos;
@@ -605,6 +607,197 @@ pub fn edge_relay_ablation(exp: &ExpConfig) -> String {
     t.render()
 }
 
+// ---------------------------------------------------------------------
+// Coexist — N telephony sessions sharing one eNodeB cell (beyond the
+// paper: its §3.3 multi-user mechanism run with every UE under control)
+// ---------------------------------------------------------------------
+
+fn coexist_flow(rate_control: RateControlKind, idx: usize) -> FlowSpec {
+    let users = UserArchetype::all();
+    FlowSpec { scheme: CompressionScheme::Poi360, rate_control, user: users[idx % users.len()] }
+}
+
+/// The cell compositions the coexist experiment compares.
+pub fn coexist_mixes() -> Vec<(&'static str, Vec<FlowSpec>)> {
+    let fbcc = |i| coexist_flow(RateControlKind::Fbcc, i);
+    let gcc = |i| coexist_flow(RateControlKind::Gcc, i);
+    vec![
+        ("FBCC x4", (0..4).map(fbcc).collect()),
+        ("GCC x4", (0..4).map(gcc).collect()),
+        ("mixed 2+2", vec![fbcc(0), fbcc(1), gcc(2), gcc(3)]),
+    ]
+}
+
+/// Deterministic per-ensemble seed from base seed, mix, and repeat.
+fn coexist_seed(base: u64, mix_idx: usize, repeat: u64) -> u64 {
+    base ^ ((mix_idx as u64 + 1) << 32) ^ repeat.wrapping_mul(0x9E37_79B9)
+}
+
+/// Run `exp.repeats` shared-cell ensembles of the given flows over the
+/// given background population.
+pub fn coexist_bench(
+    exp: &ExpConfig,
+    mix_idx: usize,
+    flows: Vec<FlowSpec>,
+    background_ues: usize,
+) -> Vec<MultiCellReport> {
+    let configs = (0..exp.repeats)
+        .map(|rep| MultiCellConfig {
+            flows: flows.clone(),
+            background_ues,
+            duration: exp.duration(),
+            seed: coexist_seed(exp.base_seed, mix_idx, rep),
+            ..Default::default()
+        })
+        .collect();
+    run_multicells(configs)
+}
+
+/// Pool the i-th flow across repeats.
+fn pool_flow(reports: &[MultiCellReport], i: usize) -> Aggregate {
+    let mut agg = Aggregate::new("flow");
+    for r in reports {
+        agg.add(&r.flows[i]);
+    }
+    agg
+}
+
+fn mean<'a>(
+    xs: impl Iterator<Item = &'a MultiCellReport>,
+    f: impl Fn(&MultiCellReport) -> f64,
+) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for x in xs {
+        sum += f(x);
+        n += 1;
+    }
+    sum / n.max(1) as f64
+}
+
+/// Render the coexistence experiment: per-flow outcomes and fairness for
+/// FBCC-only / GCC-only / mixed cells, an FBCC-only cell-size sweep, and
+/// the emergent-vs-scalar load validation.
+pub fn coexist(exp: &ExpConfig) -> String {
+    let bg_typical = background_population_for(BackgroundLoad::Typical);
+
+    let mut flows_t = Table::new(
+        "Coexist — per-flow outcomes, 4 sessions sharing one cell (typical background population)",
+        &["Cell", "Flow", "Tput", "Delay (ms)", "PSNR (dB)", "Freeze"],
+    );
+    let mut fair_t = Table::new(
+        "Coexist — fairness and cell utilization",
+        &["Cell", "Jain(tput)", "PRB utilization"],
+    );
+    for (mix_idx, (label, flows)) in coexist_mixes().into_iter().enumerate() {
+        let reports = coexist_bench(exp, mix_idx, flows.clone(), bg_typical);
+        for (i, flow) in flows.iter().enumerate() {
+            let agg = pool_flow(&reports, i);
+            flows_t.row(vec![
+                label.to_string(),
+                format!("{i} {}", flow.rate_control.label()),
+                mbps(agg.mean_throughput_bps()),
+                fnum(agg.median_delay_ms(), 0),
+                fnum(agg.mean_psnr_db(), 1),
+                pct(agg.freeze_ratio()),
+            ]);
+        }
+        fair_t.row(vec![
+            label.to_string(),
+            fnum(mean(reports.iter(), MultiCellReport::jain_throughput), 3),
+            pct(mean(reports.iter(), |r| r.mean_utilization)),
+        ]);
+    }
+
+    let mut sweep_t = Table::new(
+        "Coexist — FBCC-only cell size sweep (per-flow fair share shrinks, fairness holds)",
+        &["N flows", "Per-flow tput", "Jain(tput)", "PRB utilization"],
+    );
+    for (k, n) in [2usize, 4, 8].into_iter().enumerate() {
+        let flows: Vec<FlowSpec> = (0..n).map(|i| coexist_flow(RateControlKind::Fbcc, i)).collect();
+        let reports = coexist_bench(exp, 10 + k, flows, bg_typical);
+        let mut agg = Aggregate::new("sweep");
+        for r in &reports {
+            for f in &r.flows {
+                agg.add(f);
+            }
+        }
+        sweep_t.row(vec![
+            n.to_string(),
+            mbps(agg.mean_throughput_bps()),
+            fnum(mean(reports.iter(), MultiCellReport::jain_throughput), 3),
+            pct(mean(reports.iter(), |r| r.mean_utilization)),
+        ]);
+    }
+
+    let mut out = flows_t.render();
+    out.push('\n');
+    out.push_str(&fair_t.render());
+    out.push('\n');
+    out.push_str(&sweep_t.render());
+    out.push('\n');
+    out.push_str(&coexist_validation(exp));
+    out
+}
+
+/// Emergent-vs-scalar load validation: one POI360+FBCC session on a cell
+/// whose load comes from real background queues must reproduce the same
+/// Fig. 17a/b shape (busy clearly worse than idle) as the standalone
+/// uplink's calibrated `LoadConfig` scalars.
+pub fn coexist_validation(exp: &ExpConfig) -> String {
+    let mut t = Table::new(
+        "Coexist — emergent background load vs calibrated scalar (Fig. 17a/b shape)",
+        &["Load", "Model", "PSNR (dB)", "Freeze", "Delay (ms)"],
+    );
+    for (load, scenario) in [
+        (BackgroundLoad::Idle, Scenario::quiet()),
+        (BackgroundLoad::Busy, Scenario::load_sweep()[1]),
+    ] {
+        let label = match load {
+            BackgroundLoad::Idle => "idle",
+            BackgroundLoad::Typical => "typical",
+            BackgroundLoad::Busy => "busy",
+        };
+        // Emergent: a populated shared cell.
+        let reports = coexist_bench(
+            exp,
+            20 + load as usize,
+            vec![coexist_flow(RateControlKind::Fbcc, 0)],
+            background_population_for(load),
+        );
+        let agg = pool_flow(&reports, 0);
+        t.row(vec![
+            label.to_string(),
+            "emergent cell".into(),
+            fnum(agg.mean_psnr_db(), 1),
+            pct(agg.freeze_ratio()),
+            fnum(agg.median_delay_ms(), 0),
+        ]);
+        // Scalar: the standalone uplink's calibrated LoadConfig.
+        let mut agg = Aggregate::new("scalar");
+        for rep in 0..exp.repeats {
+            let report = poi360_core::session::Session::new(SessionConfig {
+                scheme: CompressionScheme::Poi360,
+                rate_control: RateControlKind::Fbcc,
+                network: NetworkKind::Cellular(scenario),
+                user: UserArchetype::all()[0],
+                duration: exp.duration(),
+                seed: coexist_seed(exp.base_seed, 30 + load as usize, rep),
+                ..Default::default()
+            })
+            .run();
+            agg.add(&report);
+        }
+        t.row(vec![
+            label.to_string(),
+            "scalar LoadConfig".into(),
+            fnum(agg.mean_psnr_db(), 1),
+            pct(agg.freeze_ratio()),
+            fnum(agg.median_delay_ms(), 0),
+        ]);
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,5 +853,22 @@ mod tests {
         for u in UserArchetype::all() {
             assert!(s.contains(u.label()), "{s}");
         }
+    }
+
+    #[test]
+    fn coexist_renders_mixes_sweep_and_validation() {
+        let s = coexist(&tiny());
+        assert!(s.contains("FBCC x4"));
+        assert!(s.contains("GCC x4"));
+        assert!(s.contains("mixed 2+2"));
+        assert!(s.contains("Jain"));
+        assert!(s.contains("emergent cell"));
+        assert!(s.contains("scalar LoadConfig"));
+    }
+
+    #[test]
+    fn coexist_is_deterministic() {
+        let exp = ExpConfig { duration_secs: 5, repeats: 1, base_seed: 3 };
+        assert_eq!(coexist(&exp), coexist(&exp));
     }
 }

@@ -3,6 +3,7 @@
 //! deterministic per seed).
 
 use poi360_core::config::SessionConfig;
+use poi360_core::multicell::{MultiCell, MultiCellConfig, MultiCellReport};
 use poi360_core::report::{Aggregate, SessionReport};
 use poi360_core::session::Session;
 use poi360_sim::json::{FromKv, KvMap};
@@ -113,10 +114,35 @@ pub fn run_parallel(jobs: Vec<SessionConfig>) -> Vec<SessionReport> {
     results.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Run a batch of independent shared-cell ensembles across available
+/// cores. Each [`MultiCell`] holds non-`Send` session state, so the
+/// ensemble is *constructed* inside its worker thread; only the plain-data
+/// configs cross threads. Result order matches input order.
+pub fn run_multicells(configs: Vec<MultiCellConfig>) -> Vec<MultiCellReport> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let jobs = std::sync::Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>());
+    let mut results: Vec<(usize, MultiCellReport)> = Vec::new();
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop();
+                let Some((idx, cfg)) = job else { break };
+                let report = MultiCell::new(cfg).run();
+                results_mutex.lock().expect("results poisoned").push((idx, report));
+            });
+        }
+    });
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind};
+    use poi360_core::multicell::FlowSpec;
+    use poi360_sim::json::ToJson;
 
     #[test]
     fn exp_config_from_kv_overrides_and_rejects() {
@@ -169,5 +195,29 @@ mod tests {
         let a = run_sessions(&exp, "a", mk);
         let b = run_sessions(&exp, "b", mk);
         assert_eq!(a.roi_psnr_db, b.roi_psnr_db, "fan-out must be deterministic");
+    }
+
+    #[test]
+    fn multicell_fanout_is_ordered_and_deterministic() {
+        let mk = || {
+            (0..3u64)
+                .map(|rep| MultiCellConfig {
+                    flows: vec![FlowSpec::default(); 2],
+                    background_ues: 3,
+                    duration: SimDuration::from_secs(4),
+                    seed: 100 + rep,
+                    ..Default::default()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run_multicells(mk());
+        let b = run_multicells(mk());
+        assert_eq!(a.len(), 3);
+        for (ra, rb) in a.iter().zip(&b) {
+            let (mut ja, mut jb) = (String::new(), String::new());
+            ra.write_json(&mut ja);
+            rb.write_json(&mut jb);
+            assert_eq!(ja, jb);
+        }
     }
 }

@@ -17,6 +17,8 @@
 //!   → encoder → packetizer → pacer → uplink), network path, client pipeline
 //!   (reassembly → render → measurement), and all feedback loops, driven one
 //!   LTE subframe at a time.
+//! * [`multicell`] — the lockstep driver for M sessions sharing one
+//!   multi-UE eNodeB cell (coexistence experiments).
 //! * [`config`] — session/experiment configuration.
 //! * [`report`] — per-session measurement record and cross-session
 //!   aggregation.
@@ -25,6 +27,7 @@ pub mod adaptive;
 pub mod baselines;
 pub mod config;
 pub mod fbcc;
+pub mod multicell;
 pub mod policy;
 pub mod predictive;
 pub mod rate;
@@ -35,6 +38,7 @@ pub use adaptive::{AdaptiveCompression, RoiMismatchMonitor};
 pub use baselines::{ConduitCompression, PyramidCompression};
 pub use config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 pub use fbcc::{Fbcc, FbccConfig};
+pub use multicell::{FlowSpec, MultiCell, MultiCellConfig, MultiCellReport};
 pub use policy::CompressionPolicy;
 pub use predictive::PredictiveCompression;
 pub use rate::RateController;

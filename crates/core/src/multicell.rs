@@ -1,0 +1,225 @@
+//! Lockstep driver for M telephony sessions sharing one eNodeB cell.
+//!
+//! The paper could only put *one* instrumented phone in a commercial
+//! cell; everything else in the cell was uncontrolled. [`MultiCell`] is
+//! the controlled version of that experiment: M foreground sessions (each
+//! a full [`Session`] with its own encoder, rate control, and viewer) are
+//! attached to a single [`Cell`] alongside a population of background
+//! UEs, and the whole ensemble advances one 1 ms subframe at a time —
+//! every session runs its sender/pacer phases, the cell runs one
+//! proportional-fair allocation across all UEs, and every session then
+//! absorbs its own slice of the grant. The entire run is a deterministic
+//! function of one master seed.
+
+use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
+use crate::report::SessionReport;
+use crate::session::Session;
+use poi360_lte::cell::{Cell, CellConfig, UeId};
+use poi360_lte::channel::ChannelConfig;
+use poi360_lte::scenario::BackgroundLoad;
+use poi360_net::packet::Packet;
+use poi360_sim::json::{JsonObject, ToJson};
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::{SimDuration, SimTime};
+use poi360_viewport::motion::UserArchetype;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One foreground session's knobs within a shared cell.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Spatial compression scheme.
+    pub scheme: CompressionScheme,
+    /// Rate control.
+    pub rate_control: RateControlKind,
+    /// Viewer behaviour.
+    pub user: UserArchetype,
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        FlowSpec {
+            scheme: CompressionScheme::Poi360,
+            rate_control: RateControlKind::Fbcc,
+            user: UserArchetype::EventDriven,
+        }
+    }
+}
+
+impl FlowSpec {
+    /// A POI360 flow with the given rate control.
+    pub fn with_rate_control(rate_control: RateControlKind) -> Self {
+        FlowSpec { rate_control, ..Default::default() }
+    }
+}
+
+/// Configuration of a shared-cell run.
+#[derive(Clone, Debug)]
+pub struct MultiCellConfig {
+    /// Cell-wide scheduler parameters.
+    pub cell: CellConfig,
+    /// Radio config applied to every foreground UE.
+    pub channel: ChannelConfig,
+    /// Background UE population size (emergent competing load).
+    pub background_ues: usize,
+    /// The foreground sessions.
+    pub flows: Vec<FlowSpec>,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Master seed; the cell and every flow derive named streams from it.
+    pub seed: u64,
+    /// Initial encoding bitrate for every flow, bps.
+    pub start_rate_bps: f64,
+}
+
+impl Default for MultiCellConfig {
+    fn default() -> Self {
+        MultiCellConfig {
+            cell: CellConfig::default(),
+            channel: ChannelConfig::default(),
+            background_ues: poi360_lte::cell::background_population_for(BackgroundLoad::Typical),
+            flows: vec![FlowSpec::default(); 2],
+            duration: SimDuration::from_secs(60),
+            seed: 1,
+            start_rate_bps: 1.0e6,
+        }
+    }
+}
+
+/// Results of a shared-cell run.
+#[derive(Clone, Debug)]
+pub struct MultiCellReport {
+    /// Per-flow session reports, in flow order.
+    pub flows: Vec<SessionReport>,
+    /// Mean fraction of cell PRBs granted per subframe over the run.
+    pub mean_utilization: f64,
+}
+
+impl MultiCellReport {
+    /// Jain's fairness index over the flows' mean throughputs.
+    pub fn jain_throughput(&self) -> f64 {
+        let rates: Vec<f64> = self.flows.iter().map(|f| f.mean_throughput_bps()).collect();
+        poi360_metrics::fairness::jain_index(&rates)
+    }
+}
+
+impl ToJson for MultiCellReport {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("mean_utilization", &self.mean_utilization)
+            .field("jain_throughput", &self.jain_throughput())
+            .field("flows", &self.flows)
+            .write(out);
+    }
+}
+
+/// The driver itself.
+pub struct MultiCell {
+    cfg: MultiCellConfig,
+    cell: Rc<RefCell<Cell<Packet>>>,
+    sessions: Vec<Session>,
+    now: SimTime,
+}
+
+impl MultiCell {
+    /// Build the cell, attach every flow and the background population.
+    pub fn new(cfg: MultiCellConfig) -> Self {
+        assert!(!cfg.flows.is_empty(), "a MultiCell needs at least one flow");
+        let cell_seed = SimRng::stream(cfg.seed, "multicell.cell").next_u64();
+        let cell = Rc::new(RefCell::new(Cell::new(cfg.cell, cell_seed)));
+        let mut sessions = Vec::with_capacity(cfg.flows.len());
+        for (k, flow) in cfg.flows.iter().enumerate() {
+            let ue = cell.borrow_mut().attach_foreground(&format!("fg.{k:02}"), cfg.channel);
+            debug_assert_eq!(ue, UeId(k));
+            let flow_seed = SimRng::stream(cfg.seed, &format!("multicell.flow.{k}")).next_u64();
+            let session_cfg = SessionConfig {
+                scheme: flow.scheme,
+                rate_control: flow.rate_control,
+                user: flow.user,
+                duration: cfg.duration,
+                seed: flow_seed,
+                network: NetworkKind::Cellular(poi360_lte::scenario::Scenario::baseline()),
+                start_rate_bps: cfg.start_rate_bps,
+                ..Default::default()
+            };
+            sessions.push(Session::with_shared_cell(session_cfg, Rc::clone(&cell), ue));
+        }
+        cell.borrow_mut().attach_background_population(cfg.background_ues);
+        MultiCell { cfg, cell, sessions, now: SimTime::ZERO }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &MultiCellConfig {
+        &self.cfg
+    }
+
+    /// Advance every session and the cell by exactly one subframe.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let rois: Vec<_> = self.sessions.iter_mut().map(|s| s.multi_begin()).collect();
+        let out = self.cell.borrow_mut().subframe(now);
+        for ((session, outcome), roi) in self.sessions.iter_mut().zip(out.per_ue).zip(rois.iter()) {
+            session.multi_complete(outcome, roi);
+        }
+        self.now = self.now + poi360_sim::SUBFRAME;
+    }
+
+    /// Run to completion and collect per-flow reports.
+    pub fn run(mut self) -> MultiCellReport {
+        let end = SimTime::ZERO + self.cfg.duration;
+        while self.now < end {
+            self.step();
+        }
+        let mean_utilization = self.cell.borrow().mean_utilization();
+        MultiCellReport {
+            flows: self.sessions.into_iter().map(Session::into_report).collect(),
+            mean_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(flows: Vec<FlowSpec>, seed: u64) -> MultiCellConfig {
+        MultiCellConfig {
+            flows,
+            duration: SimDuration::from_secs(8),
+            background_ues: 4,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_flows_both_deliver() {
+        let report = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 42)).run();
+        assert_eq!(report.flows.len(), 2);
+        for flow in &report.flows {
+            assert!(flow.frames_sent > 200, "sent {}", flow.frames_sent);
+            let frac = flow.frames_delivered as f64 / flow.frames_sent as f64;
+            assert!(frac > 0.7, "delivered fraction {frac}");
+            assert!(!flow.fw_buffer.is_empty(), "shared-cell flows record diag");
+        }
+        assert!(report.mean_utilization > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 7)).run();
+        let b = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 7)).run();
+        let mut ja = String::new();
+        let mut jb = String::new();
+        a.write_json(&mut ja);
+        b.write_json(&mut jb);
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn symmetric_flows_are_fair() {
+        let report = MultiCell::new(tiny(vec![FlowSpec::default(); 4], 9)).run();
+        let jain = report.jain_throughput();
+        assert!(jain > 0.9, "jain {jain}");
+    }
+}

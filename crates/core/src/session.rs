@@ -36,7 +36,8 @@ use crate::policy::CompressionPolicy;
 use crate::predictive::PredictiveCompression;
 use crate::rate::{FbccRate, GccRate, RateController};
 use crate::report::SessionReport;
-use poi360_lte::uplink::CellUplink;
+use poi360_lte::cell::{Cell, UeId};
+use poi360_lte::uplink::{CellUplink, SubframeOutcome};
 use poi360_net::packet::Packet;
 use poi360_net::pipe::{DelayPipe, PipeConfig};
 use poi360_net::wireline::{WirelineConfig, WirelineLink};
@@ -50,7 +51,9 @@ use poi360_video::encoder::{EncodedFrame, Encoder};
 use poi360_video::rd::RdModel;
 use poi360_video::roi::Roi;
 use poi360_viewport::motion::{HeadMotion, MotionConfig};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// PSNR assigned to a frame that never displays (stale content freezes on
 /// screen).
@@ -82,6 +85,13 @@ enum FeedbackMsg {
 enum Access {
     Cellular(CellUplink<Packet>),
     Wireline(WirelineLink<Packet>),
+    /// A handle into a shared multi-UE cell; the cell is stepped once per
+    /// subframe by the [`crate::multicell::MultiCell`] driver, not by the
+    /// session itself.
+    SharedCell {
+        cell: Rc<RefCell<Cell<Packet>>>,
+        ue: UeId,
+    },
 }
 
 /// One telephony session.
@@ -128,20 +138,6 @@ pub struct Session {
 impl Session {
     /// Build a session from its configuration.
     pub fn new(cfg: SessionConfig) -> Self {
-        let grid = cfg.encoder.geometry.grid;
-        let policy: Box<dyn CompressionPolicy> = match cfg.scheme {
-            CompressionScheme::Poi360 => Box::new(AdaptiveCompression::new()),
-            CompressionScheme::Conduit => Box::new(ConduitCompression::new()),
-            CompressionScheme::Pyramid => Box::new(PyramidCompression::new()),
-            CompressionScheme::Poi360Predictive => Box::new(PredictiveCompression::default()),
-            CompressionScheme::FixedMode(k) => Box::new(AdaptiveCompression::fixed_mode(k)),
-        };
-        let rate: Box<dyn RateController> = match cfg.rate_control {
-            RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
-            RateControlKind::Fbcc => {
-                Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default()))
-            }
-        };
         let (access, downstream_cfg, feedback_cfg) = match cfg.network {
             NetworkKind::Cellular(scenario) => (
                 Access::Cellular(CellUplink::new(scenario.uplink_config(), cfg.seed)),
@@ -158,6 +154,44 @@ impl Session {
                 PipeConfig::wireline_transit(),
                 PipeConfig::wireline_feedback(),
             ),
+        };
+        Session::assemble(cfg, access, downstream_cfg, feedback_cfg)
+    }
+
+    /// Build a session whose uplink is a foreground UE inside a shared
+    /// multi-UE [`Cell`]. The caller (normally
+    /// [`crate::multicell::MultiCell`]) must have attached `ue` already,
+    /// and must drive the session through [`Session::multi_begin`] /
+    /// [`Session::multi_complete`] so the cell is stepped exactly once per
+    /// subframe for all its sessions.
+    pub fn with_shared_cell(cfg: SessionConfig, cell: Rc<RefCell<Cell<Packet>>>, ue: UeId) -> Self {
+        Session::assemble(
+            cfg,
+            Access::SharedCell { cell, ue },
+            PipeConfig::cellular_downstream(),
+            PipeConfig::cellular_feedback(),
+        )
+    }
+
+    fn assemble(
+        cfg: SessionConfig,
+        access: Access,
+        downstream_cfg: PipeConfig,
+        feedback_cfg: PipeConfig,
+    ) -> Self {
+        let grid = cfg.encoder.geometry.grid;
+        let policy: Box<dyn CompressionPolicy> = match cfg.scheme {
+            CompressionScheme::Poi360 => Box::new(AdaptiveCompression::new()),
+            CompressionScheme::Conduit => Box::new(ConduitCompression::new()),
+            CompressionScheme::Pyramid => Box::new(PyramidCompression::new()),
+            CompressionScheme::Poi360Predictive => Box::new(PredictiveCompression::default()),
+            CompressionScheme::FixedMode(k) => Box::new(AdaptiveCompression::fixed_mode(k)),
+        };
+        let rate: Box<dyn RateController> = match cfg.rate_control {
+            RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
+            RateControlKind::Fbcc => {
+                Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default()))
+            }
         };
         let label = cfg.label();
         Session {
@@ -210,8 +244,37 @@ impl Session {
         self.finish()
     }
 
-    /// Advance exactly one subframe (1 ms).
+    /// Advance exactly one subframe (1 ms). Only valid for standalone
+    /// access networks; shared-cell sessions are stepped by their
+    /// [`crate::multicell::MultiCell`] driver.
     pub fn step(&mut self) {
+        let client_roi = self.step_ingress();
+
+        // 5. Access link service.
+        let now = self.now;
+        let outcome = match &mut self.access {
+            Access::Cellular(ul) => Some(ul.subframe(now)),
+            Access::Wireline(link) => {
+                for (_, pkt) in link.poll(now) {
+                    self.downstream.send(pkt, now);
+                }
+                None
+            }
+            Access::SharedCell { .. } => {
+                panic!("shared-cell sessions must be driven through MultiCell")
+            }
+        };
+        if let Some(out) = outcome {
+            self.absorb_uplink(out);
+        }
+
+        self.step_egress(&client_roi);
+    }
+
+    /// Phases 1–4: head motion, feedback intake, encode, pacing into the
+    /// access queue. Returns the client ROI sampled this subframe, which
+    /// [`Session::step_egress`] needs after the uplink has been served.
+    fn step_ingress(&mut self) -> Roi {
         let now = self.now;
 
         // 1. Client head motion (sensor rate = subframe rate).
@@ -247,40 +310,66 @@ impl Session {
                 Access::Wireline(link) => {
                     link.enqueue(pkt, now);
                 }
+                Access::SharedCell { cell, ue } => {
+                    cell.borrow_mut().enqueue(*ue, pkt, now);
+                }
             }
         }
 
-        // 5. Access link service.
-        match &mut self.access {
-            Access::Cellular(ul) => {
-                let out = ul.subframe(now);
-                for (pkt, _) in out.departed {
-                    self.downstream.send(pkt, now);
-                }
-                if let Some(diag) = out.diag {
-                    self.report.fw_buffer.push(now, diag.last_buffer_bytes() as f64);
-                    self.report.phy_rate.push(now, diag.mean_phy_rate_bps());
-                    self.rate.on_diag(&diag, now);
-                }
-            }
-            Access::Wireline(link) => {
-                for (_, pkt) in link.poll(now) {
-                    self.downstream.send(pkt, now);
-                }
-            }
+        client_roi
+    }
+
+    /// Feed one uplink subframe outcome into the session: departed packets
+    /// enter the downstream path, and a closed diag epoch reaches the rate
+    /// controller. Shared between the standalone cellular path and the
+    /// shared-cell driver.
+    fn absorb_uplink(&mut self, out: SubframeOutcome<Packet>) {
+        let now = self.now;
+        for (pkt, _) in out.departed {
+            self.downstream.send(pkt, now);
         }
+        if let Some(diag) = out.diag {
+            self.report.fw_buffer.push(now, diag.last_buffer_bytes() as f64);
+            self.report.phy_rate.push(now, diag.mean_phy_rate_bps());
+            self.rate.on_diag(&diag, now);
+        }
+    }
+
+    /// Phases 6–7 plus the clock advance.
+    fn step_egress(&mut self, client_roi: &Roi) {
+        let now = self.now;
 
         // 6. Deliveries at the client.
         self.downstream.tick(now);
         let arrivals = self.downstream.poll(now);
         for (at, pkt) in arrivals {
-            self.client_handle_packet(pkt, at, &client_roi);
+            self.client_handle_packet(pkt, at, client_roi);
         }
 
         // 7. Client housekeeping: NACKs, abandoned frames, REMB, RR, ROI/M.
-        self.client_housekeeping(&client_roi);
+        self.client_housekeeping(client_roi);
 
         self.now = self.now + poi360_sim::SUBFRAME;
+    }
+
+    /// Shared-cell driver hook: run phases 1–4 (up to and including
+    /// enqueueing into the cell) and hand back the sampled client ROI.
+    pub(crate) fn multi_begin(&mut self) -> Roi {
+        debug_assert!(matches!(self.access, Access::SharedCell { .. }));
+        self.step_ingress()
+    }
+
+    /// Shared-cell driver hook: absorb this session's slice of the cell
+    /// subframe and finish the subframe (phases 6–7).
+    pub(crate) fn multi_complete(&mut self, out: SubframeOutcome<Packet>, client_roi: &Roi) {
+        self.absorb_uplink(out);
+        self.step_egress(client_roi);
+    }
+
+    /// Consume the session and produce its report (shared-cell driver
+    /// path; standalone callers use [`Session::run`]).
+    pub(crate) fn into_report(self) -> SessionReport {
+        self.finish()
     }
 
     // ---------------------------------------------------------------
@@ -440,6 +529,7 @@ impl Session {
         self.report.packets_dropped = match &self.access {
             Access::Cellular(ul) => ul.dropped() + self.downstream.lost(),
             Access::Wireline(link) => link.dropped() + self.downstream.lost(),
+            Access::SharedCell { cell, ue } => cell.borrow().dropped(*ue) + self.downstream.lost(),
         };
         self.report
     }

@@ -1,0 +1,119 @@
+//! Background-UE traffic generators for the shared cell.
+//!
+//! In the standalone uplink, competing traffic is a sampled scalar
+//! (`LoadConfig`). In the shared cell it is *emergent*: a population of
+//! background UEs runs on/off sources into their own uplink queues and
+//! competes for PRBs through the same proportional-fair allocator the
+//! foreground sessions use. A background UE is deliberately minimal — a
+//! byte backlog, not packets — because nothing downstream ever sees its
+//! traffic; only the PRBs it occupies matter.
+
+use poi360_sim::process::MarkovOnOff;
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::SimDuration;
+
+/// One background source: Markov on/off with a constant on-rate.
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundTrafficConfig {
+    /// Offered rate while the source is on, bits/s.
+    pub on_rate_bps: f64,
+    /// Mean on-period duration.
+    pub mean_on: SimDuration,
+    /// Mean off-period duration.
+    pub mean_off: SimDuration,
+    /// Queue cap; arrivals beyond it are dropped (the UE's app backs off).
+    pub backlog_cap_bytes: u64,
+}
+
+impl Default for BackgroundTrafficConfig {
+    fn default() -> Self {
+        BackgroundTrafficConfig {
+            on_rate_bps: 1.5e6,
+            mean_on: SimDuration::from_millis(1_500),
+            mean_off: SimDuration::from_millis(3_500),
+            backlog_cap_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl BackgroundTrafficConfig {
+    /// Long-run offered load in bits/s (`on_rate × duty cycle`).
+    pub fn mean_offered_bps(&self) -> f64 {
+        let on = self.mean_on.as_secs_f64();
+        let off = self.mean_off.as_secs_f64();
+        self.on_rate_bps * on / (on + off)
+    }
+}
+
+/// The evolving source. Owns its RNG so two sources never share draws.
+#[derive(Clone, Debug)]
+pub struct BackgroundTraffic {
+    cfg: BackgroundTrafficConfig,
+    onoff: MarkovOnOff,
+    rng: SimRng,
+    /// Sub-byte remainder carried between subframes.
+    frac_bytes: f64,
+}
+
+impl BackgroundTraffic {
+    /// Create a source from its config and a UE-specific seed.
+    pub fn new(cfg: BackgroundTrafficConfig, seed: u64) -> Self {
+        let mut rng = SimRng::stream(seed, "cell.bg.traffic");
+        let onoff = MarkovOnOff::new(cfg.mean_on, cfg.mean_off, false, &mut rng);
+        BackgroundTraffic { cfg, onoff, rng, frac_bytes: 0.0 }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &BackgroundTrafficConfig {
+        &self.cfg
+    }
+
+    /// Advance one subframe; returns the bytes offered to the UE queue.
+    pub fn subframe(&mut self) -> u64 {
+        if !self.onoff.step(poi360_sim::SUBFRAME, &mut self.rng) {
+            return 0;
+        }
+        self.frac_bytes += self.cfg.on_rate_bps / 8.0 * poi360_sim::SUBFRAME.as_secs_f64();
+        let whole = self.frac_bytes.floor();
+        self.frac_bytes -= whole;
+        whole as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_rate_matches_duty_cycle() {
+        let cfg = BackgroundTrafficConfig::default();
+        let mut t = BackgroundTraffic::new(cfg, 7);
+        let secs = 120u64;
+        let total: u64 = (0..secs * 1000).map(|_| t.subframe()).sum();
+        let measured_bps = total as f64 * 8.0 / secs as f64;
+        let expect = cfg.mean_offered_bps();
+        assert!(
+            (measured_bps / expect - 1.0).abs() < 0.25,
+            "measured {measured_bps} expected {expect}"
+        );
+    }
+
+    #[test]
+    fn off_periods_generate_nothing() {
+        let mut t = BackgroundTraffic::new(BackgroundTrafficConfig::default(), 3);
+        let per_sf: Vec<u64> = (0..20_000).map(|_| t.subframe()).collect();
+        assert!(per_sf.iter().any(|&b| b == 0), "source never idles");
+        assert!(per_sf.iter().any(|&b| b > 0), "source never transmits");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..5_000)
+            .scan(BackgroundTraffic::new(Default::default(), 9), |t, _| Some(t.subframe()))
+            .collect();
+        let b: Vec<u64> = (0..5_000)
+            .scan(BackgroundTraffic::new(Default::default(), 9), |t, _| Some(t.subframe()))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

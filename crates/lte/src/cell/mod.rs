@@ -1,0 +1,666 @@
+//! A shared eNodeB uplink cell serving many concurrent UEs.
+//!
+//! The standalone [`crate::uplink::CellUplink`] models *one* UE against a
+//! stochastic competing-load scalar. This module is the multi-user
+//! counterpart: a single [`Cell`] owns N attached UEs — each with its own
+//! [`Channel`], BSR reporting pipeline, HARQ process, and uplink queue —
+//! and every 1 ms subframe runs one proportional-fair PRB allocation
+//! across all of them. Cell load is *emergent*: background UEs run on/off
+//! traffic sources into real queues and compete for the same PRBs the
+//! foreground (telephony) UEs want, so "busy cell" is produced by queues,
+//! not sampled from a distribution.
+//!
+//! Scheduling follows textbook PF: each backlogged UE is weighted by
+//! `instantaneous rate / EWMA throughput`, PRBs are split proportionally
+//! to weight subject to a per-UE cap (integerized by largest remainder),
+//! and the EWMA is updated from what each UE actually served. The
+//! per-UE grant mechanics (BSR delay, outage BSR reset, HARQ initial-loss,
+//! TBS accounting) mirror the standalone uplink so a session sees the
+//! same contract either way.
+//!
+//! Determinism: every UE derives its RNG streams from the cell seed and
+//! the UE's *name* (via [`SimRng::stream`]), and background UEs are kept
+//! sorted by name. Attaching the same set of UEs in any order therefore
+//! produces byte-identical results, and adding UE j never perturbs UE i's
+//! channel or HARQ draws.
+
+pub mod background;
+
+use crate::buffer::{FirmwareBuffer, PacketLike};
+use crate::channel::{Channel, ChannelConfig};
+use crate::diag::{DiagInterface, DiagSample};
+use crate::scenario::BackgroundLoad;
+use crate::tbs;
+use crate::uplink::SubframeOutcome;
+use background::{BackgroundTraffic, BackgroundTrafficConfig};
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Cell-wide scheduler parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CellConfig {
+    /// Uplink PRBs available per subframe (50 = 10 MHz LTE).
+    pub total_prbs: u32,
+    /// Per-UE PRB cap per subframe (single-cluster UL allocation limit).
+    pub max_prbs_per_ue: u32,
+    /// Subframes between a buffer level existing and the eNodeB seeing it.
+    pub bsr_delay_subframes: usize,
+    /// Probability an initial HARQ transmission is lost (grant wasted).
+    pub harq_fail_prob: f64,
+    /// PF throughput-EWMA time constant, in subframes.
+    pub pf_time_constant_subframes: f64,
+    /// Foreground firmware-buffer capacity, bytes.
+    pub fw_capacity_bytes: u64,
+    /// Diag report period for foreground UEs.
+    pub diag_period: SimDuration,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            total_prbs: 50,
+            max_prbs_per_ue: 25,
+            bsr_delay_subframes: 6,
+            harq_fail_prob: 0.10,
+            pf_time_constant_subframes: 500.0,
+            fw_capacity_bytes: 512 * 1024,
+            diag_period: DiagInterface::DEFAULT_PERIOD,
+        }
+    }
+}
+
+/// Handle to a foreground UE attached to a [`Cell`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UeId(pub usize);
+
+/// Per-UE radio + reporting state shared by foreground and background UEs.
+#[derive(Debug)]
+struct UeLink {
+    name: String,
+    channel: Channel,
+    harq: SimRng,
+    /// Ring of recent queue levels; the eNodeB sees a delayed entry.
+    bsr: VecDeque<u64>,
+    was_in_outage: bool,
+    /// PF throughput EWMA, bits per subframe.
+    avg_bits_per_sf: f64,
+    /// This subframe's channel state (refreshed in phase A).
+    cqi: u8,
+    eff: f64,
+    in_outage: bool,
+    /// This subframe's BSR-delayed reported backlog, bytes.
+    reported: u64,
+}
+
+impl UeLink {
+    fn new(cell_seed: u64, name: &str, ch_cfg: ChannelConfig) -> Self {
+        let channel_seed = SimRng::stream(cell_seed, &format!("cell.{name}.channel")).next_u64();
+        let harq = SimRng::stream(cell_seed, &format!("cell.{name}.harq"));
+        UeLink {
+            name: name.to_string(),
+            channel: Channel::new(ch_cfg, channel_seed),
+            harq,
+            bsr: VecDeque::new(),
+            was_in_outage: false,
+            avg_bits_per_sf: 0.0,
+            cqi: 0,
+            eff: 0.0,
+            in_outage: false,
+            reported: 0,
+        }
+    }
+
+    /// Phase A: advance channel + BSR pipeline given the current queue
+    /// level.
+    fn observe(&mut self, queue_bytes: u64, bsr_delay: usize, now: SimTime) {
+        self.bsr.push_back(queue_bytes);
+        self.reported = if self.bsr.len() > bsr_delay.max(1) {
+            self.bsr.pop_front().expect("non-empty after push")
+        } else {
+            0
+        };
+        let ch = self.channel.subframe(now);
+        // A handover moves the UE to a serving cell with no BSR state yet.
+        if ch.in_outage && !self.was_in_outage {
+            self.bsr.clear();
+            self.reported = 0;
+        }
+        self.was_in_outage = ch.in_outage;
+        self.cqi = ch.cqi;
+        self.eff = tbs::smooth_efficiency(ch.sinr_db);
+        self.in_outage = ch.in_outage;
+    }
+
+    /// PF weight this subframe: achievable rate over smoothed throughput.
+    fn pf_weight(&self) -> f64 {
+        self.eff * tbs::DATA_RE_PER_PRB / self.avg_bits_per_sf.max(100.0)
+    }
+
+    fn update_avg(&mut self, served_bits: u32, alpha: f64) {
+        self.avg_bits_per_sf += alpha * (served_bits as f64 - self.avg_bits_per_sf);
+    }
+}
+
+/// A foreground UE: a real firmware buffer fed by a telephony session.
+struct ForegroundUe<T> {
+    link: UeLink,
+    fw: FirmwareBuffer<T>,
+    diag: DiagInterface,
+}
+
+/// A background UE: an on/off byte backlog that competes for PRBs.
+struct BackgroundUe {
+    link: UeLink,
+    traffic: BackgroundTraffic,
+    backlog_bytes: u64,
+}
+
+/// Which UE a scheduling candidate refers to.
+#[derive(Clone, Copy)]
+enum Slot {
+    Fg(usize),
+    Bg(usize),
+}
+
+/// One backlogged UE's claim in this subframe's allocation.
+struct Candidate {
+    slot: Slot,
+    eff: f64,
+    reported: u64,
+    cap_prbs: u32,
+    weight: f64,
+    prbs: u32,
+}
+
+/// Everything the cell did in one subframe.
+pub struct CellSubframe<T> {
+    /// Per-foreground-UE outcomes, indexed by [`UeId`].
+    pub per_ue: Vec<SubframeOutcome<T>>,
+    /// PRBs granted to each foreground UE this subframe, indexed by
+    /// [`UeId`].
+    pub prbs_per_ue: Vec<u32>,
+    /// Total PRBs granted (foreground + background) this subframe.
+    pub prbs_granted: u32,
+    /// Sum of background-UE queue backlogs after service, bytes.
+    pub bg_backlog_bytes: u64,
+}
+
+/// The shared eNodeB uplink.
+pub struct Cell<T> {
+    cfg: CellConfig,
+    seed: u64,
+    fg: Vec<ForegroundUe<T>>,
+    bg: Vec<BackgroundUe>,
+    subframes: u64,
+    prbs_granted_total: u64,
+}
+
+impl<T: PacketLike> Cell<T> {
+    /// Create an empty cell.
+    pub fn new(cfg: CellConfig, seed: u64) -> Self {
+        Cell { cfg, seed, fg: Vec::new(), bg: Vec::new(), subframes: 0, prbs_granted_total: 0 }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &CellConfig {
+        &self.cfg
+    }
+
+    /// Attach a foreground (session-driven) UE. Names must be unique
+    /// within the cell; they key the UE's RNG streams.
+    pub fn attach_foreground(&mut self, name: &str, ch_cfg: ChannelConfig) -> UeId {
+        assert!(
+            self.fg.iter().all(|u| u.link.name != name)
+                && self.bg.iter().all(|u| u.link.name != name),
+            "duplicate UE name {name:?}"
+        );
+        self.fg.push(ForegroundUe {
+            link: UeLink::new(self.seed, name, ch_cfg),
+            fw: FirmwareBuffer::new(self.cfg.fw_capacity_bytes),
+            diag: DiagInterface::new(self.cfg.diag_period),
+        });
+        UeId(self.fg.len() - 1)
+    }
+
+    /// Attach one background UE. Its traffic profile and channel are drawn
+    /// from a stream keyed by `name`, and background UEs are kept sorted
+    /// by name so attach order never affects results.
+    pub fn attach_background(&mut self, name: &str) {
+        assert!(
+            self.fg.iter().all(|u| u.link.name != name)
+                && self.bg.iter().all(|u| u.link.name != name),
+            "duplicate UE name {name:?}"
+        );
+        let mut profile = SimRng::stream(self.seed, &format!("cell.{name}.profile"));
+        let traffic_cfg = BackgroundTrafficConfig {
+            on_rate_bps: profile.uniform_range(0.4e6, 2.4e6),
+            mean_on: SimDuration::from_secs_f64(profile.uniform_range(0.5, 3.0)),
+            mean_off: SimDuration::from_secs_f64(profile.uniform_range(1.0, 6.0)),
+            ..Default::default()
+        };
+        let ch_cfg =
+            ChannelConfig { rss_dbm: profile.uniform_range(-100.0, -70.0), ..Default::default() };
+        let traffic_seed = profile.next_u64();
+        let ue = BackgroundUe {
+            link: UeLink::new(self.seed, name, ch_cfg),
+            traffic: BackgroundTraffic::new(traffic_cfg, traffic_seed),
+            backlog_bytes: 0,
+        };
+        let at = self
+            .bg
+            .binary_search_by(|u| u.link.name.as_str().cmp(name))
+            .expect_err("name is unique");
+        self.bg.insert(at, ue);
+    }
+
+    /// Attach `count` background UEs named `bg.000`, `bg.001`, …
+    pub fn attach_background_population(&mut self, count: usize) {
+        let start = self.bg.len();
+        for k in start..start + count {
+            self.attach_background(&format!("bg.{k:03}"));
+        }
+    }
+
+    /// Number of foreground UEs attached.
+    pub fn foreground_count(&self) -> usize {
+        self.fg.len()
+    }
+
+    /// Number of background UEs attached.
+    pub fn background_count(&self) -> usize {
+        self.bg.len()
+    }
+
+    /// Offer a packet to a foreground UE's firmware buffer. Returns false
+    /// on overflow drop.
+    pub fn enqueue(&mut self, ue: UeId, item: T, now: SimTime) -> bool {
+        self.fg[ue.0].fw.enqueue(item, now)
+    }
+
+    /// A foreground UE's firmware-buffer level, bytes.
+    pub fn buffer_level(&self, ue: UeId) -> u64 {
+        self.fg[ue.0].fw.level_bytes()
+    }
+
+    /// Packets dropped at a foreground UE's firmware-buffer tail.
+    pub fn dropped(&self, ue: UeId) -> u64 {
+        self.fg[ue.0].fw.dropped()
+    }
+
+    /// Mean fraction of PRBs granted per subframe so far.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.subframes == 0 {
+            return 0.0;
+        }
+        self.prbs_granted_total as f64 / (self.subframes * self.cfg.total_prbs as u64) as f64
+    }
+
+    /// Advance the whole cell one subframe: refresh every UE's channel and
+    /// BSR, run one PF PRB allocation, serve the granted UEs, and return
+    /// the per-foreground-UE outcomes.
+    pub fn subframe(&mut self, now: SimTime) -> CellSubframe<T> {
+        let bsr_delay = self.cfg.bsr_delay_subframes;
+
+        // Phase A: observe. Foreground first (UeId order), then background
+        // (name order); each UE touches only its own RNG streams.
+        let fg_levels: Vec<u64> = self.fg.iter().map(|u| u.fw.level_bytes()).collect();
+        for (u, &level) in self.fg.iter_mut().zip(&fg_levels) {
+            u.link.observe(level, bsr_delay, now);
+        }
+        for u in &mut self.bg {
+            let arrived = u.traffic.subframe();
+            let cap = u.traffic.config().backlog_cap_bytes;
+            u.backlog_bytes = (u.backlog_bytes + arrived).min(cap);
+            u.link.observe(u.backlog_bytes, bsr_delay, now);
+        }
+
+        // Phase B: gather candidates and allocate PRBs.
+        let mut cands: Vec<Candidate> = Vec::new();
+        let fg_cand = |slot, link: &UeLink| candidate(slot, link, self.cfg.max_prbs_per_ue);
+        for (k, u) in self.fg.iter().enumerate() {
+            cands.extend(fg_cand(Slot::Fg(k), &u.link));
+        }
+        for (k, u) in self.bg.iter().enumerate() {
+            cands.extend(fg_cand(Slot::Bg(k), &u.link));
+        }
+        allocate_prbs(self.cfg.total_prbs, &mut cands);
+
+        // Phase C: serve grants, apply HARQ, update PF averages.
+        let alpha = 1.0 / self.cfg.pf_time_constant_subframes.max(1.0);
+        let prbs_granted: u32 = cands.iter().map(|c| c.prbs).sum();
+        let mut per_ue_prbs = vec![0u32; self.fg.len()];
+        let mut per_ue_tbs = vec![0u32; self.fg.len()];
+        let mut per_ue_departed: Vec<Vec<(T, SimTime)>> =
+            self.fg.iter().map(|_| Vec::new()).collect();
+        for c in &cands {
+            if c.prbs == 0 {
+                continue;
+            }
+            let grant_bits =
+                (c.prbs as f64 * c.eff * tbs::DATA_RE_PER_PRB).min(c.reported as f64 * 8.0 + 256.0);
+            let grant_bits = grant_bits.floor() as u32;
+            let link = match c.slot {
+                Slot::Fg(k) => &mut self.fg[k].link,
+                Slot::Bg(k) => &mut self.bg[k].link,
+            };
+            // Initial HARQ loss wastes the grant; the PRBs stay consumed.
+            let lost = grant_bits > 0 && link.harq.chance(self.cfg.harq_fail_prob);
+            let tbs_bits = match c.slot {
+                Slot::Fg(k) => {
+                    per_ue_prbs[k] = c.prbs;
+                    if lost {
+                        0
+                    } else {
+                        let buffer_at_start = fg_levels[k];
+                        let departed = self.fg[k].fw.serve(grant_bits / 8);
+                        let served_bits = departed
+                            .iter()
+                            .map(|(p, _)| p.wire_bytes())
+                            .sum::<u32>()
+                            .saturating_mul(8);
+                        per_ue_departed[k] = departed;
+                        grant_bits
+                            .min(served_bits.max(grant_bits.min((buffer_at_start * 8) as u32)))
+                    }
+                }
+                Slot::Bg(k) => {
+                    if lost {
+                        0
+                    } else {
+                        let u = &mut self.bg[k];
+                        let served = (grant_bits as u64 / 8).min(u.backlog_bytes);
+                        u.backlog_bytes -= served;
+                        (served * 8).min(grant_bits as u64) as u32
+                    }
+                }
+            };
+            if let Slot::Fg(k) = c.slot {
+                per_ue_tbs[k] = tbs_bits;
+            }
+            let link = match c.slot {
+                Slot::Fg(k) => &mut self.fg[k].link,
+                Slot::Bg(k) => &mut self.bg[k].link,
+            };
+            link.update_avg(tbs_bits, alpha);
+        }
+        // UEs that got nothing still decay their PF average.
+        let scheduled: Vec<bool> = {
+            let mut fg = vec![false; self.fg.len()];
+            let mut bg = vec![false; self.bg.len()];
+            for c in &cands {
+                if c.prbs > 0 {
+                    match c.slot {
+                        Slot::Fg(k) => fg[k] = true,
+                        Slot::Bg(k) => bg[k] = true,
+                    }
+                }
+            }
+            for (u, &hit) in self.bg.iter_mut().zip(&bg) {
+                if !hit {
+                    u.link.update_avg(0, alpha);
+                }
+            }
+            fg
+        };
+        for (u, &hit) in self.fg.iter_mut().zip(&scheduled) {
+            if !hit {
+                u.link.update_avg(0, alpha);
+            }
+        }
+
+        self.subframes += 1;
+        self.prbs_granted_total += prbs_granted as u64;
+
+        // Phase D: assemble foreground outcomes. The per-UE `load` is the
+        // fraction of PRBs everyone *else* consumed — the shared-cell
+        // analogue of the standalone competing-load scalar.
+        let total = self.cfg.total_prbs as f64;
+        let mut per_ue = Vec::with_capacity(self.fg.len());
+        for (k, u) in self.fg.iter_mut().enumerate() {
+            let buffer_bytes = fg_levels[k];
+            let tbs_bits = per_ue_tbs[k];
+            let diag = u.diag.record(DiagSample { at: now, buffer_bytes, tbs_bits });
+            per_ue.push(SubframeOutcome {
+                departed: std::mem::take(&mut per_ue_departed[k]),
+                tbs_bits,
+                buffer_bytes,
+                cqi: u.link.cqi,
+                load: (prbs_granted - per_ue_prbs[k]) as f64 / total,
+                in_outage: u.link.in_outage,
+                diag,
+            });
+        }
+        let bg_backlog_bytes = self.bg.iter().map(|u| u.backlog_bytes).sum();
+        CellSubframe { per_ue, prbs_per_ue: per_ue_prbs, prbs_granted, bg_backlog_bytes }
+    }
+}
+
+/// Background population sizes calibrated so the emergent mean PRB
+/// utilization lands near the standalone [`crate::uplink::LoadConfig`]
+/// presets *including* their burst duty cycle (idle ≈ 0.10,
+/// typical ≈ 0.42, busy ≈ 0.50).
+pub fn background_population_for(load: BackgroundLoad) -> usize {
+    match load {
+        BackgroundLoad::Idle => 3,
+        BackgroundLoad::Typical => 11,
+        BackgroundLoad::Busy => 14,
+    }
+}
+
+/// Build a scheduling candidate for a backlogged, in-coverage UE.
+fn candidate(slot: Slot, link: &UeLink, max_prbs_per_ue: u32) -> Option<Candidate> {
+    if link.in_outage || link.reported == 0 || link.eff <= 0.0 {
+        return None;
+    }
+    // PRBs needed to clear the reported backlog this subframe; granting
+    // more would be wasted, so it caps the UE's claim.
+    let want_bits = link.reported as f64 * 8.0 + 256.0;
+    let cap = (want_bits / (link.eff * tbs::DATA_RE_PER_PRB)).ceil() as u32;
+    Some(Candidate {
+        slot,
+        eff: link.eff,
+        reported: link.reported,
+        cap_prbs: cap.clamp(1, max_prbs_per_ue),
+        weight: link.pf_weight(),
+        prbs: 0,
+    })
+}
+
+/// Split `total` PRBs across candidates proportionally to PF weight,
+/// subject to per-candidate caps: candidates whose proportional share
+/// meets their cap take exactly the cap and drop out (their surplus is
+/// redistributed), then the rest are integerized by largest remainder.
+fn allocate_prbs(total: u32, cands: &mut [Candidate]) {
+    let mut active: Vec<usize> = (0..cands.len()).collect();
+    let mut remaining = total;
+    loop {
+        if remaining == 0 || active.is_empty() {
+            return;
+        }
+        let wsum: f64 = active.iter().map(|&i| cands[i].weight).sum();
+        if wsum <= 0.0 {
+            return;
+        }
+        let mut capped_prbs = 0u32;
+        let mut still_active = Vec::with_capacity(active.len());
+        for &i in &active {
+            let share = remaining as f64 * cands[i].weight / wsum;
+            if share >= cands[i].cap_prbs as f64 {
+                cands[i].prbs = cands[i].cap_prbs;
+                capped_prbs += cands[i].cap_prbs;
+            } else {
+                still_active.push(i);
+            }
+        }
+        if capped_prbs > 0 {
+            // Sum of caps taken is bounded by the sum of their shares,
+            // which is at most `remaining`.
+            remaining -= capped_prbs;
+            active = still_active;
+            continue;
+        }
+        // No one capped: integerize the proportional shares.
+        let shares: Vec<f64> =
+            active.iter().map(|&i| remaining as f64 * cands[i].weight / wsum).collect();
+        let mut assigned = 0u32;
+        for (k, &i) in active.iter().enumerate() {
+            cands[i].prbs = shares[k].floor() as u32;
+            assigned += cands[i].prbs;
+        }
+        let mut leftover = remaining - assigned;
+        let mut order: Vec<usize> = (0..active.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = shares[a] - shares[a].floor();
+            let fb = shares[b] - shares[b].floor();
+            fb.total_cmp(&fa).then(active[a].cmp(&active[b]))
+        });
+        for &k in &order {
+            if leftover == 0 {
+                break;
+            }
+            let i = active[k];
+            if cands[i].prbs < cands[i].cap_prbs {
+                cands[i].prbs += 1;
+                leftover -= 1;
+            }
+        }
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_sim::SUBFRAME;
+
+    #[derive(Debug)]
+    struct Pkt(u32);
+    impl PacketLike for Pkt {
+        fn wire_bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    fn strong_channel() -> ChannelConfig {
+        ChannelConfig { shadow_std_db: 0.0, fading_std_db: 0.0, ..Default::default() }
+    }
+
+    /// Run `secs` seconds keeping each foreground UE's buffer topped up to
+    /// `level` bytes; return per-UE mean throughput (bits/s).
+    fn saturated_throughputs(cell: &mut Cell<Pkt>, level: u64, secs: u64) -> Vec<f64> {
+        let n = cell.foreground_count();
+        let mut served = vec![0u64; n];
+        let mut now = SimTime::ZERO;
+        for _ in 0..secs * 1000 {
+            for k in 0..n {
+                while cell.buffer_level(UeId(k)) < level {
+                    cell.enqueue(UeId(k), Pkt(1_200), now);
+                }
+            }
+            let out = cell.subframe(now);
+            for k in 0..n {
+                served[k] += out.per_ue[k].tbs_bits as u64;
+            }
+            now = now + SUBFRAME;
+        }
+        served.iter().map(|&b| b as f64 / secs as f64).collect()
+    }
+
+    #[test]
+    fn lone_ue_gets_served() {
+        let mut cell = Cell::new(CellConfig::default(), 1);
+        cell.attach_foreground("fg.0", strong_channel());
+        let tput = saturated_throughputs(&mut cell, 40_000, 10)[0];
+        // 25-PRB cap at good CQI is well above the standalone 8-PRB share.
+        assert!(tput > 5.0e6, "lone UE throughput {tput}");
+    }
+
+    #[test]
+    fn equal_ues_split_equally() {
+        let mut cell = Cell::new(CellConfig::default(), 2);
+        cell.attach_foreground("fg.0", strong_channel());
+        cell.attach_foreground("fg.1", strong_channel());
+        let t = saturated_throughputs(&mut cell, 40_000, 20);
+        let ratio = t[0] / t[1];
+        assert!((0.9..1.1).contains(&ratio), "split {t:?}");
+    }
+
+    #[test]
+    fn prbs_never_exceed_capacity() {
+        let mut cell = Cell::new(CellConfig::default(), 3);
+        for k in 0..4 {
+            cell.attach_foreground(&format!("fg.{k}"), ChannelConfig::default());
+        }
+        cell.attach_background_population(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5_000 {
+            for k in 0..4 {
+                while cell.buffer_level(UeId(k)) < 30_000 {
+                    cell.enqueue(UeId(k), Pkt(1_200), now);
+                }
+            }
+            let out = cell.subframe(now);
+            assert!(out.prbs_granted <= cell.config().total_prbs);
+            now = now + SUBFRAME;
+        }
+    }
+
+    #[test]
+    fn background_population_loads_the_cell() {
+        let mut cell = Cell::<Pkt>::new(CellConfig::default(), 4);
+        cell.attach_background_population(background_population_for(BackgroundLoad::Busy));
+        let mut now = SimTime::ZERO;
+        for _ in 0..60_000 {
+            cell.subframe(now);
+            now = now + SUBFRAME;
+        }
+        let util = cell.mean_utilization();
+        assert!((0.30..0.60).contains(&util), "busy-cell utilization {util}");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = || {
+            let mut cell = Cell::new(CellConfig::default(), 5);
+            cell.attach_foreground("fg.0", ChannelConfig::default());
+            cell.attach_background_population(6);
+            let mut now = SimTime::ZERO;
+            let mut trace = Vec::new();
+            for _ in 0..3_000 {
+                while cell.buffer_level(UeId(0)) < 20_000 {
+                    cell.enqueue(UeId(0), Pkt(1_200), now);
+                }
+                let out = cell.subframe(now);
+                trace.push((out.per_ue[0].tbs_bits, out.prbs_granted));
+                now = now + SUBFRAME;
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn attach_order_does_not_change_foreground_results() {
+        let run = |names: &[&str]| {
+            let mut cell = Cell::new(CellConfig::default(), 6);
+            cell.attach_foreground("fg.0", strong_channel());
+            for name in names {
+                cell.attach_background(name);
+            }
+            let mut now = SimTime::ZERO;
+            let mut trace = Vec::new();
+            for _ in 0..3_000 {
+                while cell.buffer_level(UeId(0)) < 20_000 {
+                    cell.enqueue(UeId(0), Pkt(1_200), now);
+                }
+                trace.push(cell.subframe(now).per_ue[0].tbs_bits);
+                now = now + SUBFRAME;
+            }
+            trace
+        };
+        let forward = run(&["bg.a", "bg.b", "bg.c"]);
+        let reversed = run(&["bg.c", "bg.b", "bg.a"]);
+        assert_eq!(forward, reversed);
+    }
+}

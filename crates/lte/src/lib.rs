@@ -27,8 +27,11 @@
 //! * [`diag`] — the 40 ms diagnostic report stream.
 //! * [`scenario`] — presets for the paper's §6.2 field conditions
 //!   (background load, signal strength, mobility).
+//! * [`cell`] — a shared multi-UE eNodeB: one PF PRB allocation per
+//!   subframe across N attached UEs, with emergent background load.
 
 pub mod buffer;
+pub mod cell;
 pub mod channel;
 pub mod diag;
 pub mod scenario;
@@ -37,6 +40,7 @@ pub mod tbs;
 pub mod uplink;
 
 pub use buffer::FirmwareBuffer;
+pub use cell::{Cell, CellConfig, CellSubframe, UeId};
 pub use channel::{Channel, ChannelConfig};
 pub use diag::{DiagInterface, DiagReport, DiagSample};
 pub use scenario::{BackgroundLoad, Mobility, Scenario, SignalStrength};

@@ -1,0 +1,64 @@
+//! Fairness metrics for multi-flow experiments.
+//!
+//! Jain's index (Jain, Chiu, Hawe 1984) summarizes how evenly a resource
+//! is shared: `J = (Σx)² / (n·Σx²)`. It is 1 when all n allocations are
+//! equal and falls to `1/n` when a single flow takes everything — scale-
+//! free, so it applies to bitrates, PRB counts, or PSNR alike.
+
+/// Jain's fairness index over the allocations `xs`.
+///
+/// Degenerate inputs (no flows, or all-zero allocations — nothing was
+/// shared unevenly) return 1.0.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rates_are_perfectly_fair() {
+        assert!((jain_index(&[5.0; 8]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.3e6, 0.3e6]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        for n in [2usize, 4, 10] {
+            let mut xs = vec![0.0; n];
+            xs[0] = 7.5e6;
+            let j = jain_index(&xs);
+            assert!((j - 1.0 / n as f64).abs() < 1e-12, "n={n} j={j}");
+        }
+    }
+
+    #[test]
+    fn index_is_scale_free() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_one() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn index_stays_in_unit_interval() {
+        let xs = [0.1, 4.0, 2.5, 0.0, 9.9];
+        let j = jain_index(&xs);
+        assert!(j > 1.0 / xs.len() as f64 - 1e-12 && j <= 1.0 + 1e-12);
+    }
+}

@@ -11,13 +11,17 @@
 //!   (frames delayed beyond 600 ms; Figs. 14, 16a, 17a/c/e).
 //! * [`table`] — fixed-width text rendering of rows/series so the
 //!   `reproduce` harness prints figures the way the paper tabulates them.
+//! * [`fairness`] — Jain's index for multi-flow share comparisons (the
+//!   `coexist` experiment).
 
 pub mod dist;
+pub mod fairness;
 pub mod freeze;
 pub mod mos;
 pub mod table;
 
 pub use dist::{Cdf, Summary};
+pub use fairness::jain_index;
 pub use freeze::FreezeStats;
 pub use mos::{Mos, MosPdf};
 pub use table::Table;

@@ -11,9 +11,26 @@
 //! and prints a human-readable table, so bench binaries stay useful both
 //! interactively and from `reproduce --smoke`.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use poi360_sim::json::{JsonObject, ToJson};
+
+/// Directory all bench/report artifacts land in: `bench_results/` at the
+/// *workspace root*, regardless of the invoking process's cwd (cargo runs
+/// benches from the crate directory, which used to scatter stray copies).
+/// Set `POI360_BENCH_DIR` to override.
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("POI360_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    // This crate lives at `<workspace>/crates/testkit`.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("testkit sits two levels below the workspace root")
+        .join("bench_results")
+}
 
 /// Calibration target for one timed batch.
 const TARGET_BATCH: Duration = Duration::from_millis(20);
@@ -142,9 +159,9 @@ impl Bench {
         out
     }
 
-    /// Print the summary table and write `bench_results/<suite>.json`.
-    /// Returns the path written, or an IO error (missing directory is
-    /// created).
+    /// Print the summary table and write `<suite>.json` into
+    /// [`results_dir`]. Returns the path written, or an IO error (missing
+    /// directory is created).
     pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
         println!("\nsuite {}:", self.suite);
         for r in &self.results {
@@ -155,8 +172,8 @@ impl Bench {
                 r.min_ns / 1e6
             );
         }
-        let dir = std::path::Path::new("bench_results");
-        std::fs::create_dir_all(dir)?;
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.suite));
         std::fs::write(&path, self.to_json())?;
         println!("wrote {}", path.display());

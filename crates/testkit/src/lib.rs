@@ -18,7 +18,7 @@
 pub mod bench;
 pub mod prop;
 
-pub use bench::{Bench, BenchResult};
+pub use bench::{results_dir, Bench, BenchResult};
 pub use prop::{CaseError, CaseResult, Gen};
 
 // Benches moved off criterion still want a `black_box`.
