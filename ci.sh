@@ -26,6 +26,9 @@ echo "ok: only poi360-* path dependencies"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== build (release) =="
 cargo build --release
 
@@ -40,6 +43,10 @@ cargo run --release -p poi360-bench --bin reproduce -- --smoke
 
 echo "== coexist smoke (shared-cell ensembles) =="
 cargo run --release -p poi360-bench --bin reproduce -- coexist --seconds 6 --repeats 1 --seed 77 >/dev/null
+
+echo "== trace smoke (probe JSONL export) =="
+cargo run --release -p poi360-bench --bin reproduce -- trace --smoke >/dev/null
+test -s bench_results/trace_smoke.jsonl
 
 echo "== cell-scale micro-benchmark =="
 cargo bench -p poi360-bench --bench cell_scale

@@ -29,7 +29,7 @@ fn main() {
             while cell.buffer_level(fg) < 20_000 {
                 cell.enqueue(fg, Pkt, now);
             }
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
             black_box(cell.subframe(now));
         });
         let subframes_per_sec = 1e9 / r.median_ns;

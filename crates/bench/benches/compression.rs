@@ -35,7 +35,7 @@ fn main() {
     let enc_matrix = CompressionMode::protected_geometric(1.4, 1, 1).matrix(&grid, roi.center);
     let mut now = SimTime::ZERO;
     b.bench("compression/encode_frame", || {
-        now = now + poi360_sim::SimDuration::from_micros(27_778);
+        now += poi360_sim::SimDuration::from_micros(27_778);
         black_box(encoder.encode(now, roi, &enc_matrix, &content, 3.0e6));
     });
 

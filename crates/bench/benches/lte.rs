@@ -23,7 +23,7 @@ fn main() {
     let mut ch = Channel::new(ChannelConfig::default(), 1);
     let mut now = SimTime::ZERO;
     b.bench("lte/channel_subframe", || {
-        now = now + poi360_sim::SUBFRAME;
+        now += poi360_sim::SUBFRAME;
         black_box(ch.subframe(now));
     });
 
@@ -38,7 +38,7 @@ fn main() {
         while ul.buffer_level() < 12_000 {
             ul.enqueue(Pkt, now);
         }
-        now = now + poi360_sim::SUBFRAME;
+        now += poi360_sim::SUBFRAME;
         black_box(ul.subframe(now));
     });
 

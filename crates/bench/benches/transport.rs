@@ -58,7 +58,7 @@ fn main() {
             ));
             seq += 1;
         }
-        now = now + SimDuration::from_millis(1);
+        now += SimDuration::from_millis(1);
         black_box(pacer.tick(now));
     });
 

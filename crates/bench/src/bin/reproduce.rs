@@ -8,10 +8,18 @@
 //! ```
 //!
 //! Subcommands: `fig5 fig6 table1 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 coexist ablation all`. Flags: `--full` (paper scale: 300 s × 10
-//! repeats), `--seconds N`, `--repeats N`, `--seed N`. Output also lands
-//! in `bench_results/<name>.txt` at the workspace root, regardless of the
+//! fig17 coexist ablation trace all` (`--list` enumerates them). Flags:
+//! `--full` (paper scale: 300 s × 10 repeats), `--seconds N`,
+//! `--repeats N`, `--seed N`. Output also lands in
+//! `bench_results/<name>.txt` at the workspace root, regardless of the
 //! invoking directory.
+//!
+//! `trace` runs one scenario (`busy` by default — the loaded cell where
+//! FBCC earns its keep — or `baseline`, `quiet`, `coexist`) with a JSONL
+//! probe sink attached and writes every probe emission to
+//! `bench_results/trace_<scenario>.jsonl`, one JSON object per line, plus
+//! a probe-count summary table. `trace --smoke` is the CI entry point: a
+//! 5 s busy-cell run emitting `bench_results/trace_smoke.jsonl`.
 
 use poi360_bench::experiments as exp;
 use poi360_bench::runner::ExpConfig;
@@ -19,10 +27,46 @@ use poi360_sim::json::{FromKv, KvMap, ToJson};
 use poi360_testkit::{black_box, Bench};
 use std::io::Write;
 
+/// Every subcommand with a one-line description; `--list` prints this and
+/// an unknown subcommand enumerates the names.
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("fig5", "sum UL TBS/s vs firmware buffer occupancy"),
+    ("fig6", "CDF of firmware buffer level under WebRTC/GCC"),
+    ("table1", "PSNR to Mean Opinion Score mapping"),
+    ("fig11", "compression ratio per scheme"),
+    ("fig12", "encode time per scheme"),
+    ("fig13", "ROI PSNR per scheme"),
+    ("fig14", "mismatch recovery per scheme"),
+    ("fig15", "FBCC vs GCC rate-control comparison"),
+    ("fig16", "FBCC vs GCC buffer occupancy CDF"),
+    ("fig17", "robustness sweeps: load, signal, speed"),
+    ("coexist", "FBCC/GCC flows sharing one cell"),
+    ("ablation", "prediction, mode, policy, and edge-relay ablations"),
+    ("trace", "probe-stream JSONL export for one scenario (see --help text)"),
+    ("all", "every figure and table above"),
+    ("list", "print this subcommand list (also --list)"),
+    ("smoke", "quick JSON bench + aggregate sanity run (also --smoke)"),
+];
+
+fn list() {
+    println!("reproduce subcommands:");
+    for (name, what) in SUBCOMMANDS {
+        println!("  {name:<10} {what}");
+    }
+}
+
+fn unknown(what: &str) -> ! {
+    let names: Vec<&str> = SUBCOMMANDS.iter().map(|&(n, _)| n).collect();
+    eprintln!("unknown subcommand `{what}`; expected one of: {}", names.join(", "));
+    std::process::exit(2);
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|coexist|ablation|all> \
          [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
+         \x20      reproduce trace [busy|baseline|quiet|coexist] [--seconds N] [--seed N] [--smoke]\n\
+         \x20      reproduce --list    (enumerate subcommands)\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)"
     );
     std::process::exit(2);
@@ -50,6 +94,133 @@ fn smoke() {
     println!("{}", agg.to_json());
 }
 
+/// `reproduce trace <scenario>` — run one scenario with a JSONL sink
+/// attached and render a probe-count summary table.
+fn trace(args: &[String]) {
+    use poi360_core::config::{NetworkKind, RateControlKind, SessionConfig};
+    use poi360_core::multicell::{FlowSpec, MultiCell, MultiCellConfig};
+    use poi360_core::session::Session;
+    use poi360_lte::scenario::Scenario;
+    use poi360_metrics::table::Table;
+    use poi360_sim::time::SimDuration;
+    use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
+    use poi360_sim::Recorder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut scenario = String::from("busy");
+    let mut seconds: u64 = 30;
+    let mut seed: u64 = 1;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                // CI entry point: short busy-cell run, fixed output name.
+                smoke = true;
+                seconds = 5;
+            }
+            "--seconds" => {
+                seconds = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            name if !name.starts_with('-') => scenario = name.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let stem = if smoke { "trace_smoke".to_string() } else { format!("trace_{scenario}") };
+    let path = dir.join(format!("{stem}.jsonl"));
+    let sink = Rc::new(RefCell::new(JsonlSink::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", path.display());
+        std::process::exit(1);
+    })));
+    let handle: SinkHandle = sink.clone();
+
+    let session_cfg = |net: Scenario| SessionConfig {
+        rate_control: RateControlKind::Fbcc,
+        network: NetworkKind::Cellular(net),
+        duration: SimDuration::from_secs(seconds),
+        seed,
+        ..Default::default()
+    };
+    match scenario.as_str() {
+        // load_sweep()[1] is the busy cell: the FBCC-relevant condition
+        // where competing load drives the firmware buffer and Γ(t).
+        "busy" => {
+            black_box(
+                Session::traced(
+                    session_cfg(Scenario::load_sweep()[1]),
+                    Recorder::to_sink(handle, "session"),
+                )
+                .run(),
+            );
+        }
+        "baseline" => {
+            black_box(
+                Session::traced(
+                    session_cfg(Scenario::baseline()),
+                    Recorder::to_sink(handle, "session"),
+                )
+                .run(),
+            );
+        }
+        "quiet" => {
+            black_box(
+                Session::traced(
+                    session_cfg(Scenario::quiet()),
+                    Recorder::to_sink(handle, "session"),
+                )
+                .run(),
+            );
+        }
+        "coexist" => {
+            let cfg = MultiCellConfig {
+                flows: vec![
+                    FlowSpec::with_rate_control(RateControlKind::Fbcc),
+                    FlowSpec::with_rate_control(RateControlKind::Gcc),
+                ],
+                duration: SimDuration::from_secs(seconds),
+                seed,
+                ..Default::default()
+            };
+            black_box(MultiCell::traced(cfg, handle).run());
+        }
+        other => {
+            eprintln!(
+                "unknown trace scenario `{other}`; expected one of: busy, baseline, quiet, coexist"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    sink.borrow_mut().flush();
+    let sink = sink.borrow();
+    if sink.had_io_error() {
+        eprintln!("warning: some trace writes to {} failed", path.display());
+    }
+    let mut t = Table::new(
+        format!("Probe counts — scenario `{scenario}`, {seconds}s, seed {seed}"),
+        &["Probe", "Records"],
+    );
+    for (name, count) in sink.counts() {
+        t.row(vec![name.to_string(), count.to_string()]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!("{} JSONL records -> {}\n", sink.lines(), path.display()));
+    println!("{out}");
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
+        let _ = f.write_all(out.as_bytes());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -58,6 +229,14 @@ fn main() {
     let what = args[0].clone();
     if what == "--smoke" || what == "smoke" {
         smoke();
+        return;
+    }
+    if what == "--list" || what == "list" {
+        list();
+        return;
+    }
+    if what == "trace" {
+        trace(&args[1..]);
         return;
     }
     let mut cfg = ExpConfig::default();
@@ -161,7 +340,7 @@ fn main() {
             outputs.push(("ablation_prediction_policy", exp::prediction_policy_ablation(&cfg)));
             outputs.push(("ablation_edge", exp::edge_relay_ablation(&cfg)));
         }
-        _ => usage(),
+        other => unknown(other),
     }
 
     let dir = poi360_testkit::results_dir();

@@ -45,13 +45,13 @@ pub fn fig5_series(exp: &ExpConfig) -> Vec<(f64, f64)> {
             let level = (kb * 1_000.0) as u64;
             let mut now = SimTime::ZERO;
             let mut bits = 0u64;
-            let secs = exp.duration_secs.min(30).max(5);
+            let secs = exp.duration_secs.clamp(5, 30);
             for _ in 0..secs * 1_000 {
                 while ul.buffer_level() < level {
                     ul.enqueue(Filler(1_200), now);
                 }
                 bits += ul.subframe(now).tbs_bits as u64;
-                now = now + poi360_sim::SUBFRAME;
+                now += poi360_sim::SUBFRAME;
             }
             (kb, bits as f64 / secs as f64 / 1e6)
         })

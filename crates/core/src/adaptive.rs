@@ -23,6 +23,7 @@
 
 use crate::policy::CompressionPolicy;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use poi360_video::compression::{CompressionMatrix, CompressionMode, L_MIN};
 use poi360_video::encoder::EncodedFrame;
 use poi360_video::frame::TileGrid;
@@ -130,6 +131,7 @@ pub struct AdaptiveCompression {
     /// re-levels the whole panorama and costs an intra-refresh burst, so
     /// the selector holds a mode for a minimum dwell.
     next_switch_at: SimTime,
+    recorder: Recorder,
 }
 
 impl AdaptiveCompression {
@@ -140,6 +142,7 @@ impl AdaptiveCompression {
             m_smooth: SimDuration::from_millis(400),
             current: 1, // start at F2 until feedback arrives
             next_switch_at: SimTime::ZERO,
+            recorder: Recorder::null(),
         }
     }
 
@@ -173,6 +176,10 @@ impl CompressionPolicy for AdaptiveCompression {
         "POI360"
     }
 
+    fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
+    }
+
     fn matrix(&mut self, grid: &TileGrid, sender_roi: &Roi) -> CompressionMatrix {
         self.modes[self.current].matrix(grid, sender_roi.center)
     }
@@ -190,6 +197,8 @@ impl CompressionPolicy for AdaptiveCompression {
         if target != self.current && now >= self.next_switch_at {
             self.current = target;
             self.next_switch_at = now + SimDuration::from_secs(2);
+            self.recorder.count("video.mode_switch", now, 1);
+            self.recorder.event("video.mode_index", now, (self.current + 1) as f64);
         }
     }
 
@@ -292,7 +301,7 @@ mod tests {
         let mut now = start;
         for _ in 0..200 {
             a.on_mismatch_feedback(now, SimDuration::from_millis(m_ms));
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
         }
         now
     }

@@ -28,6 +28,7 @@
 
 use poi360_lte::diag::DiagReport;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use std::collections::VecDeque;
 
 /// FBCC tuning parameters (paper values where given).
@@ -155,6 +156,7 @@ pub struct Fbcc {
     rtp_component: f64,
     learner: BstarLearner,
     detections: u64,
+    recorder: Recorder,
 }
 
 impl Fbcc {
@@ -170,8 +172,14 @@ impl Fbcc {
             rtp_component: 1.0e6,
             learner: BstarLearner::new(cfg.initial_bstar),
             detections: 0,
+            recorder: Recorder::null(),
             cfg,
         }
+    }
+
+    /// Attach the session's probe recorder.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Long-term average buffer level Γ(t), bytes.
@@ -273,6 +281,7 @@ impl Fbcc {
                 self.hold_until = Some(now + hold_for);
                 self.detections += 1;
                 detected = true;
+                self.recorder.count("fbcc.congestion_detected", now, 1);
                 // Restart evidence collection: one detection per event.
                 self.recent.clear();
                 self.recent_fine.clear();
@@ -293,6 +302,11 @@ impl Fbcc {
         let bstar = self.learner.bstar as f64;
         let delta_bps = (bstar - b_now as f64) * 8.0 / dp.as_secs_f64();
         self.rtp_component = (self.rtp_component + delta_bps).clamp(100_000.0, 30.0e6);
+
+        // Per-epoch controller state, sink-only (one branch with no sink).
+        self.recorder.event("fbcc.gamma_bytes", now, self.gamma);
+        self.recorder.event("fbcc.bstar_bytes", now, bstar);
+        self.recorder.event("fbcc.rtp_component_bps", now, self.rtp_component);
 
         detected
     }

@@ -21,6 +21,8 @@ use poi360_net::packet::Packet;
 use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::trace::SinkHandle;
+use poi360_sim::Recorder;
 use poi360_viewport::motion::UserArchetype;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -124,12 +126,29 @@ pub struct MultiCell {
 impl MultiCell {
     /// Build the cell, attach every flow and the background population.
     pub fn new(cfg: MultiCellConfig) -> Self {
+        MultiCell::build(cfg, None)
+    }
+
+    /// Like [`MultiCell::new`], but every flow and the cell scheduler write
+    /// trace records to `sink`. Flow `k` records under source `fg.{k:02}`
+    /// (matching its UE label) and the scheduler under `cell`, so a single
+    /// JSONL stream can be split back out per emitter.
+    pub fn traced(cfg: MultiCellConfig, sink: SinkHandle) -> Self {
+        MultiCell::build(cfg, Some(sink))
+    }
+
+    fn build(cfg: MultiCellConfig, sink: Option<SinkHandle>) -> Self {
         assert!(!cfg.flows.is_empty(), "a MultiCell needs at least one flow");
         let cell_seed = SimRng::stream(cfg.seed, "multicell.cell").next_u64();
         let cell = Rc::new(RefCell::new(Cell::new(cfg.cell, cell_seed)));
+        if let Some(sink) = &sink {
+            let rec = Recorder::to_sink(Rc::clone(sink), "cell");
+            cell.borrow_mut().set_recorder(&rec);
+        }
         let mut sessions = Vec::with_capacity(cfg.flows.len());
         for (k, flow) in cfg.flows.iter().enumerate() {
-            let ue = cell.borrow_mut().attach_foreground(&format!("fg.{k:02}"), cfg.channel);
+            let label = format!("fg.{k:02}");
+            let ue = cell.borrow_mut().attach_foreground(&label, cfg.channel);
             debug_assert_eq!(ue, UeId(k));
             let flow_seed = SimRng::stream(cfg.seed, &format!("multicell.flow.{k}")).next_u64();
             let session_cfg = SessionConfig {
@@ -142,7 +161,16 @@ impl MultiCell {
                 start_rate_bps: cfg.start_rate_bps,
                 ..Default::default()
             };
-            sessions.push(Session::with_shared_cell(session_cfg, Rc::clone(&cell), ue));
+            let recorder = match &sink {
+                Some(sink) => Recorder::to_sink(Rc::clone(sink), &label),
+                None => Recorder::null(),
+            };
+            sessions.push(Session::with_shared_cell_traced(
+                session_cfg,
+                Rc::clone(&cell),
+                ue,
+                recorder,
+            ));
         }
         cell.borrow_mut().attach_background_population(cfg.background_ues);
         MultiCell { cfg, cell, sessions, now: SimTime::ZERO }
@@ -161,7 +189,7 @@ impl MultiCell {
         for ((session, outcome), roi) in self.sessions.iter_mut().zip(out.per_ue).zip(rois.iter()) {
             session.multi_complete(outcome, roi);
         }
-        self.now = self.now + poi360_sim::SUBFRAME;
+        self.now += poi360_sim::SUBFRAME;
     }
 
     /// Run to completion and collect per-flow reports.
@@ -209,6 +237,32 @@ mod tests {
     fn runs_are_deterministic() {
         let a = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 7)).run();
         let b = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 7)).run();
+        let mut ja = String::new();
+        let mut jb = String::new();
+        a.write_json(&mut ja);
+        b.write_json(&mut jb);
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn traced_run_emits_per_flow_and_cell_probes() {
+        let sink = poi360_sim::trace::RingSink::shared(200_000);
+        let report = MultiCell::traced(tiny(vec![FlowSpec::default(); 2], 42), sink.clone()).run();
+        assert_eq!(report.flows.len(), 2);
+        let ring = sink.borrow();
+        assert!(ring.count_of("cell.prb_grant") > 0, "scheduler grants traced");
+        assert!(ring.count_of("video.frame_encoded") > 0, "flow probes traced");
+        let srcs: std::collections::BTreeSet<_> =
+            ring.records().map(|(src, _)| src.clone()).collect();
+        assert!(srcs.contains("cell"), "srcs {srcs:?}");
+        assert!(srcs.contains("fg.00") && srcs.contains("fg.01"), "srcs {srcs:?}");
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let a = MultiCell::new(tiny(vec![FlowSpec::default(); 2], 7)).run();
+        let sink = poi360_sim::trace::RingSink::shared(200_000);
+        let b = MultiCell::traced(tiny(vec![FlowSpec::default(); 2], 7), sink).run();
         let mut ja = String::new();
         let mut jb = String::new();
         a.write_json(&mut ja);

@@ -6,6 +6,7 @@
 //! feedback; the baselines ignore it.
 
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use poi360_video::compression::CompressionMatrix;
 use poi360_video::frame::TileGrid;
 use poi360_video::roi::Roi;
@@ -14,6 +15,10 @@ use poi360_video::roi::Roi;
 pub trait CompressionPolicy {
     /// Short name for reports ("POI360", "Conduit", "Pyramid").
     fn name(&self) -> &'static str;
+
+    /// Attach the session's probe recorder (default: ignore it; baselines
+    /// make no decisions worth tracing).
+    fn set_recorder(&mut self, _rec: &Recorder) {}
 
     /// Build the compression matrix for the next frame, given the sender's
     /// current knowledge of the viewer ROI.

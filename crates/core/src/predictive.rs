@@ -134,7 +134,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..100 {
             p.on_mismatch_feedback(now, SimDuration::from_millis(2_500));
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
         }
         assert_eq!(p.mode_index(), Some(8));
     }

@@ -15,12 +15,16 @@
 use crate::fbcc::{Fbcc, FbccConfig};
 use poi360_lte::diag::DiagReport;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use poi360_transport::gcc::{GccSender, Remb};
 
 /// The sender-side rate-control interface.
 pub trait RateController {
     /// Short name for reports ("GCC", "FBCC").
     fn name(&self) -> &'static str;
+
+    /// Attach the session's probe recorder (default: ignore it).
+    fn set_recorder(&mut self, _rec: &Recorder) {}
 
     /// Feed a diag batch (cellular sessions only).
     fn on_diag(&mut self, _report: &DiagReport, _now: SimTime) {}
@@ -61,6 +65,10 @@ impl GccRate {
 impl RateController for GccRate {
     fn name(&self) -> &'static str {
         "GCC"
+    }
+
+    fn set_recorder(&mut self, rec: &Recorder) {
+        self.gcc.set_recorder(rec);
     }
 
     fn on_remb(&mut self, remb: Remb) {
@@ -111,6 +119,11 @@ impl FbccRate {
 impl RateController for FbccRate {
     fn name(&self) -> &'static str {
         "FBCC"
+    }
+
+    fn set_recorder(&mut self, rec: &Recorder) {
+        self.gcc.set_recorder(rec);
+        self.fbcc.set_recorder(rec);
     }
 
     fn on_diag(&mut self, report: &DiagReport, now: SimTime) {

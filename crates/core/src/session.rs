@@ -42,6 +42,7 @@ use poi360_net::packet::Packet;
 use poi360_net::pipe::{DelayPipe, PipeConfig};
 use poi360_net::wireline::{WirelineConfig, WirelineLink};
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use poi360_transport::gcc::{GccReceiver, Remb};
 use poi360_transport::pacer::Pacer;
 use poi360_transport::rtcp::ReceiverStats;
@@ -82,6 +83,10 @@ enum FeedbackMsg {
 }
 
 /// Access network (the segment FBCC can see into).
+// One Access exists per session and lives as long as it, so the size skew
+// between variants costs nothing; boxing the uplink would only add a
+// pointer chase to the per-subframe hot path.
+#[allow(clippy::large_enum_variant)]
 enum Access {
     Cellular(CellUplink<Packet>),
     Wireline(WirelineLink<Packet>),
@@ -130,14 +135,24 @@ pub struct Session {
     last_arrival: Option<(SimTime, SimTime)>, // (pkt departed_at, arrival)
 
     // ---- measurement ----
+    /// Probe handle every layer reports through; the report's series are
+    /// derived from its channels in [`Session::finish`].
+    recorder: Recorder,
     report: SessionReport,
     rx_bytes_this_second: u64,
     current_second: u64,
 }
 
 impl Session {
-    /// Build a session from its configuration.
+    /// Build a session from its configuration, with no trace sink attached.
     pub fn new(cfg: SessionConfig) -> Self {
+        Session::traced(cfg, Recorder::null())
+    }
+
+    /// Build a session whose probes report through `recorder` (normally one
+    /// created with [`Recorder::to_sink`]; [`Session::new`] passes a null
+    /// recorder). The recorder must be exclusive to this session.
+    pub fn traced(cfg: SessionConfig, recorder: Recorder) -> Self {
         let (access, downstream_cfg, feedback_cfg) = match cfg.network {
             NetworkKind::Cellular(scenario) => (
                 Access::Cellular(CellUplink::new(scenario.uplink_config(), cfg.seed)),
@@ -155,7 +170,7 @@ impl Session {
                 PipeConfig::wireline_feedback(),
             ),
         };
-        Session::assemble(cfg, access, downstream_cfg, feedback_cfg)
+        Session::assemble(cfg, access, downstream_cfg, feedback_cfg, recorder)
     }
 
     /// Build a session whose uplink is a foreground UE inside a shared
@@ -165,44 +180,68 @@ impl Session {
     /// [`Session::multi_complete`] so the cell is stepped exactly once per
     /// subframe for all its sessions.
     pub fn with_shared_cell(cfg: SessionConfig, cell: Rc<RefCell<Cell<Packet>>>, ue: UeId) -> Self {
+        Session::with_shared_cell_traced(cfg, cell, ue, Recorder::null())
+    }
+
+    /// [`Session::with_shared_cell`] with an explicit probe recorder.
+    pub fn with_shared_cell_traced(
+        cfg: SessionConfig,
+        cell: Rc<RefCell<Cell<Packet>>>,
+        ue: UeId,
+        recorder: Recorder,
+    ) -> Self {
         Session::assemble(
             cfg,
             Access::SharedCell { cell, ue },
             PipeConfig::cellular_downstream(),
             PipeConfig::cellular_feedback(),
+            recorder,
         )
     }
 
     fn assemble(
         cfg: SessionConfig,
-        access: Access,
+        mut access: Access,
         downstream_cfg: PipeConfig,
         feedback_cfg: PipeConfig,
+        recorder: Recorder,
     ) -> Self {
         let grid = cfg.encoder.geometry.grid;
-        let policy: Box<dyn CompressionPolicy> = match cfg.scheme {
+        let mut policy: Box<dyn CompressionPolicy> = match cfg.scheme {
             CompressionScheme::Poi360 => Box::new(AdaptiveCompression::new()),
             CompressionScheme::Conduit => Box::new(ConduitCompression::new()),
             CompressionScheme::Pyramid => Box::new(PyramidCompression::new()),
             CompressionScheme::Poi360Predictive => Box::new(PredictiveCompression::default()),
             CompressionScheme::FixedMode(k) => Box::new(AdaptiveCompression::fixed_mode(k)),
         };
-        let rate: Box<dyn RateController> = match cfg.rate_control {
+        let mut rate: Box<dyn RateController> = match cfg.rate_control {
             RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
             RateControlKind::Fbcc => {
                 Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default()))
             }
         };
+        // Distribute the recorder to every instrumented component. Clones
+        // share the same channels/sink, so the session's probes all land in
+        // one place.
+        policy.set_recorder(&recorder);
+        rate.set_recorder(&recorder);
+        let mut encoder = Encoder::new(cfg.encoder, cfg.seed);
+        encoder.set_recorder(&recorder);
+        let mut pacer = Pacer::new(cfg.start_rate_bps);
+        pacer.set_recorder(&recorder);
+        if let Access::Cellular(ul) = &mut access {
+            ul.set_recorder(&recorder);
+        }
         let label = cfg.label();
         Session {
             now: SimTime::ZERO,
             rd: RdModel::default(),
             content: ContentModel::new(grid, cfg.seed),
-            encoder: Encoder::new(cfg.encoder, cfg.seed),
+            encoder,
             policy,
             rate,
             packetizer: Packetizer::new(),
-            pacer: Pacer::new(cfg.start_rate_bps),
+            pacer,
             sender_roi: Roi::front(&grid),
             next_frame_at: SimTime::ZERO,
             sent_frames: BTreeMap::new(),
@@ -218,6 +257,7 @@ impl Session {
             next_roi_feedback_at: SimTime::ZERO,
             next_rr_at: SimTime::from_millis(100),
             last_arrival: None,
+            recorder,
             report: SessionReport { label, ..Default::default() },
             rx_bytes_this_second: 0,
             current_second: 0,
@@ -291,7 +331,7 @@ impl Session {
         // 3. Frame capture + encode on schedule.
         while self.now >= self.next_frame_at {
             self.sender_encode_frame();
-            self.next_frame_at = self.next_frame_at + self.cfg.encoder.frame_interval();
+            self.next_frame_at += self.cfg.encoder.frame_interval();
         }
 
         // 4. Pace packets toward the access link.
@@ -329,8 +369,8 @@ impl Session {
             self.downstream.send(pkt, now);
         }
         if let Some(diag) = out.diag {
-            self.report.fw_buffer.push(now, diag.last_buffer_bytes() as f64);
-            self.report.phy_rate.push(now, diag.mean_phy_rate_bps());
+            self.recorder.gauge("uplink.fw_buffer_bytes", now, diag.last_buffer_bytes() as f64);
+            self.recorder.gauge("uplink.phy_rate_bps", now, diag.mean_phy_rate_bps());
             self.rate.on_diag(&diag, now);
         }
     }
@@ -349,7 +389,7 @@ impl Session {
         // 7. Client housekeeping: NACKs, abandoned frames, REMB, RR, ROI/M.
         self.client_housekeeping(client_roi);
 
-        self.now = self.now + poi360_sim::SUBFRAME;
+        self.now += poi360_sim::SUBFRAME;
     }
 
     /// Shared-cell driver hook: run phases 1–4 (up to and including
@@ -408,9 +448,9 @@ impl Session {
         let frame = self.encoder.encode(self.now, self.sender_roi, &matrix, &self.content, rv);
         self.content.advance_frame();
 
-        self.report.frames_sent += 1;
-        self.report.video_rate.push(self.now, rv);
-        self.report.rtp_rate.push(self.now, self.rate.rtp_rate_bps(self.now));
+        self.recorder.count("video.frame_encoded", self.now, 1);
+        self.recorder.gauge("video.rate_bps", self.now, rv);
+        self.recorder.gauge("pacer.rate_bps", self.now, self.rate.rtp_rate_bps(self.now));
 
         for pkt in self.packetizer.packetize(frame.frame_no, frame.bytes, self.now) {
             self.pacer.enqueue(pkt);
@@ -434,7 +474,11 @@ impl Session {
         if second > self.current_second {
             // Close the finished second(s).
             let rate = self.rx_bytes_this_second as f64 * 8.0;
-            self.report.throughput.push(SimTime::from_secs(self.current_second + 1), rate);
+            self.recorder.gauge(
+                "session.throughput_bps",
+                SimTime::from_secs(self.current_second + 1),
+                rate,
+            );
             self.rx_bytes_this_second = 0;
             self.current_second = second;
         }
@@ -454,7 +498,7 @@ impl Session {
         let grid = self.cfg.encoder.geometry.grid;
         let delay = completed_at.saturating_since(meta.capture_time) + self.cfg.pipeline_delay;
 
-        self.report.frames_delivered += 1;
+        self.recorder.count("video.frame_delivered", completed_at, 1);
         self.report.freeze.record(delay);
 
         // User-perceived ROI quality: encoded quality in the viewer's FoV,
@@ -467,14 +511,14 @@ impl Session {
         let staleness_cap =
             55.0 - STALENESS_SLOPE * (delay.as_secs_f64() - STALENESS_ONSET).max(0.0);
         let displayed = encoded_psnr.min(staleness_cap).max(8.0);
-        self.report.roi_psnr_db.push(displayed);
+        self.recorder.gauge("video.roi_psnr_db", completed_at, displayed);
 
         // Displayed compression level at the gaze tile (Fig. 12 input).
-        self.report.roi_level.push(completed_at, meta.matrix.level(client_roi.center));
+        self.recorder.gauge("video.roi_level", completed_at, meta.matrix.level(client_roi.center));
 
         // ROI mismatch measurement (Eq. 2) and its window.
         let m = self.monitor.on_frame(completed_at, &meta, client_roi, delay);
-        self.report.mismatch_ms.push(completed_at, m.as_micros() as f64 / 1e3);
+        self.recorder.gauge("session.mismatch_ms", completed_at, m.as_micros() as f64 / 1e3);
     }
 
     fn client_housekeeping(&mut self, client_roi: &Roi) {
@@ -489,9 +533,12 @@ impl Session {
         let abandoned = self.reassembler.poll_abandoned(now);
         for frame_no in abandoned {
             self.sent_frames.remove(&frame_no);
-            self.report.frames_lost += 1;
+            self.recorder.count("video.frame_abandoned", now, 1);
             self.report.freeze.record_lost();
-            self.report.roi_psnr_db.push(STALE_PSNR_DB);
+            // Chronologically safe alongside the delivered-frame samples:
+            // this subframe's arrivals (at <= now) were absorbed before
+            // housekeeping runs at `now`.
+            self.recorder.gauge("video.roi_psnr_db", now, STALE_PSNR_DB);
             self.feedback.send(FeedbackMsg::Pli, now);
         }
 
@@ -524,13 +571,29 @@ impl Session {
         }
     }
 
+    /// Derive the report from the probe channels. Every series below is the
+    /// channel a probe retained during the run; nothing is double-counted
+    /// because the emission sites replaced the old inline pushes 1:1.
     fn finish(mut self) -> SessionReport {
+        let rec = &self.recorder;
+        self.report.frames_sent = rec.counter("video.frame_encoded");
+        self.report.frames_delivered = rec.counter("video.frame_delivered");
+        self.report.frames_lost = rec.counter("video.frame_abandoned");
+        self.report.roi_psnr_db = rec.take_gauge("video.roi_psnr_db").values();
+        self.report.roi_level = rec.take_gauge("video.roi_level");
+        self.report.mismatch_ms = rec.take_gauge("session.mismatch_ms");
+        self.report.fw_buffer = rec.take_gauge("uplink.fw_buffer_bytes");
+        self.report.phy_rate = rec.take_gauge("uplink.phy_rate_bps");
+        self.report.video_rate = rec.take_gauge("video.rate_bps");
+        self.report.rtp_rate = rec.take_gauge("pacer.rate_bps");
+        self.report.throughput = rec.take_gauge("session.throughput_bps");
         self.report.uplink_detections = self.rate.uplink_detections();
         self.report.packets_dropped = match &self.access {
             Access::Cellular(ul) => ul.dropped() + self.downstream.lost(),
             Access::Wireline(link) => link.dropped() + self.downstream.lost(),
             Access::SharedCell { cell, ue } => cell.borrow().dropped(*ue) + self.downstream.lost(),
         };
+        self.recorder.flush();
         self.report
     }
 }

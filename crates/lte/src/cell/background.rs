@@ -102,7 +102,7 @@ mod tests {
     fn off_periods_generate_nothing() {
         let mut t = BackgroundTraffic::new(BackgroundTrafficConfig::default(), 3);
         let per_sf: Vec<u64> = (0..20_000).map(|_| t.subframe()).collect();
-        assert!(per_sf.iter().any(|&b| b == 0), "source never idles");
+        assert!(per_sf.contains(&0), "source never idles");
         assert!(per_sf.iter().any(|&b| b > 0), "source never transmits");
     }
 

@@ -35,6 +35,7 @@ use crate::uplink::SubframeOutcome;
 use background::{BackgroundTraffic, BackgroundTrafficConfig};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use std::collections::VecDeque;
 
 /// Cell-wide scheduler parameters.
@@ -194,12 +195,27 @@ pub struct Cell<T> {
     bg: Vec<BackgroundUe>,
     subframes: u64,
     prbs_granted_total: u64,
+    recorder: Recorder,
 }
 
 impl<T: PacketLike> Cell<T> {
     /// Create an empty cell.
     pub fn new(cfg: CellConfig, seed: u64) -> Self {
-        Cell { cfg, seed, fg: Vec::new(), bg: Vec::new(), subframes: 0, prbs_granted_total: 0 }
+        Cell {
+            cfg,
+            seed,
+            fg: Vec::new(),
+            bg: Vec::new(),
+            subframes: 0,
+            prbs_granted_total: 0,
+            recorder: Recorder::null(),
+        }
+    }
+
+    /// Attach the cell's probe recorder (scheduler-level probes; per-UE
+    /// signals are traced by each UE's session recorder).
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Configuration in use.
@@ -411,6 +427,7 @@ impl<T: PacketLike> Cell<T> {
 
         self.subframes += 1;
         self.prbs_granted_total += prbs_granted as u64;
+        self.recorder.event("cell.prb_grant", now, prbs_granted as f64);
 
         // Phase D: assemble foreground outcomes. The per-UE `load` is the
         // fraction of PRBs everyone *else* consumed — the shared-cell
@@ -559,10 +576,10 @@ mod tests {
                 }
             }
             let out = cell.subframe(now);
-            for k in 0..n {
-                served[k] += out.per_ue[k].tbs_bits as u64;
+            for (tally, ue) in served.iter_mut().zip(&out.per_ue) {
+                *tally += ue.tbs_bits as u64;
             }
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
         served.iter().map(|&b| b as f64 / secs as f64).collect()
     }
@@ -602,7 +619,7 @@ mod tests {
             }
             let out = cell.subframe(now);
             assert!(out.prbs_granted <= cell.config().total_prbs);
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
     }
 
@@ -613,7 +630,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..60_000 {
             cell.subframe(now);
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
         let util = cell.mean_utilization();
         assert!((0.30..0.60).contains(&util), "busy-cell utilization {util}");
@@ -633,7 +650,7 @@ mod tests {
                 }
                 let out = cell.subframe(now);
                 trace.push((out.per_ue[0].tbs_bits, out.prbs_granted));
-                now = now + SUBFRAME;
+                now += SUBFRAME;
             }
             trace
         };
@@ -655,7 +672,7 @@ mod tests {
                     cell.enqueue(UeId(0), Pkt(1_200), now);
                 }
                 trace.push(cell.subframe(now).per_ue[0].tbs_bits);
-                now = now + SUBFRAME;
+                now += SUBFRAME;
             }
             trace
         };

@@ -157,7 +157,7 @@ mod tests {
         let mut out = Vec::new();
         for _ in 0..secs * 1000 {
             out.push(ch.subframe(now));
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         out
     }

@@ -14,6 +14,7 @@ use crate::scheduler::{PfScheduler, SchedulerConfig};
 use poi360_sim::process::{MarkovOnOff, OrnsteinUhlenbeck};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use std::collections::VecDeque;
 
 /// Competing-cell-load model configuration.
@@ -163,6 +164,7 @@ pub struct CellUplink<T> {
     bsr_history: VecDeque<u64>,
     /// Outage state of the previous subframe, for handover edge detection.
     was_in_outage: bool,
+    recorder: Recorder,
 }
 
 impl<T: PacketLike> CellUplink<T> {
@@ -177,8 +179,14 @@ impl<T: PacketLike> CellUplink<T> {
             diag: DiagInterface::new(cfg.diag_period),
             bsr_history: VecDeque::with_capacity(bsr_delay + 1),
             was_in_outage: false,
+            recorder: Recorder::null(),
             cfg,
         }
+    }
+
+    /// Attach the session's probe recorder.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Configuration in use.
@@ -253,6 +261,14 @@ impl<T: PacketLike> CellUplink<T> {
         let diag =
             self.diag.record(DiagSample { at: now, buffer_bytes: buffer_at_start, tbs_bits });
 
+        // Sink-only per-subframe probes: a branch each with no sink.
+        if tbs_bits > 0 {
+            self.recorder.event("cell.tbs_bits", now, tbs_bits as f64);
+        }
+        if diag.is_some() {
+            self.recorder.event("cell.load", now, load);
+        }
+
         SubframeOutcome {
             departed,
             tbs_bits,
@@ -288,7 +304,7 @@ mod tests {
             }
             let out = ul.subframe(now);
             served_bits += out.tbs_bits as u64;
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         served_bits as f64 / secs as f64
     }
@@ -316,7 +332,7 @@ mod tests {
             let out = ul.subframe(now);
             assert_eq!(out.tbs_bits, 0);
             assert!(out.departed.is_empty());
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
     }
 
@@ -331,7 +347,7 @@ mod tests {
             if out.tbs_bits > 0 && first_service.is_none() {
                 first_service = Some(sf);
             }
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         let first = first_service.expect("eventually served");
         assert!(
@@ -349,7 +365,7 @@ mod tests {
             if ul.subframe(now).diag.is_some() {
                 reports += 1;
             }
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         assert_eq!(reports, 10);
     }
@@ -385,7 +401,7 @@ mod tests {
         for _ in 0..2_000 {
             let out = ul.subframe(now);
             sizes.extend(out.departed.iter().map(|(p, _)| p.0));
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         assert_eq!(sizes, (0..20u32).map(|k| 1_000 + k).collect::<Vec<_>>());
     }

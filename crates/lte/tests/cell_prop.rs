@@ -68,7 +68,7 @@ fn prb_allocation_conserves_capacity() {
             for (k, &p) in out.prbs_per_ue.iter().enumerate() {
                 prop_assert!(p <= cfg.max_prbs_per_ue, "UE {k} got {p} PRBs over cap");
             }
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
         Ok(())
     });
@@ -102,7 +102,7 @@ fn lone_backlogged_ue_is_work_conserving() {
             if sf >= 50 {
                 served_bits += out.per_ue[0].tbs_bits as u64;
             }
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
         let mean_bits_per_sf = served_bits as f64 / measure_sf as f64;
         prop_assert!(

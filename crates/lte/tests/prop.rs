@@ -99,7 +99,7 @@ fn uplink_accounts_for_every_packet() {
         let mut departed = 0u64;
         for _ in 0..5_000 {
             departed += ul.subframe(now).departed.len() as u64;
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         // 5 s of subframes drains any realistic backlog from this offer.
         prop_assert_eq!(departed, accepted);
@@ -124,7 +124,7 @@ fn tbs_consistent_with_service() {
             let served_bits: u64 =
                 out.departed.iter().map(|(p, _)| p.wire_bytes() as u64 * 8).sum();
             prop_assert!(served_bits <= out.tbs_bits as u64 + 1_200 * 8);
-            now = now + poi360_sim::SUBFRAME;
+            now += poi360_sim::SUBFRAME;
         }
         Ok(())
     });

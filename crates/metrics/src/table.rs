@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(4.5678, 2), "4.57");
         assert_eq!(pct(0.047), "4.7%");
         assert_eq!(mbps(2_500_000.0), "2.50");
     }

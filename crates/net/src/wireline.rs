@@ -81,8 +81,7 @@ impl<T: PacketLike> WirelineLink<T> {
     /// `(departure_time, item)` pairs in order.
     pub fn poll(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
         let mut out = Vec::new();
-        loop {
-            let Some(head) = self.queue.front() else { break };
+        while let Some(head) = self.queue.front() {
             let start = self.busy_until.max(
                 // If idle, transmission can start immediately at `now` minus
                 // however long the packet has notionally been transmitting;
@@ -133,7 +132,7 @@ mod tests {
         let mut delivered = 0;
         let mut now = SimTime::ZERO;
         for _ in 0..1_000 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             delivered += link.poll(now).len();
         }
         // After 1 s at 100 pkts/s: ~100 delivered.

@@ -9,9 +9,13 @@
 //!   and `poi360-testkit::bench` can emit machine-readable output.
 //! * [`FromKv`] — construct a value from a flat `key=value` map, the
 //!   inverse direction used for CLI/experiment configuration overrides.
+//! * [`parse_json`] — a small recursive-descent parser into [`JsonValue`],
+//!   added for the instrumentation plane so tests can round-trip trace
+//!   records through the same writer that produced them.
 //!
-//! The JSON writer is write-only by design: nothing in the repo needs a
-//! JSON *parser*, and keeping the surface minimal keeps it auditable.
+//! The surface is deliberately minimal to stay auditable: the parser exists
+//! for verification (round-tripping what the writer emits), not as a general
+//! serde replacement.
 
 use std::collections::BTreeMap;
 
@@ -262,6 +266,260 @@ impl KvMap {
     }
 }
 
+/// A parsed JSON document.
+///
+/// Objects keep their members in document order (a `Vec`, not a map) so a
+/// round-trip through [`parse_json`] can also check field ordering, which
+/// the determinism suites care about.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what the writer emits for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number; the sim only ever writes values that fit an `f64`.
+    Number(f64),
+    /// A string, with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, members in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up an object member by key; `None` for non-objects too.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        token
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number {token:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // The writer only emits \u for control chars, so
+                            // surrogate pairs never occur; reject them rather
+                            // than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u escape {code:#06x}"))?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+        self.pos = end;
+        Ok(code)
+    }
+}
+
 /// Construct a value from a parsed [`KvMap`].
 pub trait FromKv: Sized {
     /// Build from the map, erroring on malformed values. Implementations
@@ -328,5 +586,104 @@ mod tests {
         assert!(KvMap::parse("novalue").is_err());
         let kv = KvMap::parse("x=notanum").unwrap();
         assert!(kv.get_parsed::<u64>("x").is_err());
+    }
+
+    #[test]
+    fn kv_malformed_token_error_names_the_token() {
+        let err = KvMap::parse("a=1 stray b=2").unwrap_err();
+        assert!(err.contains("malformed key=value token"), "{err}");
+        assert!(err.contains("stray"), "error should quote the offender: {err}");
+    }
+
+    #[test]
+    fn kv_malformed_value_error_names_key_and_value() {
+        let kv = KvMap::parse("repeats=lots").unwrap();
+        let err = kv.get_parsed::<u64>("repeats").unwrap_err();
+        assert!(err.contains("repeats"), "{err}");
+        assert!(err.contains("lots"), "{err}");
+    }
+
+    #[test]
+    fn kv_later_duplicates_win() {
+        let kv = KvMap::parse("a=1 a=2").unwrap();
+        assert_eq!(kv.get("a"), Some("2"));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn from_kv_surfaces_unknown_keys() {
+        // A minimal FromKv impl exercising the recommended strict pattern:
+        // reject keys outside the known set so typos fail loudly.
+        #[derive(Debug)]
+        struct Strict {
+            n: u64,
+        }
+        impl FromKv for Strict {
+            fn from_kv(kv: &KvMap) -> Result<Self, String> {
+                for key in kv.keys() {
+                    if key != "n" {
+                        return Err(format!("unknown key {key:?} (expected \"n\")"));
+                    }
+                }
+                Ok(Strict { n: kv.get_parsed("n")?.unwrap_or(1) })
+            }
+        }
+        assert_eq!(Strict::from_kv_str("n=9").unwrap().n, 9);
+        let err = Strict::from_kv_str("m=9").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        assert!(err.contains('m'), "{err}");
+        assert!(Strict::from_kv_str("n=x").is_err());
+    }
+
+    #[test]
+    fn parser_handles_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("-2.5e3").unwrap(), JsonValue::Number(-2500.0));
+        assert_eq!(parse_json(r#""a\"b\\c\n""#).unwrap().as_str(), Some("a\"b\\c\n"));
+        assert_eq!(parse_json(r#""\u0007""#).unwrap().as_str(), Some("\u{7}"));
+    }
+
+    #[test]
+    fn parser_handles_containers_and_order() {
+        let v = parse_json(r#" {"b": [1, 2.5, null], "a": {"x": true}} "#).unwrap();
+        let members = match &v {
+            JsonValue::Object(m) => m,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().get("x").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1 2]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_parser() {
+        let doc = JsonObject::new()
+            .field("label", &"fbcc \"busy\"")
+            .field("rate", &1.25e6f64)
+            .field("nan", &f64::NAN)
+            .field("series", &{
+                let mut ts = TimeSeries::new();
+                ts.push(SimTime::from_millis(1), 2.0);
+                ts
+            })
+            .finish();
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("fbcc \"busy\""));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(1.25e6));
+        assert_eq!(v.get("nan").unwrap(), &JsonValue::Null);
+        let series = v.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series[0].as_array().unwrap()[0].as_f64(), Some(1000.0));
     }
 }

@@ -18,6 +18,9 @@
 //!   output serialize through these instead of `serde`.
 //! * [`process`] — small reusable stochastic processes (Ornstein–Uhlenbeck,
 //!   Markov on/off) used by the channel and cross-traffic models.
+//! * [`trace`] — the instrumentation plane: typed probes (counters, gauges,
+//!   timestamped events), pluggable sinks (null / ring / JSONL), and the
+//!   per-session [`trace::Recorder`] handle every layer reports through.
 //!
 //! The kernel follows the smoltcp idiom rather than an async runtime: every
 //! component exposes an explicit `poll(now)`-style API, and a top-level
@@ -30,12 +33,14 @@ pub mod process;
 pub mod rng;
 pub mod series;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use json::{FromKv, KvMap, ToJson};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};
+pub use trace::Recorder;
 
 /// One LTE subframe / TTI: 1 ms.
 pub const SUBFRAME: SimDuration = SimDuration::from_millis(1);

@@ -8,6 +8,28 @@
 
 use crate::time::{SimDuration, SimTime};
 
+/// Error returned by [`TimeSeries::try_push`] when a sample would land
+/// before the series' current tail. Carries both timestamps so callers can
+/// log or count the rejection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfOrderSample {
+    /// Timestamp of the newest sample already in the series.
+    pub last: SimTime,
+    /// Timestamp of the rejected sample.
+    pub rejected: SimTime,
+}
+
+impl std::fmt::Display for OutOfOrderSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-order sample at {} us (series tail is at {} us)",
+            self.rejected.as_micros(),
+            self.last.as_micros()
+        )
+    }
+}
+
 /// An append-only series of timestamped scalar samples.
 #[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
@@ -27,13 +49,29 @@ impl TimeSeries {
 
     /// Append a sample. Timestamps are expected to be non-decreasing; this is
     /// asserted in debug builds because out-of-order samples would corrupt
-    /// windowed reductions silently.
+    /// windowed reductions silently. Callers that cannot statically guarantee
+    /// ordering should use [`TimeSeries::try_push`] instead.
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(t, _)| t <= at),
+            self.samples.last().is_none_or(|&(t, _)| t <= at),
             "samples must be pushed in chronological order"
         );
         self.samples.push((at, value));
+    }
+
+    /// Append a sample, rejecting it with [`OutOfOrderSample`] if it would
+    /// land before the current tail. Unlike [`TimeSeries::push`], the check
+    /// runs in release builds too, so a misbehaving producer cannot silently
+    /// corrupt windowed reductions. The instrumentation plane
+    /// ([`crate::trace`]) routes every gauge sample through this.
+    pub fn try_push(&mut self, at: SimTime, value: f64) -> Result<(), OutOfOrderSample> {
+        if let Some(&(last, _)) = self.samples.last() {
+            if at < last {
+                return Err(OutOfOrderSample { last, rejected: at });
+            }
+        }
+        self.samples.push((at, value));
+        Ok(())
     }
 
     /// Number of samples.
@@ -153,7 +191,7 @@ impl TimeSeries {
                     / window.len() as f64;
                 out.push(var.sqrt());
             }
-            start = start + stride;
+            start += stride;
         }
         out
     }
@@ -238,5 +276,26 @@ mod tests {
         let mut s = TimeSeries::new();
         s.push(SimTime::from_millis(10), 1.0);
         s.push(SimTime::from_millis(5), 2.0);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_order_without_corrupting() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.try_push(SimTime::from_millis(10), 1.0), Ok(()));
+        let err = s.try_push(SimTime::from_millis(5), 2.0).unwrap_err();
+        assert_eq!(err.last, SimTime::from_millis(10));
+        assert_eq!(err.rejected, SimTime::from_millis(5));
+        assert!(err.to_string().contains("out-of-order"));
+        // The rejected sample must not have been appended.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last(), Some((SimTime::from_millis(10), 1.0)));
+    }
+
+    #[test]
+    fn try_push_accepts_equal_timestamps() {
+        let mut s = TimeSeries::new();
+        s.try_push(SimTime::from_millis(3), 1.0).unwrap();
+        s.try_push(SimTime::from_millis(3), 2.0).unwrap();
+        assert_eq!(s.len(), 2);
     }
 }

@@ -1,0 +1,535 @@
+//! The instrumentation plane: typed probes, pluggable sinks, per-session
+//! recorders.
+//!
+//! POI360's control loops are only explicable by correlating signals across
+//! layers — firmware-buffer occupancy against PHY throughput against pacing
+//! rate against per-frame quality (the paper's own Figs. 9–14 are exactly
+//! such correlations). Before this module, every crate hand-rolled its own
+//! [`TimeSeries`] plumbing into `SessionReport` and the interesting
+//! *decisions* (FBCC congestion verdicts, PF grant shares, compression mode
+//! switches) were invisible without code edits. The trace plane replaces
+//! that with one vocabulary:
+//!
+//! * **Probes** are named measurements. Names are `&'static str` in
+//!   `layer.signal` form (`fbcc.congestion_detected`, `cell.prb_grant`,
+//!   `pacer.rate_bps`, `video.mode_switch`) so emitting one costs a pointer,
+//!   not a formatting pass. Three kinds:
+//!   - *counters* ([`Recorder::count`]) — monotonically accumulated `u64`s,
+//!     retained per recorder (frames encoded, congestion detections);
+//!   - *gauges* ([`Recorder::gauge`]) — timestamped scalar samples retained
+//!     as a [`TimeSeries`] channel per recorder; `SessionReport` series are
+//!     derived from these channels at the end of a run;
+//!   - *events* ([`Recorder::event`]) — timestamped records forwarded to the
+//!     sink only, never retained in memory, for high-frequency signals
+//!     (per-subframe PRB grants) that would bloat a 90 s run.
+//! * **Sinks** ([`TraceSink`]) receive every probe emission. The null sink
+//!   (simply the absence of one — [`Recorder::null`]) reduces `event()` to
+//!   a branch on an `Option`; [`RingSink`] keeps the last N records for
+//!   tests; [`JsonlSink`] streams one JSON object per line through the
+//!   in-repo writer for offline analysis.
+//! * **Recorders** are per-session handles threaded through construction.
+//!   Each [`Recorder`] owns its gauge/counter channels (so parallel sessions
+//!   never share state) and optionally forwards to a sink shared only within
+//!   one session's thread (`Rc`, deliberately not `Send`). Cloning a
+//!   recorder shares its channels — that is how one session hands the same
+//!   registry to its pacer, encoder, and rate controller.
+//!
+//! Determinism contract: probes observe, they never influence. A recorder
+//! draws no randomness, schedules no events, and never changes a control
+//! decision; swapping sinks (or removing the recorder entirely) must leave
+//! simulation output byte-identical. The determinism suite pins this.
+
+use crate::json::JsonObject;
+use crate::series::TimeSeries;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// What kind of measurement a [`TraceRecord`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// A monotonic accumulation; `value` is the increment, not the total.
+    Counter,
+    /// An instantaneous scalar sample.
+    Gauge,
+    /// A point event, forwarded to the sink but not retained.
+    Event,
+}
+
+impl ProbeKind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeKind::Counter => "counter",
+            ProbeKind::Gauge => "gauge",
+            ProbeKind::Event => "event",
+        }
+    }
+}
+
+/// One probe emission as seen by a sink.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time of the emission.
+    pub at: SimTime,
+    /// Static probe name, `layer.signal` convention.
+    pub name: &'static str,
+    /// Counter, gauge, or event.
+    pub kind: ProbeKind,
+    /// Sample value (counter increments are cast to `f64`).
+    pub value: f64,
+}
+
+impl TraceRecord {
+    /// Render the JSONL line for this record from source `src` (no
+    /// trailing newline).
+    pub fn to_jsonl(&self, src: &str) -> String {
+        JsonObject::new()
+            .field("t_us", &self.at)
+            .field("src", &src)
+            .field("name", &self.name)
+            .field("kind", &self.kind.as_str())
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+/// Receiver of probe emissions.
+///
+/// Contract: a sink is a pure observer. It must not panic on any record,
+/// must tolerate interleaved sources (`src` distinguishes them), and must
+/// not be shared across threads (the handle type is `Rc`-based, which the
+/// compiler enforces). Sinks may buffer; [`TraceSink::flush`] is called when
+/// a driver wants bytes on disk.
+pub trait TraceSink {
+    /// Accept one record from source `src`.
+    fn record(&mut self, src: &str, rec: &TraceRecord);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Shared handle to a sink, cloneable across the recorders of one thread.
+pub type SinkHandle = Rc<RefCell<dyn TraceSink>>;
+
+/// A sink that drops everything. [`Recorder::null`] avoids even the virtual
+/// call, so this type exists mainly to document the bottom of the lattice
+/// and for tests that need a real (if inert) sink object.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _src: &str, _rec: &TraceRecord) {}
+}
+
+/// In-memory sink retaining the most recent `cap` records, for tests.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    records: VecDeque<(String, TraceRecord)>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` records (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a RingSink needs room for at least one record");
+        RingSink { cap, records: VecDeque::with_capacity(cap.min(1024)) }
+    }
+
+    /// Wrap in the shared-handle type recorders expect.
+    pub fn shared(cap: usize) -> Rc<RefCell<RingSink>> {
+        Rc::new(RefCell::new(RingSink::new(cap)))
+    }
+
+    /// The retained `(src, record)` pairs, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &(String, TraceRecord)> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many retained records carry probe `name`.
+    pub fn count_of(&self, name: &str) -> usize {
+        self.records.iter().filter(|(_, r)| r.name == name).count()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, src: &str, rec: &TraceRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+        }
+        self.records.push_back((src.to_string(), *rec));
+    }
+}
+
+/// Streaming JSONL sink: one JSON object per probe emission, written through
+/// the in-repo JSON writer. Also keeps per-probe-name counts so drivers can
+/// render a summary table without re-reading the file.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    counts: Vec<(&'static str, u64)>,
+    io_error: bool,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::to_writer(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream records into an arbitrary writer.
+    pub fn to_writer(out: W) -> Self {
+        JsonlSink { out, lines: 0, counts: Vec::new(), io_error: false }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// True if any write failed; the sink keeps counting but stops writing.
+    pub fn had_io_error(&self) -> bool {
+        self.io_error
+    }
+
+    /// Per-probe-name record counts, sorted by name.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts = self.counts.clone();
+        counts.sort_by_key(|&(name, _)| name);
+        counts
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, src: &str, rec: &TraceRecord) {
+        match self.counts.iter_mut().find(|(n, _)| std::ptr::eq(*n, rec.name) || *n == rec.name) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((rec.name, 1)),
+        }
+        if self.io_error {
+            return;
+        }
+        let line = rec.to_jsonl(src);
+        if writeln!(self.out, "{line}").is_err() {
+            // A trace must never take the simulation down with it; remember
+            // the failure and let the driver report it.
+            self.io_error = true;
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.io_error = true;
+        }
+    }
+}
+
+/// Gauge channels and counters owned by one recorder (shared by clones).
+#[derive(Debug, Default)]
+struct Channels {
+    gauges: Vec<(&'static str, TimeSeries)>,
+    counters: Vec<(&'static str, u64)>,
+    out_of_order_drops: u64,
+}
+
+impl Channels {
+    fn gauge_mut(&mut self, name: &'static str) -> &mut TimeSeries {
+        // Static names make pointer equality the common fast path; the
+        // string comparison only runs for distinct instantiations of the
+        // same literal (possible across codegen units).
+        let idx = self
+            .gauges
+            .iter()
+            .position(|&(n, _)| std::ptr::eq(n, name) || n == name)
+            .unwrap_or_else(|| {
+                self.gauges.push((name, TimeSeries::new()));
+                self.gauges.len() - 1
+            });
+        &mut self.gauges[idx].1
+    }
+
+    fn counter_mut(&mut self, name: &'static str) -> &mut u64 {
+        let idx = self
+            .counters
+            .iter()
+            .position(|&(n, _)| std::ptr::eq(n, name) || n == name)
+            .unwrap_or_else(|| {
+                self.counters.push((name, 0));
+                self.counters.len() - 1
+            });
+        &mut self.counters[idx].1
+    }
+}
+
+/// A per-session probe handle.
+///
+/// Cheap to clone (two `Rc` bumps); clones share the gauge/counter channels
+/// and the sink, which is how one session distributes the same recorder to
+/// its pacer, encoder, uplink, and rate controller. Distinct sessions must
+/// construct distinct recorders — the parallel experiment runner builds each
+/// session (and therefore each recorder) inside its own worker thread, so
+/// sharing is impossible by construction (`Recorder` is not `Send`).
+#[derive(Clone)]
+pub struct Recorder {
+    channels: Rc<RefCell<Channels>>,
+    sink: Option<SinkHandle>,
+    src: Rc<str>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::null()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("src", &self.src)
+            .field("has_sink", &self.sink.is_some())
+            .field("channels", &self.channels)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder with no sink: gauges and counters are retained for report
+    /// derivation, `event()` compiles down to a branch on a `None`.
+    pub fn null() -> Self {
+        Recorder {
+            channels: Rc::new(RefCell::new(Channels::default())),
+            sink: None,
+            src: Rc::from("session"),
+        }
+    }
+
+    /// A recorder forwarding every emission to `sink`, tagged as coming
+    /// from `src` ("session", "cell", "fg.00", ...).
+    pub fn to_sink(sink: SinkHandle, src: &str) -> Self {
+        Recorder {
+            channels: Rc::new(RefCell::new(Channels::default())),
+            sink: Some(sink),
+            src: Rc::from(src),
+        }
+    }
+
+    /// The source tag stamped on this recorder's sink records.
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// True when a sink is attached (used to skip building expensive
+    /// event payloads when nobody is listening).
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record a gauge sample: retained in the named channel and forwarded
+    /// to the sink. Out-of-order samples are rejected by
+    /// [`TimeSeries::try_push`] and counted instead of silently corrupting
+    /// windowed reductions; see [`Recorder::out_of_order_drops`].
+    pub fn gauge(&self, name: &'static str, at: SimTime, value: f64) {
+        {
+            let mut ch = self.channels.borrow_mut();
+            if ch.gauge_mut(name).try_push(at, value).is_err() {
+                ch.out_of_order_drops += 1;
+                debug_assert!(false, "out-of-order gauge sample on {name}");
+                return;
+            }
+        }
+        self.emit(name, at, ProbeKind::Gauge, value);
+    }
+
+    /// Increment the named counter by `n` and forward the increment.
+    pub fn count(&self, name: &'static str, at: SimTime, n: u64) {
+        *self.channels.borrow_mut().counter_mut(name) += n;
+        self.emit(name, at, ProbeKind::Counter, n as f64);
+    }
+
+    /// Record a point event: sink-only, nothing retained. With no sink this
+    /// is a single branch, so per-subframe call sites stay effectively free.
+    pub fn event(&self, name: &'static str, at: SimTime, value: f64) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(name, at, ProbeKind::Event, value);
+    }
+
+    fn emit(&self, name: &'static str, at: SimTime, kind: ProbeKind, value: f64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&self.src, &TraceRecord { at, name, kind, value });
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.channels.borrow().counters.iter().find(|&&(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Move the named gauge channel out of the recorder (empty series if the
+    /// probe never fired). Reports call this once at the end of a run so the
+    /// samples transfer without a copy.
+    pub fn take_gauge(&self, name: &str) -> TimeSeries {
+        let mut ch = self.channels.borrow_mut();
+        match ch.gauges.iter().position(|&(n, _)| n == name) {
+            Some(idx) => std::mem::take(&mut ch.gauges[idx].1),
+            None => TimeSeries::new(),
+        }
+    }
+
+    /// Snapshot of a gauge channel without consuming it.
+    pub fn gauge_series(&self, name: &str) -> TimeSeries {
+        self.channels
+            .borrow()
+            .gauges
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or_else(TimeSeries::new, |(_, s)| s.clone())
+    }
+
+    /// Gauge samples rejected for arriving out of chronological order.
+    pub fn out_of_order_drops(&self) -> u64 {
+        self.channels.borrow().out_of_order_drops
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, JsonValue};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn null_recorder_retains_gauges_and_counters() {
+        let rec = Recorder::null();
+        rec.gauge("pacer.rate_bps", t(1), 1.0e6);
+        rec.gauge("pacer.rate_bps", t(2), 2.0e6);
+        rec.count("video.frame_encoded", t(2), 1);
+        rec.count("video.frame_encoded", t(3), 1);
+        rec.event("cell.prb_grant", t(3), 40.0); // dropped: no sink
+        assert_eq!(rec.gauge_series("pacer.rate_bps").len(), 2);
+        assert_eq!(rec.counter("video.frame_encoded"), 2);
+        assert_eq!(rec.counter("never.fired"), 0);
+        let taken = rec.take_gauge("pacer.rate_bps");
+        assert_eq!(taken.len(), 2);
+        assert!(rec.gauge_series("pacer.rate_bps").is_empty(), "take moves the samples out");
+    }
+
+    #[test]
+    fn clones_share_channels() {
+        let rec = Recorder::null();
+        let clone = rec.clone();
+        clone.count("fbcc.congestion_detected", t(5), 1);
+        clone.gauge("uplink.phy_rate_bps", t(5), 9.0e6);
+        assert_eq!(rec.counter("fbcc.congestion_detected"), 1);
+        assert_eq!(rec.gauge_series("uplink.phy_rate_bps").len(), 1);
+    }
+
+    #[test]
+    fn ring_sink_sees_all_kinds_and_evicts_oldest() {
+        let ring = RingSink::shared(2);
+        let rec = Recorder::to_sink(ring.clone(), "fg.00");
+        rec.count("a.one", t(1), 1);
+        rec.gauge("a.two", t(2), 2.0);
+        rec.event("a.three", t(3), 3.0);
+        let sink = ring.borrow();
+        assert_eq!(sink.len(), 2, "capacity 2 evicts the oldest");
+        assert_eq!(sink.count_of("a.one"), 0);
+        assert_eq!(sink.count_of("a.two"), 1);
+        assert_eq!(sink.count_of("a.three"), 1);
+        let (src, last) = sink.records().last().unwrap();
+        assert_eq!(src, "fg.00");
+        assert_eq!(last.kind, ProbeKind::Event);
+        assert_eq!(last.value, 3.0);
+    }
+
+    #[test]
+    fn out_of_order_gauge_is_dropped_and_counted() {
+        let rec = Recorder::null();
+        rec.gauge("x.y", t(10), 1.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rec.gauge("x.y", t(5), 2.0);
+        }));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug builds assert on out-of-order gauges");
+        } else {
+            assert!(result.is_ok());
+            assert_eq!(rec.out_of_order_drops(), 1);
+            assert_eq!(rec.gauge_series("x.y").len(), 1);
+        }
+    }
+
+    #[test]
+    fn jsonl_record_round_trips_through_parser() {
+        let rec = TraceRecord {
+            at: t(1500),
+            name: "fbcc.congestion_detected",
+            kind: ProbeKind::Counter,
+            value: 1.0,
+        };
+        let line = rec.to_jsonl("session");
+        let v = parse_json(&line).expect("sink output must be valid JSON");
+        assert_eq!(v.get("t_us").unwrap().as_f64(), Some(1_500_000.0));
+        assert_eq!(v.get("src").unwrap().as_str(), Some("session"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fbcc.congestion_detected"));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("counter"));
+        assert_eq!(v.get("value").unwrap().as_f64(), Some(1.0));
+        // Field order is part of the format: stable across runs.
+        match v {
+            JsonValue::Object(members) => {
+                let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["t_us", "src", "name", "kind", "value"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record_and_counts() {
+        let mut sink = JsonlSink::to_writer(Vec::new());
+        let r1 =
+            TraceRecord { at: t(1), name: "cell.prb_grant", kind: ProbeKind::Event, value: 40.0 };
+        let r2 =
+            TraceRecord { at: t(2), name: "cell.prb_grant", kind: ProbeKind::Event, value: 38.0 };
+        let r3 =
+            TraceRecord { at: t(2), name: "pacer.rate_bps", kind: ProbeKind::Gauge, value: 1e6 };
+        sink.record("cell", &r1);
+        sink.record("cell", &r2);
+        sink.record("session", &r3);
+        assert_eq!(sink.lines(), 3);
+        assert_eq!(sink.counts(), vec![("cell.prb_grant", 2), ("pacer.rate_bps", 1)]);
+        assert!(!sink.had_io_error());
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            parse_json(line).expect("every JSONL line parses");
+        }
+    }
+}

@@ -32,6 +32,26 @@ pub fn results_dir() -> PathBuf {
         .join("bench_results")
 }
 
+/// The git commit the bench binary was run against, or `"unknown"`
+/// outside a work tree. Queried once per suite at `finish` time so bench
+/// JSON is attributable to a revision when comparing runs.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The invoking command line, for reproducing a recorded suite verbatim.
+fn invocation() -> Vec<String> {
+    std::env::args().collect()
+}
+
 /// Calibration target for one timed batch.
 const TARGET_BATCH: Duration = Duration::from_millis(20);
 
@@ -142,11 +162,16 @@ impl Bench {
         &self.results
     }
 
-    /// Render the suite as a JSON document.
+    /// Render the suite as a JSON document, stamped with the git commit
+    /// and the exact command line that produced it.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"suite\":");
         self.suite.write_json(&mut out);
+        out.push_str(",\"commit\":");
+        git_commit().write_json(&mut out);
+        out.push_str(",\"invocation\":");
+        invocation().write_json(&mut out);
         out.push_str(",\"results\":[\n");
         for (k, r) in self.results.iter().enumerate() {
             if k > 0 {
@@ -232,6 +257,16 @@ mod tests {
         assert!(json.contains("\"suite\":\"unit\""));
         assert!(json.contains("\"name\":\"spin\""));
         assert!(json.contains("median_ns"));
+    }
+
+    #[test]
+    fn suite_json_is_stamped_with_commit_and_invocation() {
+        let json = Bench::new("stamped").to_json();
+        let doc = poi360_sim::json::parse_json(&json).expect("suite JSON parses");
+        let commit = doc.get("commit").and_then(|v| v.as_str()).expect("commit string");
+        assert!(commit == "unknown" || commit.len() == 40, "commit {commit:?}");
+        let invocation = doc.get("invocation").and_then(|v| v.as_array()).expect("argv array");
+        assert!(!invocation.is_empty(), "argv records at least the binary name");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use crate::rtcp::RttEstimator;
 use poi360_net::packet::Packet;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 
 /// Detector output signal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -350,6 +351,7 @@ pub struct GccSender {
     rtt: RttEstimator,
     min_rate: f64,
     max_rate: f64,
+    recorder: Recorder,
 }
 
 impl GccSender {
@@ -361,7 +363,13 @@ impl GccSender {
             rtt: RttEstimator::new(),
             min_rate: 50_000.0,
             max_rate: 30.0e6,
+            recorder: Recorder::null(),
         }
+    }
+
+    /// Attach the session's probe recorder.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Feed a receiver report's loss fraction plus an RTT sample.
@@ -378,6 +386,8 @@ impl GccSender {
     /// Feed a REMB message from the receiver.
     pub fn on_remb(&mut self, remb: Remb) {
         self.remb_bps = remb.rate_bps.clamp(self.min_rate, self.max_rate);
+        self.recorder.event("gcc.remb_bps", remb.at, self.remb_bps);
+        self.recorder.event("gcc.target_rate_bps", remb.at, self.target_rate_bps());
     }
 
     /// The GCC target rate `R_gcc`: REMB bounded by the loss controller.
@@ -412,12 +422,10 @@ mod tests {
     /// Feed `n` frames with send interval `send_gap_ms` and per-frame
     /// arrival delay given by `delay_ms(frame)`.
     fn drive(rx: &mut GccReceiver, n: u64, send_gap_ms: u64, delay_ms: impl Fn(u64) -> u64) {
-        let mut seq = 0;
         for f in 0..n {
             let sent = f * send_gap_ms;
             let arrival = sent + delay_ms(f);
-            rx.on_packet(&frame_pkt(f, seq, sent), SimTime::from_millis(arrival));
-            seq += 1;
+            rx.on_packet(&frame_pkt(f, f, sent), SimTime::from_millis(arrival));
         }
     }
 

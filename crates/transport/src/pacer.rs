@@ -7,6 +7,7 @@
 
 use poi360_net::packet::Packet;
 use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::Recorder;
 use std::collections::VecDeque;
 
 /// The pacer.
@@ -20,6 +21,7 @@ pub struct Pacer {
     queue: VecDeque<Packet>,
     queued_bytes: u64,
     last_tick: SimTime,
+    recorder: Recorder,
 }
 
 impl Pacer {
@@ -33,7 +35,13 @@ impl Pacer {
             queue: VecDeque::new(),
             queued_bytes: 0,
             last_tick: SimTime::ZERO,
+            recorder: Recorder::null(),
         }
+    }
+
+    /// Attach the session's probe recorder.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Current pacing rate (bps).
@@ -85,6 +93,10 @@ impl Pacer {
             self.credit_bytes -= pkt.bytes as f64;
             self.queued_bytes -= pkt.bytes as u64;
             out.push(pkt);
+        }
+        if !out.is_empty() {
+            let released: u64 = out.iter().map(|p| p.bytes as u64).sum();
+            self.recorder.event("pacer.released_bytes", now, released as f64);
         }
         out
     }

@@ -111,15 +111,9 @@ impl ReceiverStats {
 }
 
 /// Sender-side RTT estimator fed by report round trips.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RttEstimator {
     srtt: Option<SimDuration>,
-}
-
-impl Default for RttEstimator {
-    fn default() -> Self {
-        RttEstimator { srtt: None }
-    }
 }
 
 impl RttEstimator {

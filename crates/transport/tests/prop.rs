@@ -33,7 +33,7 @@ fn pacer_conserves_and_limits() {
         // Generous horizon: enough ms to drain everything at the rate.
         let horizon_ms = (total_bytes as f64 * 8.0 / rate * 1e3) as u64 + 100;
         for _ in 0..horizon_ms {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             for p in pacer.tick(now) {
                 released.push(p.seq);
                 released_bytes += p.bytes as u64;
@@ -77,20 +77,18 @@ fn gcc_receiver_rate_clamped() {
     prop_check!(64, |g| {
         let delays = g.vec_u64(10, 120, 10, 499);
         let mut rx = GccReceiver::new(2.0e6);
-        let mut seq = 0u64;
         for (f, &d) in delays.iter().enumerate() {
             let sent = SimTime::from_millis(f as u64 * 28);
             let arrival = sent + SimDuration::from_millis(d);
             rx.on_packet(
                 &Packet::video(
-                    seq,
+                    f as u64,
                     1_240,
                     sent,
                     FrameTag { frame_no: f as u64, index: 0, count: 1 },
                 ),
                 arrival,
             );
-            seq += 1;
         }
         if let Some(remb) = rx.poll_remb(SimTime::from_secs(100)) {
             prop_assert!(remb.rate_bps >= 50_000.0);

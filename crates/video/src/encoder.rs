@@ -23,6 +23,7 @@ use crate::rd::RdModel;
 use crate::roi::Roi;
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::SimTime;
+use poi360_sim::Recorder;
 
 /// Encoder configuration.
 #[derive(Clone, Copy, Debug)]
@@ -161,6 +162,7 @@ pub struct Encoder {
     keyframe_requested: bool,
     /// Matrix of the previous frame, for intra-upgrade costing.
     last_matrix: Option<CompressionMatrix>,
+    recorder: Recorder,
 }
 
 impl Encoder {
@@ -173,7 +175,13 @@ impl Encoder {
             rate_debt_bits: 0.0,
             keyframe_requested: true, // first frame is always a keyframe
             last_matrix: None,
+            recorder: Recorder::null(),
         }
+    }
+
+    /// Attach the session's probe recorder.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// Configuration in use.
@@ -242,7 +250,7 @@ impl Encoder {
         let keyframe = self.keyframe_requested
             || scene_change
             || (self.cfg.keyframe_interval > 0
-                && frame_no % self.cfg.keyframe_interval as u64 == 0);
+                && frame_no.is_multiple_of(self.cfg.keyframe_interval as u64));
         self.keyframe_requested = false;
 
         // Budget: target bits/frame, minus outstanding debt, times keyframe
@@ -306,10 +314,16 @@ impl Encoder {
             })
             .collect();
 
+        let bytes = (spent / 8.0).ceil() as u32;
+        if keyframe {
+            self.recorder.count("video.keyframe", now, 1);
+        }
+        self.recorder.event("video.frame_bytes", now, bytes as f64);
+
         EncodedFrame {
             frame_no,
             capture_time: now,
-            bytes: (spent / 8.0).ceil() as u32,
+            bytes,
             keyframe,
             sender_roi,
             matrix: matrix.clone(),
@@ -371,7 +385,7 @@ mod tests {
             let f = enc.encode(now, roi, &matrix, &content, target);
             total_bits += f.bytes as f64 * 8.0;
             content.advance_frame();
-            now = now + enc.config().frame_interval();
+            now += enc.config().frame_interval();
         }
         let rate = total_bits / (n as f64 / enc.config().fps);
         assert!((rate / target - 1.0).abs() < 0.1, "rate {rate} target {target}");
@@ -388,7 +402,7 @@ mod tests {
         for _ in 0..n {
             let f = enc.encode(now, roi, &matrix, &content, 50.0e6);
             total_bits += f.bytes as f64 * 8.0;
-            now = now + enc.config().frame_interval();
+            now += enc.config().frame_interval();
         }
         let rate = total_bits / (n as f64 / enc.config().fps);
         assert!(rate < req * 1.25, "rate {rate} should stay near required {req}");
@@ -445,7 +459,7 @@ mod tests {
         let mut steady = 0u32;
         for _ in 0..20 {
             steady = enc.encode(now, roi_a, &m_a, &content, target).bytes;
-            now = now + enc.config().frame_interval();
+            now += enc.config().frame_interval();
         }
         // ROI jumps: 9 tiles upgraded floor -> full.
         let burst = enc.encode(now, roi_b, &m_b, &content, target).bytes;
@@ -467,7 +481,7 @@ mod tests {
             let mut steady = 0u32;
             for _ in 0..20 {
                 steady = enc.encode(now, roi_a, &m_a, &content, 2.0e6).bytes;
-                now = now + enc.config().frame_interval();
+                now += enc.config().frame_interval();
             }
             enc.encode(now, roi_b, &m_b, &content, 2.0e6).bytes as f64 / steady as f64
         };

@@ -6,7 +6,7 @@ use poi360::core::config::{CompressionScheme, NetworkKind, RateControlKind, Sess
 use poi360::core::multicell::{FlowSpec, MultiCell, MultiCellConfig};
 use poi360::core::session::Session;
 use poi360::lte::buffer::PacketLike;
-use poi360::lte::cell::{Cell, CellConfig, UeId};
+use poi360::lte::cell::{Cell, CellConfig};
 use poi360::lte::channel::ChannelConfig;
 use poi360::lte::scenario::Scenario;
 use poi360::sim::json::ToJson;
@@ -98,7 +98,7 @@ fn per_ue_streams_decouple_foreground_from_background() {
             let out = cell.subframe(now);
             tbs.push(out.per_ue[0].tbs_bits);
             cqi.push(out.per_ue[0].cqi);
-            now = now + SUBFRAME;
+            now += SUBFRAME;
         }
         (tbs, cqi)
     };
