@@ -48,6 +48,15 @@ echo "== trace smoke (probe JSONL export) =="
 cargo run --release -p poi360-bench --bin reproduce -- trace --smoke >/dev/null
 test -s bench_results/trace_smoke.jsonl
 
+echo "== fault-injection smoke (recovery invariants, FBCC vs GCC) =="
+cargo run --release -p poi360-bench --bin reproduce -- faults --smoke >/dev/null
+test -s bench_results/faults_smoke.jsonl
+
+echo "== fault regression suite, 3-seed matrix =="
+for seed in 1 2 3; do
+    POI360_FAULT_SEED=$seed cargo test -q --release --test faults
+done
+
 echo "== cell-scale micro-benchmark =="
 cargo bench -p poi360-bench --bench cell_scale
 

@@ -20,6 +20,14 @@
 //! `bench_results/trace_<scenario>.jsonl`, one JSON object per line, plus
 //! a probe-count summary table. `trace --smoke` is the CI entry point: a
 //! 5 s busy-cell run emitting `bench_results/trace_smoke.jsonl`.
+//!
+//! `faults` runs the named fault-injection scenarios (radio link failure,
+//! diag stall, grant starvation, feedback blackout, wireline spike, flash
+//! crowd, and a stacked combination) under both FBCC and GCC, checks the
+//! recovery invariants, runs the whole batch twice and asserts the JSONL
+//! trace streams are byte-identical, and writes
+//! `bench_results/faults[_smoke].jsonl` plus a verdict table. Any violated
+//! invariant makes the process exit nonzero, so CI can gate on it.
 
 use poi360_bench::experiments as exp;
 use poi360_bench::runner::ExpConfig;
@@ -43,6 +51,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("coexist", "FBCC/GCC flows sharing one cell"),
     ("ablation", "prediction, mode, policy, and edge-relay ablations"),
     ("trace", "probe-stream JSONL export for one scenario (see --help text)"),
+    ("faults", "fault-injection robustness suite, FBCC vs GCC (see --help text)"),
     ("all", "every figure and table above"),
     ("list", "print this subcommand list (also --list)"),
     ("smoke", "quick JSON bench + aggregate sanity run (also --smoke)"),
@@ -66,6 +75,7 @@ fn usage() -> ! {
         "usage: reproduce <fig5|fig6|table1|fig11|fig12|fig13|fig14|fig15|fig16|fig17|coexist|ablation|all> \
          [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
          \x20      reproduce trace [busy|baseline|quiet|coexist] [--seconds N] [--seed N] [--smoke]\n\
+         \x20      reproduce faults [scenario] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce --list    (enumerate subcommands)\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)"
     );
@@ -95,8 +105,10 @@ fn smoke() {
 }
 
 /// `reproduce trace <scenario>` — run one scenario with a JSONL sink
-/// attached and render a probe-count summary table.
-fn trace(args: &[String]) {
+/// attached and render a probe-count summary table. Returns the number of
+/// failures (a failed trace write is a failure, not a warning, so CI can
+/// gate on the exit code).
+fn trace(args: &[String]) -> usize {
     use poi360_core::config::{NetworkKind, RateControlKind, SessionConfig};
     use poi360_core::multicell::{FlowSpec, MultiCell, MultiCellConfig};
     use poi360_core::session::Session;
@@ -203,8 +215,10 @@ fn trace(args: &[String]) {
 
     sink.borrow_mut().flush();
     let sink = sink.borrow();
+    let mut failures = 0;
     if sink.had_io_error() {
-        eprintln!("warning: some trace writes to {} failed", path.display());
+        eprintln!("FAIL: some trace writes to {} failed", path.display());
+        failures += 1;
     }
     let mut t = Table::new(
         format!("Probe counts — scenario `{scenario}`, {seconds}s, seed {seed}"),
@@ -219,6 +233,110 @@ fn trace(args: &[String]) {
     if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
         let _ = f.write_all(out.as_bytes());
     }
+    failures
+}
+
+/// `reproduce faults [scenario]` — run the named fault-injection presets
+/// under both FBCC and GCC, judge the recovery invariants, and prove the
+/// whole batch byte-identical across a rerun. Returns the number of
+/// failed invariants (plus one if the rerun diverged).
+fn faults(args: &[String]) -> usize {
+    use poi360_bench::faults as fi;
+    use poi360_lte::scenario::{FaultScenario, FAULT_RUN_SECS};
+    use poi360_metrics::table::Table;
+
+    let mut seconds: u64 = FAULT_RUN_SECS;
+    let mut seed: u64 = 1;
+    let mut smoke = false;
+    let mut which: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                // CI entry point: the whole fault timeline compressed 4x.
+                smoke = true;
+                seconds = 6;
+            }
+            "--seconds" => {
+                seconds = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            name if !name.starts_with('-') => which = Some(name.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let scenarios: Vec<FaultScenario> = match &which {
+        Some(name) => match FaultScenario::by_name(name) {
+            Some(fs) => vec![fs],
+            None => {
+                let names: Vec<&str> = FaultScenario::all().iter().map(|f| f.name).collect();
+                eprintln!("unknown fault scenario `{name}`; expected one of: {}", names.join(", "));
+                std::process::exit(2);
+            }
+        },
+        None => FaultScenario::all(),
+    };
+
+    eprintln!(
+        "# fault suite: {} scenarios x {{FBCC, GCC}}, {seconds}s each, seed {seed}, run twice",
+        scenarios.len()
+    );
+    let (outcomes, bytes) = fi::run_suite(&scenarios, seconds, seed);
+    let (_, rerun) = fi::run_suite(&scenarios, seconds, seed);
+    let deterministic = bytes == rerun;
+
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let stem = if smoke { "faults_smoke" } else { "faults" };
+    let path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&path, &bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+
+    let mut failures = 0;
+    let mut t = Table::new(
+        format!("Fault robustness — {seconds}s runs, seed {seed}"),
+        &["Scenario", "RC", "Pre Mbps", "Post Mbps", "Freeze %", "Tail buf KB", "Verdict"],
+    );
+    for o in &outcomes {
+        let v = &o.verdict;
+        let verdict = if v.pass() {
+            "pass".to_string()
+        } else {
+            failures += 1;
+            format!("FAIL: {}", v.failures().join(","))
+        };
+        t.row(vec![
+            o.scenario.to_string(),
+            o.rc.label().to_string(),
+            format!("{:.2}", v.pre_rate_bps / 1e6),
+            format!("{:.2}", v.post_rate_bps / 1e6),
+            format!("{:.1}", v.freeze_ratio * 100.0),
+            format!("{:.0}", v.tail_buffer_bytes / 1e3),
+            verdict,
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "trace determinism: {}\n",
+        if deterministic { "byte-identical across reruns" } else { "FAIL: reruns differ" }
+    ));
+    if !deterministic {
+        failures += 1;
+    }
+    out.push_str(&format!("{} JSONL bytes -> {}\n", bytes.len(), path.display()));
+    println!("{out}");
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
+        let _ = f.write_all(out.as_bytes());
+    }
+    failures
 }
 
 fn main() {
@@ -236,7 +354,15 @@ fn main() {
         return;
     }
     if what == "trace" {
-        trace(&args[1..]);
+        if trace(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if what == "faults" {
+        if faults(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
         return;
     }
     let mut cfg = ExpConfig::default();
@@ -345,10 +471,20 @@ fn main() {
 
     let dir = poi360_testkit::results_dir();
     std::fs::create_dir_all(&dir).ok();
+    let mut failures = 0;
     for (name, text) in &outputs {
         println!("{text}");
         if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
             let _ = f.write_all(text.as_bytes());
         }
+        // Generators mark violated self-checks with a FAIL line; surface
+        // them in the exit code so ci.sh actually gates on the run.
+        if text.contains("FAIL") {
+            eprintln!("{name}: output contains a FAIL marker");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
     }
 }

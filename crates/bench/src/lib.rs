@@ -5,6 +5,7 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
 
 pub mod experiments;
+pub mod faults;
 pub mod runner;
 
 pub use experiments::*;

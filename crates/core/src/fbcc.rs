@@ -513,4 +513,43 @@ mod tests {
         f.on_diag(&report(1_040, &buffers2, 3_500), RTT, SimTime::from_millis(1_080));
         assert_eq!(f.detections(), 1);
     }
+
+    /// A diag-read stall repeats the last sample verbatim. Eq. 3 requires
+    /// K *strictly* increasing samples, so a frozen B(t) — however far
+    /// above Γ — must never read as congestion, at either evidence scale.
+    #[test]
+    fn frozen_diag_samples_never_detect() {
+        let mut f = warmed();
+        // 30 epochs (1.2 s) of the identical sample, 12x above Γ (~5k).
+        for epoch in 0..30u64 {
+            let detected = f.on_diag(
+                &report(1_000 + epoch * 40, &[60_000; 40], 3_500),
+                RTT,
+                SimTime::from_millis(1_040 + epoch * 40),
+            );
+            assert!(!detected, "frozen sample read as congestion at epoch {epoch}");
+        }
+        assert_eq!(f.detections(), 0);
+        assert!(!f.holding(SimTime::from_millis(2_240)));
+    }
+
+    /// The stall must not poison the evidence window either: once live
+    /// samples resume and genuinely grow, detection fires again.
+    #[test]
+    fn detection_recovers_after_frozen_stall() {
+        let mut f = warmed();
+        for epoch in 0..30u64 {
+            f.on_diag(
+                &report(1_000 + epoch * 40, &[20_000; 40], 3_500),
+                RTT,
+                SimTime::from_millis(1_040 + epoch * 40),
+            );
+        }
+        assert_eq!(f.detections(), 0);
+        // Stall clears and the buffer really ramps: congestion detected.
+        let buffers: Vec<u64> = (0..40).map(|k| 22_000 + k * 1_500).collect();
+        let detected = f.on_diag(&report(2_200, &buffers, 3_500), RTT, SimTime::from_millis(2_240));
+        assert!(detected, "real growth after a stall must still detect");
+        assert_eq!(f.detections(), 1);
+    }
 }

@@ -18,6 +18,7 @@ use poi360_lte::cell::{Cell, CellConfig, UeId};
 use poi360_lte::channel::ChannelConfig;
 use poi360_lte::scenario::BackgroundLoad;
 use poi360_net::packet::Packet;
+use poi360_sim::fault::FaultPlan;
 use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
@@ -72,6 +73,10 @@ pub struct MultiCellConfig {
     pub seed: u64,
     /// Initial encoding bitrate for every flow, bps.
     pub start_rate_bps: f64,
+    /// Fault plan: access-level kinds are applied by the shared cell (to
+    /// every foreground UE at once), path-level kinds by each session's
+    /// pipes. Empty by default — a no-op.
+    pub faults: FaultPlan,
 }
 
 impl Default for MultiCellConfig {
@@ -84,6 +89,7 @@ impl Default for MultiCellConfig {
             duration: SimDuration::from_secs(60),
             seed: 1,
             start_rate_bps: 1.0e6,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -145,6 +151,9 @@ impl MultiCell {
             let rec = Recorder::to_sink(Rc::clone(sink), "cell");
             cell.borrow_mut().set_recorder(&rec);
         }
+        if !cfg.faults.is_empty() {
+            cell.borrow_mut().set_fault_plan(cfg.faults.clone());
+        }
         let mut sessions = Vec::with_capacity(cfg.flows.len());
         for (k, flow) in cfg.flows.iter().enumerate() {
             let label = format!("fg.{k:02}");
@@ -165,12 +174,14 @@ impl MultiCell {
                 Some(sink) => Recorder::to_sink(Rc::clone(sink), &label),
                 None => Recorder::null(),
             };
-            sessions.push(Session::with_shared_cell_traced(
-                session_cfg,
-                Rc::clone(&cell),
-                ue,
-                recorder,
-            ));
+            let mut session =
+                Session::with_shared_cell_traced(session_cfg, Rc::clone(&cell), ue, recorder);
+            if !cfg.faults.is_empty() {
+                // Only the path slice applies here; the cell owns the
+                // access slice for all its UEs at once.
+                session.set_fault_plan(&cfg.faults);
+            }
+            sessions.push(session);
         }
         cell.borrow_mut().attach_background_population(cfg.background_ues);
         MultiCell { cfg, cell, sessions, now: SimTime::ZERO }

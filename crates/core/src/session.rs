@@ -41,6 +41,7 @@ use poi360_lte::uplink::{CellUplink, SubframeOutcome};
 use poi360_net::packet::Packet;
 use poi360_net::pipe::{DelayPipe, PipeConfig};
 use poi360_net::wireline::{WirelineConfig, WirelineLink};
+use poi360_sim::fault::{FaultPlan, FaultTimeline};
 use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::Recorder;
 use poi360_transport::gcc::{GccReceiver, Remb};
@@ -66,6 +67,11 @@ const STALENESS_ONSET: f64 = 0.45; // seconds
 
 /// Quality decay per second of excess delay, dB.
 const STALENESS_SLOPE: f64 = 35.0;
+
+/// Oldest original send time a NACK can still resurrect (WebRTC's
+/// time-limited RTX history). The receiver abandons an incomplete frame
+/// 1 s after its first packet, so older retransmissions cannot help.
+const RTX_MAX_AGE: SimDuration = SimDuration::from_millis(500);
 
 /// Messages on the client → sender feedback path (WebRTC data channel +
 /// RTCP).
@@ -123,6 +129,9 @@ pub struct Session {
     access: Access,
     downstream: DelayPipe<Packet>,
     feedback: DelayPipe<FeedbackMsg>,
+    /// Path-level fault plan (feedback loss, wireline spikes); access-level
+    /// faults live inside the uplink/cell.
+    path_faults: FaultTimeline,
 
     // ---- client ----
     viewer: HeadMotion,
@@ -249,6 +258,7 @@ impl Session {
             access,
             downstream: DelayPipe::new(downstream_cfg, cfg.seed ^ 0xd0),
             feedback: DelayPipe::new(feedback_cfg, cfg.seed ^ 0xfb),
+            path_faults: FaultTimeline::default(),
             viewer: HeadMotion::new(cfg.user, MotionConfig::default(), cfg.seed ^ 0x9e),
             reassembler: Reassembler::new(SimDuration::from_millis(1_500)),
             gcc_rx: GccReceiver::new(cfg.start_rate_bps),
@@ -262,6 +272,32 @@ impl Session {
             rx_bytes_this_second: 0,
             current_second: 0,
             cfg,
+        }
+    }
+
+    /// Build a session with a fault plan attached (no trace sink).
+    pub fn faulted(cfg: SessionConfig, plan: &FaultPlan) -> Self {
+        Session::faulted_traced(cfg, plan, Recorder::null())
+    }
+
+    /// [`Session::faulted`] with an explicit probe recorder.
+    pub fn faulted_traced(cfg: SessionConfig, plan: &FaultPlan, recorder: Recorder) -> Self {
+        let mut s = Session::traced(cfg, recorder);
+        s.set_fault_plan(plan);
+        s
+    }
+
+    /// Attach a fault plan to this session. Path-level kinds (feedback
+    /// loss, wireline spikes) are applied at the session's pipe seams;
+    /// access-level kinds are forwarded to a standalone cellular uplink.
+    /// Shared-cell sessions get access faults through the cell itself
+    /// ([`poi360_lte::cell::Cell::set_fault_plan`], normally via
+    /// `MultiCellConfig::faults`), and wireline access has no radio to
+    /// fail, so in both cases the access slice is ignored here.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.path_faults = FaultTimeline::new(plan.path_slice());
+        if let Access::Cellular(ul) = &mut self.access {
+            ul.set_fault_plan(plan.clone());
         }
     }
 
@@ -322,7 +358,12 @@ impl Session {
         let client_roi = self.viewer.roi(&self.cfg.encoder.geometry.grid);
         self.monitor.on_roi_update(now, &client_roi);
 
-        // 2. Feedback arrivals at the sender.
+        // 2. Path-level fault state, then feedback arrivals at the sender.
+        if !self.path_faults.is_empty() {
+            let af = self.path_faults.advance(now, &self.recorder);
+            self.feedback.set_fault_state(SimDuration::ZERO, af.feedback_loss);
+            self.downstream.set_fault_state(af.extra_path_delay, af.extra_path_loss);
+        }
         self.feedback.tick(now);
         for (_, msg) in self.feedback.poll(now) {
             self.sender_handle_feedback(msg);
@@ -431,10 +472,16 @@ impl Session {
             }
             FeedbackMsg::Remb(remb) => self.rate.on_remb(remb),
             FeedbackMsg::Nack(seq) => {
+                // The RTX history is time-limited (as in WebRTC): a packet
+                // this old can no longer beat the receiver's abandon timer,
+                // and honoring stale NACKs after an outage clears would
+                // turn the backlog into a retransmission storm.
                 if let Some(pkt) = self.sent_packets.get(&seq) {
-                    let mut retx = pkt.clone();
-                    retx.retransmit = true;
-                    self.pacer.enqueue_front(retx);
+                    if self.now.saturating_since(pkt.sent_at) <= RTX_MAX_AGE {
+                        let mut retx = pkt.clone();
+                        retx.retransmit = true;
+                        self.pacer.enqueue_front(retx);
+                    }
                 }
             }
             FeedbackMsg::Pli => self.encoder.request_keyframe(),

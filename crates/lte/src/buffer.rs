@@ -81,6 +81,18 @@ impl<T: PacketLike> FirmwareBuffer<T> {
         self.queue.front().map(|q| now.saturating_since(q.enqueued_at))
     }
 
+    /// Discard everything queued, counting each packet as dropped. This
+    /// is what RRC re-establishment does to the RLC buffer after a radio
+    /// link failure: queued data is lost, not delivered seconds late.
+    /// Returns the number of packets discarded.
+    pub fn flush(&mut self) -> u64 {
+        let n = self.queue.len() as u64;
+        self.queue.clear();
+        self.level_bytes = 0;
+        self.dropped += n;
+        n
+    }
+
     /// Offer a packet; drop-tail on overflow. Returns `true` if accepted.
     pub fn enqueue(&mut self, item: T, now: SimTime) -> bool {
         let bytes = item.wire_bytes() as u64;

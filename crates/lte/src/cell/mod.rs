@@ -33,6 +33,7 @@ use crate::scenario::BackgroundLoad;
 use crate::tbs;
 use crate::uplink::SubframeOutcome;
 use background::{BackgroundTraffic, BackgroundTrafficConfig};
+use poi360_sim::fault::{FaultPlan, FaultTimeline};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::Recorder;
@@ -148,6 +149,8 @@ struct ForegroundUe<T> {
     link: UeLink,
     fw: FirmwareBuffer<T>,
     diag: DiagInterface,
+    /// Frozen `(buffer_bytes, tbs_bits)` while a diag stall is active.
+    stale_diag: Option<(u64, u32)>,
 }
 
 /// A background UE: an on/off byte backlog that competes for PRBs.
@@ -195,6 +198,11 @@ pub struct Cell<T> {
     bg: Vec<BackgroundUe>,
     subframes: u64,
     prbs_granted_total: u64,
+    /// Access-network fault plan, applied to every foreground UE.
+    faults: FaultTimeline,
+    /// Whether an injected radio link failure was active last subframe,
+    /// for the re-establishment flush on its trailing edge.
+    was_rlf: bool,
     recorder: Recorder,
 }
 
@@ -208,8 +216,21 @@ impl<T: PacketLike> Cell<T> {
             bg: Vec::new(),
             subframes: 0,
             prbs_granted_total: 0,
+            faults: FaultTimeline::default(),
+            was_rlf: false,
             recorder: Recorder::null(),
         }
+    }
+
+    /// Attach the access-network slice of a fault plan. Faults apply to the
+    /// cell's *foreground* UEs (the telephony sessions under test): radio
+    /// link failure forces them into outage, grant starvation scales their
+    /// grants, diag stalls freeze their logged samples, and a flash crowd
+    /// removes a fraction of the cell's PRBs as if a sudden background
+    /// population claimed them. Transition events are emitted on the cell's
+    /// recorder.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultTimeline::new(plan.access_slice());
     }
 
     /// Attach the cell's probe recorder (scheduler-level probes; per-UE
@@ -235,6 +256,7 @@ impl<T: PacketLike> Cell<T> {
             link: UeLink::new(self.seed, name, ch_cfg),
             fw: FirmwareBuffer::new(self.cfg.fw_capacity_bytes),
             diag: DiagInterface::new(self.cfg.diag_period),
+            stale_diag: None,
         });
         UeId(self.fg.len() - 1)
     }
@@ -317,12 +339,34 @@ impl<T: PacketLike> Cell<T> {
     /// the per-foreground-UE outcomes.
     pub fn subframe(&mut self, now: SimTime) -> CellSubframe<T> {
         let bsr_delay = self.cfg.bsr_delay_subframes;
+        let af = self.faults.advance(now, &self.recorder);
+
+        // Trailing edge of an injected radio link failure: RRC
+        // re-establishment flushes every foreground UE's firmware buffer
+        // and BSR state — queued packets are lost, not delivered seconds
+        // late.
+        if self.was_rlf && !af.radio_failure {
+            for u in &mut self.fg {
+                u.fw.flush();
+                u.link.bsr.clear();
+                u.link.reported = 0;
+            }
+        }
+        self.was_rlf = af.radio_failure;
 
         // Phase A: observe. Foreground first (UeId order), then background
         // (name order); each UE touches only its own RNG streams.
         let fg_levels: Vec<u64> = self.fg.iter().map(|u| u.fw.level_bytes()).collect();
         for (u, &level) in self.fg.iter_mut().zip(&fg_levels) {
             u.link.observe(level, bsr_delay, now);
+            // An injected radio link failure overrides the channel verdict:
+            // the serving eNodeB is gone, so no BSR state survives either.
+            if af.radio_failure {
+                u.link.bsr.clear();
+                u.link.reported = 0;
+                u.link.in_outage = true;
+                u.link.was_in_outage = true;
+            }
         }
         for u in &mut self.bg {
             let arrived = u.traffic.subframe();
@@ -340,7 +384,10 @@ impl<T: PacketLike> Cell<T> {
         for (k, u) in self.bg.iter().enumerate() {
             cands.extend(fg_cand(Slot::Bg(k), &u.link));
         }
-        allocate_prbs(self.cfg.total_prbs, &mut cands);
+        // A flash crowd claims a fraction of the cell's PRBs before the PF
+        // allocator runs, exactly as a sudden background population would.
+        let effective_prbs = (self.cfg.total_prbs as f64 * (1.0 - af.flash_crowd_load)) as u32;
+        allocate_prbs(effective_prbs, &mut cands);
 
         // Phase C: serve grants, apply HARQ, update PF averages.
         let alpha = 1.0 / self.cfg.pf_time_constant_subframes.max(1.0);
@@ -355,7 +402,11 @@ impl<T: PacketLike> Cell<T> {
             }
             let grant_bits =
                 (c.prbs as f64 * c.eff * tbs::DATA_RE_PER_PRB).min(c.reported as f64 * 8.0 + 256.0);
-            let grant_bits = grant_bits.floor() as u32;
+            let mut grant_bits = grant_bits.floor() as u32;
+            // Grant starvation scales only the foreground (session) UEs.
+            if matches!(c.slot, Slot::Fg(_)) && af.grant_factor < 1.0 {
+                grant_bits = (grant_bits as f64 * af.grant_factor) as u32;
+            }
             let link = match c.slot {
                 Slot::Fg(k) => &mut self.fg[k].link,
                 Slot::Bg(k) => &mut self.bg[k].link,
@@ -433,17 +484,28 @@ impl<T: PacketLike> Cell<T> {
         // fraction of PRBs everyone *else* consumed — the shared-cell
         // analogue of the standalone competing-load scalar.
         let total = self.cfg.total_prbs as f64;
+        // PRBs the flash crowd claimed count as load everyone else sees.
+        let crowd_prbs = self.cfg.total_prbs - effective_prbs;
         let mut per_ue = Vec::with_capacity(self.fg.len());
         for (k, u) in self.fg.iter_mut().enumerate() {
             let buffer_bytes = fg_levels[k];
             let tbs_bits = per_ue_tbs[k];
-            let diag = u.diag.record(DiagSample { at: now, buffer_bytes, tbs_bits });
+            // A diag stall freezes what the chipset logs for this UE while
+            // the link itself keeps moving packets.
+            let (log_buffer, log_tbs) = if af.diag_stall {
+                *u.stale_diag.get_or_insert((buffer_bytes, tbs_bits))
+            } else {
+                u.stale_diag = None;
+                (buffer_bytes, tbs_bits)
+            };
+            let diag =
+                u.diag.record(DiagSample { at: now, buffer_bytes: log_buffer, tbs_bits: log_tbs });
             per_ue.push(SubframeOutcome {
                 departed: std::mem::take(&mut per_ue_departed[k]),
                 tbs_bits,
                 buffer_bytes,
                 cqi: u.link.cqi,
-                load: (prbs_granted - per_ue_prbs[k]) as f64 / total,
+                load: (prbs_granted + crowd_prbs - per_ue_prbs[k]) as f64 / total,
                 in_outage: u.link.in_outage,
                 diag,
             });
@@ -655,6 +717,78 @@ mod tests {
             trace
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cell_faults_starve_and_fail_foreground_ues() {
+        use poi360_sim::fault::{FaultKind, FaultPlan};
+        let mut cell = Cell::new(CellConfig::default(), 7);
+        cell.attach_foreground("fg.0", strong_channel());
+        cell.set_fault_plan(
+            FaultPlan::new()
+                .with(
+                    FaultKind::RadioLinkFailure,
+                    SimTime::from_millis(1_000),
+                    SimDuration::from_millis(300),
+                )
+                .with(
+                    FaultKind::FlashCrowd { extra_load: 0.9 },
+                    SimTime::from_millis(2_000),
+                    SimDuration::from_millis(500),
+                ),
+        );
+        let mut now = SimTime::ZERO;
+        let mut healthy_bits = 0u64;
+        let mut crowd_bits = 0u64;
+        for sf in 0..3_000u64 {
+            while cell.buffer_level(UeId(0)) < 30_000 {
+                cell.enqueue(UeId(0), Pkt(1_200), now);
+            }
+            let out = cell.subframe(now);
+            let ue = &out.per_ue[0];
+            match sf {
+                1_000..=1_299 => {
+                    assert_eq!(ue.tbs_bits, 0, "RLF must zero TBS at sf {sf}");
+                    assert!(ue.in_outage);
+                }
+                2_000..=2_499 => {
+                    crowd_bits += ue.tbs_bits as u64;
+                    assert!(ue.load > 0.85, "crowd load visible: {}", ue.load);
+                }
+                0..=999 => healthy_bits += ue.tbs_bits as u64,
+                _ => {}
+            }
+            now += SUBFRAME;
+        }
+        // 90 % of the PRBs gone leaves well under half the healthy rate.
+        let healthy_rate = healthy_bits as f64 / 1_000.0;
+        let crowd_rate = crowd_bits as f64 / 500.0;
+        assert!(crowd_rate < healthy_rate * 0.5, "crowd {crowd_rate} healthy {healthy_rate}");
+    }
+
+    #[test]
+    fn cell_empty_fault_plan_is_byte_identical() {
+        use poi360_sim::fault::FaultPlan;
+        let run = |with_plan: bool| {
+            let mut cell = Cell::new(CellConfig::default(), 8);
+            cell.attach_foreground("fg.0", ChannelConfig::default());
+            cell.attach_background_population(4);
+            if with_plan {
+                cell.set_fault_plan(FaultPlan::new());
+            }
+            let mut now = SimTime::ZERO;
+            let mut trace = Vec::new();
+            for _ in 0..2_000 {
+                while cell.buffer_level(UeId(0)) < 20_000 {
+                    cell.enqueue(UeId(0), Pkt(1_200), now);
+                }
+                let out = cell.subframe(now);
+                trace.push((out.per_ue[0].tbs_bits, out.prbs_granted));
+                now += SUBFRAME;
+            }
+            trace
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

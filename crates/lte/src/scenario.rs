@@ -15,6 +15,8 @@
 use crate as poi360_lte;
 use crate::channel::ChannelConfig;
 use crate::uplink::{LoadConfig, UplinkConfig};
+use poi360_sim::fault::{FaultKind, FaultPlan};
+use poi360_sim::time::{SimDuration, SimTime};
 
 /// Competing-traffic condition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -216,6 +218,113 @@ impl Scenario {
     }
 }
 
+/// When every named fault scenario injects its (first) fault.
+pub const FAULT_AT: SimTime = SimTime::from_secs(10);
+
+/// Recommended run length for the named fault scenarios: the fault clears
+/// by ~13 s, leaving >10 s of recovery to assert on.
+pub const FAULT_RUN_SECS: u64 = 24;
+
+/// A named robustness condition: a field [`Scenario`] plus a [`FaultPlan`]
+/// injected into it. These presets are the vocabulary shared by
+/// `tests/faults.rs`, `reproduce faults`, and EXPERIMENTS.md — each models
+/// one §4.3-style way the uplink actually breaks.
+#[derive(Clone, Debug)]
+pub struct FaultScenario {
+    /// Stable name (CLI argument, test name, report row).
+    pub name: &'static str,
+    /// One-line description for tables and docs.
+    pub what: &'static str,
+    /// The field condition the fault is injected into.
+    pub scenario: Scenario,
+    /// The faults themselves.
+    pub plan: FaultPlan,
+}
+
+impl FaultScenario {
+    /// All named fault scenarios, in presentation order. Every
+    /// [`FaultKind`] appears in at least one preset.
+    pub fn all() -> Vec<FaultScenario> {
+        let quiet = Scenario::quiet();
+        let s = SimDuration::from_secs;
+        vec![
+            FaultScenario {
+                name: "rlf",
+                what: "radio link failure: TBS->0 for 2s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(FaultKind::RadioLinkFailure, FAULT_AT, s(2)),
+            },
+            FaultScenario {
+                name: "diag_freeze",
+                what: "diag stall: FBCC sees frozen B(t) for 2.5s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(
+                    FaultKind::DiagStall,
+                    FAULT_AT,
+                    SimDuration::from_millis(2_500),
+                ),
+            },
+            FaultScenario {
+                name: "grant_starve",
+                what: "scheduler serves 20% of normal grants for 3s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(
+                    FaultKind::GrantStarvation { factor: 0.2 },
+                    FAULT_AT,
+                    s(3),
+                ),
+            },
+            FaultScenario {
+                name: "roi_blackout",
+                what: "95% ROI/RTCP feedback loss for 3s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(FaultKind::FeedbackLoss { loss: 0.95 }, FAULT_AT, s(3)),
+            },
+            FaultScenario {
+                name: "wireline_spike",
+                what: "downstream +150ms delay, +5% loss for 3s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(
+                    FaultKind::WirelineSpike {
+                        extra_delay: SimDuration::from_millis(150),
+                        extra_loss: 0.05,
+                    },
+                    FAULT_AT,
+                    s(3),
+                ),
+            },
+            FaultScenario {
+                name: "flash_crowd",
+                what: "background flash crowd adds 0.6 load for 3s",
+                scenario: quiet,
+                plan: FaultPlan::new().with(
+                    FaultKind::FlashCrowd { extra_load: 0.6 },
+                    FAULT_AT,
+                    s(3),
+                ),
+            },
+            FaultScenario {
+                name: "stacked",
+                what: "flash crowd + feedback loss, then an RLF on top",
+                scenario: quiet,
+                plan: FaultPlan::new()
+                    .with(FaultKind::FlashCrowd { extra_load: 0.4 }, FAULT_AT, s(3))
+                    .with(FaultKind::FeedbackLoss { loss: 0.5 }, FAULT_AT, s(3))
+                    .with(
+                        FaultKind::RadioLinkFailure,
+                        FAULT_AT + SimDuration::from_millis(1_000),
+                        SimDuration::from_millis(800),
+                    ),
+            },
+        ]
+    }
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<FaultScenario> {
+        FaultScenario::all().into_iter().find(|f| f.name == name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +380,27 @@ mod tests {
         assert_eq!(cfg.channel.rss_dbm, -115.0);
         assert_eq!(cfg.channel.speed_mph, 30.0);
         assert!(cfg.load.burst_extra > 0.0);
+    }
+
+    #[test]
+    fn fault_scenarios_cover_every_kind_with_unique_names() {
+        let all = FaultScenario::all();
+        assert!(all.len() >= 6, "at least 6 named fault scenarios");
+        let names: std::collections::HashSet<_> = all.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), all.len(), "names are unique");
+        let probes: std::collections::HashSet<_> =
+            all.iter().flat_map(|f| f.plan.events().iter().map(|e| e.kind.probe_name())).collect();
+        assert_eq!(probes.len(), 6, "every FaultKind appears: {probes:?}");
+        for f in &all {
+            assert!(!f.plan.is_empty());
+            assert!(
+                f.plan.horizon() < SimTime::from_secs(FAULT_RUN_SECS) - SimDuration::from_secs(8),
+                "{}: fault must clear with >=8s of recovery left",
+                f.name
+            );
+            assert_eq!(FaultScenario::by_name(f.name).map(|g| g.what), Some(f.what));
+        }
+        assert!(FaultScenario::by_name("no_such").is_none());
     }
 
     #[test]

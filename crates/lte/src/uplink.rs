@@ -11,6 +11,7 @@ use crate::buffer::{FirmwareBuffer, PacketLike};
 use crate::channel::{Channel, ChannelConfig};
 use crate::diag::{DiagInterface, DiagReport, DiagSample};
 use crate::scheduler::{PfScheduler, SchedulerConfig};
+use poi360_sim::fault::{FaultPlan, FaultTimeline};
 use poi360_sim::process::{MarkovOnOff, OrnsteinUhlenbeck};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
@@ -164,6 +165,13 @@ pub struct CellUplink<T> {
     bsr_history: VecDeque<u64>,
     /// Outage state of the previous subframe, for handover edge detection.
     was_in_outage: bool,
+    /// Access-network fault plan (radio / diag / grant / flash crowd).
+    faults: FaultTimeline,
+    /// Frozen `(buffer_bytes, tbs_bits)` while a diag stall is active.
+    stale_diag: Option<(u64, u32)>,
+    /// Whether an injected radio link failure was active last subframe,
+    /// for the re-establishment flush on its trailing edge.
+    was_rlf: bool,
     recorder: Recorder,
 }
 
@@ -179,6 +187,9 @@ impl<T: PacketLike> CellUplink<T> {
             diag: DiagInterface::new(cfg.diag_period),
             bsr_history: VecDeque::with_capacity(bsr_delay + 1),
             was_in_outage: false,
+            faults: FaultTimeline::default(),
+            stale_diag: None,
+            was_rlf: false,
             recorder: Recorder::null(),
             cfg,
         }
@@ -187,6 +198,14 @@ impl<T: PacketLike> CellUplink<T> {
     /// Attach the session's probe recorder.
     pub fn set_recorder(&mut self, rec: &Recorder) {
         self.recorder = rec.clone();
+    }
+
+    /// Attach the access-network slice of a fault plan. Path-level kinds in
+    /// `plan` (feedback loss, wireline spikes) are ignored here — sessions
+    /// apply those at the pipe seam — so passing a full plan is harmless
+    /// but slicing first avoids duplicate `fault.*` transition events.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultTimeline::new(plan.access_slice());
     }
 
     /// Configuration in use.
@@ -231,23 +250,39 @@ impl<T: PacketLike> CellUplink<T> {
             0 // no BSR has reached the eNodeB yet
         };
 
+        let af = self.faults.advance(now, &self.recorder);
         let ch = self.channel.subframe(now);
-        let load = self.load.subframe();
+        let load = (self.load.subframe() + af.flash_crowd_load).clamp(0.0, 0.95);
 
         // A handover moves the UE to a new serving cell that has no BSR
-        // state yet: the backlog must be re-reported from scratch.
-        if ch.in_outage && !self.was_in_outage {
+        // state yet: the backlog must be re-reported from scratch. An
+        // injected radio link failure has the same effect.
+        let in_outage = ch.in_outage || af.radio_failure;
+        if in_outage && !self.was_in_outage {
             self.bsr_history.clear();
         }
-        self.was_in_outage = ch.in_outage;
+        self.was_in_outage = in_outage;
 
-        let grant_bits = if ch.in_outage {
+        // When an injected radio link failure clears, RRC re-establishment
+        // flushes the RLC/firmware buffer and resets BSR state: queued
+        // packets are lost, not delivered seconds late. (Natural handover
+        // outages keep the buffer — the UE stays attached.)
+        if self.was_rlf && !af.radio_failure {
+            self.fw.flush();
+            self.bsr_history.clear();
+        }
+        self.was_rlf = af.radio_failure;
+
+        let grant_bits = if in_outage {
             0
         } else {
             // Smooth MCS adaptation: capacity follows the SINR continuously
             // rather than jumping at CQI band edges.
             let eff = crate::tbs::smooth_efficiency(ch.sinr_db);
-            self.scheduler.grant_bits_eff(reported, eff, load)
+            let base = self.scheduler.grant_bits_eff(reported, eff, load);
+            // Grant starvation scales the grant the scheduler would have
+            // issued; factor 1.0 (no fault) leaves it untouched.
+            (base as f64 * af.grant_factor) as u32
         };
         let serve_bytes = grant_bits / 8;
         let departed = self.fw.serve(serve_bytes);
@@ -258,8 +293,16 @@ impl<T: PacketLike> CellUplink<T> {
         let tbs_bits =
             grant_bits.min(served_bits.max(grant_bits.min((buffer_at_start * 8) as u32)));
 
+        // A diag stall freezes what the chipset *logs* (FBCC sees stale
+        // repeated samples) while the link itself keeps moving packets.
+        let (log_buffer, log_tbs) = if af.diag_stall {
+            *self.stale_diag.get_or_insert((buffer_at_start, tbs_bits))
+        } else {
+            self.stale_diag = None;
+            (buffer_at_start, tbs_bits)
+        };
         let diag =
-            self.diag.record(DiagSample { at: now, buffer_bytes: buffer_at_start, tbs_bits });
+            self.diag.record(DiagSample { at: now, buffer_bytes: log_buffer, tbs_bits: log_tbs });
 
         // Sink-only per-subframe probes: a branch each with no sink.
         if tbs_bits > 0 {
@@ -275,7 +318,7 @@ impl<T: PacketLike> CellUplink<T> {
             buffer_bytes: buffer_at_start,
             cqi: ch.cqi,
             load,
-            in_outage: ch.in_outage,
+            in_outage,
             diag,
         }
     }
@@ -404,6 +447,114 @@ mod tests {
             now += poi360_sim::SUBFRAME;
         }
         assert_eq!(sizes, (0..20u32).map(|k| 1_000 + k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radio_link_failure_zeroes_tbs_for_the_window() {
+        use poi360_sim::fault::{FaultKind, FaultPlan};
+        let mut ul = CellUplink::new(UplinkConfig::default(), 9);
+        ul.set_fault_plan(FaultPlan::new().with(
+            FaultKind::RadioLinkFailure,
+            SimTime::from_millis(200),
+            SimDuration::from_millis(100),
+        ));
+        let mut now = SimTime::ZERO;
+        for sf in 0..600u64 {
+            while ul.buffer_level() < 30_000 {
+                ul.enqueue(Pkt(1_200), now);
+            }
+            let out = ul.subframe(now);
+            if (200..300).contains(&sf) {
+                assert_eq!(out.tbs_bits, 0, "TBS must be zero during the RLF at sf {sf}");
+                assert!(out.in_outage);
+            }
+            now += poi360_sim::SUBFRAME;
+        }
+    }
+
+    #[test]
+    fn diag_stall_freezes_logged_samples_not_the_link() {
+        use poi360_sim::fault::{FaultKind, FaultPlan};
+        let mut ul = CellUplink::new(UplinkConfig::default(), 10);
+        ul.set_fault_plan(FaultPlan::new().with(
+            FaultKind::DiagStall,
+            SimTime::from_millis(200),
+            SimDuration::from_millis(120),
+        ));
+        let mut now = SimTime::ZERO;
+        let mut stalled_samples = Vec::new();
+        let mut served_during_stall = 0u64;
+        for sf in 0..600u64 {
+            while ul.buffer_level() < 30_000 {
+                ul.enqueue(Pkt(1_200), now);
+            }
+            let out = ul.subframe(now);
+            if (200..320).contains(&sf) {
+                served_during_stall += out.tbs_bits as u64;
+            }
+            if let Some(r) = out.diag {
+                stalled_samples.extend(
+                    r.samples
+                        .iter()
+                        .filter(|s| (200..320).contains(&s.at.as_millis()))
+                        .map(|s| (s.buffer_bytes, s.tbs_bits)),
+                );
+            }
+            now += poi360_sim::SUBFRAME;
+        }
+        assert!(!stalled_samples.is_empty());
+        assert!(
+            stalled_samples.iter().all(|&s| s == stalled_samples[0]),
+            "diag samples must be frozen during the stall"
+        );
+        assert!(served_during_stall > 0, "the link itself keeps serving during a diag stall");
+    }
+
+    #[test]
+    fn grant_starvation_scales_throughput() {
+        use poi360_sim::fault::{FaultKind, FaultPlan};
+        let full = throughput_at_level(30_000, UplinkConfig::default(), 11, 10);
+        let mut ul = CellUplink::new(UplinkConfig::default(), 11);
+        ul.set_fault_plan(FaultPlan::new().with(
+            FaultKind::GrantStarvation { factor: 0.25 },
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        ));
+        let mut now = SimTime::ZERO;
+        let mut served_bits = 0u64;
+        for _ in 0..10_000 {
+            while ul.buffer_level() < 30_000 {
+                ul.enqueue(Pkt(1_200), now);
+            }
+            served_bits += ul.subframe(now).tbs_bits as u64;
+            now += poi360_sim::SUBFRAME;
+        }
+        let starved = served_bits as f64 / 10.0;
+        assert!(starved < full * 0.5, "starved {starved} full {full}");
+        assert!(starved > 0.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        use poi360_sim::fault::FaultPlan;
+        let run = |with_plan: bool| {
+            let mut ul = CellUplink::new(UplinkConfig::default(), 12);
+            if with_plan {
+                ul.set_fault_plan(FaultPlan::new());
+            }
+            let mut now = SimTime::ZERO;
+            let mut trace = Vec::new();
+            for _ in 0..2_000 {
+                while ul.buffer_level() < 20_000 {
+                    ul.enqueue(Pkt(1_200), now);
+                }
+                let out = ul.subframe(now);
+                trace.push((out.tbs_bits, out.buffer_bytes, out.cqi, out.in_outage));
+                now += poi360_sim::SUBFRAME;
+            }
+            trace
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

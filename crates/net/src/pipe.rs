@@ -142,6 +142,7 @@ pub struct DelayPipe<T> {
     last_arrival: SimTime,
     congestion: Option<CongestionEpisodes>,
     congestion_state: (SimDuration, f64),
+    fault_state: (SimDuration, f64),
     last_step: SimTime,
     sent: u64,
     lost: u64,
@@ -157,6 +158,7 @@ impl<T> DelayPipe<T> {
             last_arrival: SimTime::ZERO,
             congestion: None,
             congestion_state: (SimDuration::ZERO, 0.0),
+            fault_state: (SimDuration::ZERO, 0.0),
             last_step: SimTime::ZERO,
             sent: 0,
             lost: 0,
@@ -200,10 +202,22 @@ impl<T> DelayPipe<T> {
         }
     }
 
+    /// Impose injected fault conditions on the pipe: every subsequent send
+    /// sees `extra_delay` more one-way delay and `extra_loss` more drop
+    /// probability, composing with any remote-congestion episode. Resetting
+    /// to `(SimDuration::ZERO, 0.0)` restores the healthy pipe. The fault
+    /// plane calls this from the session's per-subframe fault timeline.
+    pub fn set_fault_state(&mut self, extra_delay: SimDuration, extra_loss: f64) {
+        self.fault_state = (extra_delay, extra_loss.clamp(0.0, 1.0));
+    }
+
     /// Send a packet into the pipe at `now`.
     pub fn send(&mut self, item: T, now: SimTime) {
         self.sent += 1;
-        let (extra_delay, extra_loss) = self.congestion_state;
+        let (cong_delay, cong_loss) = self.congestion_state;
+        let (fault_delay, fault_loss) = self.fault_state;
+        let extra_delay = cong_delay + fault_delay;
+        let extra_loss = cong_loss + fault_loss;
         if self.rng.chance(self.cfg.loss_prob + extra_loss) {
             self.lost += 1;
             return;
@@ -345,6 +359,29 @@ mod tests {
         let mut p = pipe(PipeConfig::wireline_transit(), 7);
         p.tick(SimTime::from_secs(100));
         assert!(!p.is_congested());
+    }
+
+    #[test]
+    fn fault_state_adds_delay_and_loss_then_clears() {
+        let cfg = PipeConfig {
+            base_delay: SimDuration::from_millis(20),
+            jitter_sigma: 0.0,
+            loss_prob: 0.0,
+        };
+        let mut p = pipe(cfg, 11);
+        p.set_fault_state(SimDuration::from_millis(100), 0.0);
+        p.send(1, SimTime::ZERO);
+        let got = p.poll(SimTime::from_secs(1));
+        assert_eq!(got[0].0, SimTime::from_millis(120), "fault delay adds to base");
+        // Total loss while the fault is active, none after it clears.
+        p.set_fault_state(SimDuration::ZERO, 1.0);
+        for k in 0..50u64 {
+            p.send(k, SimTime::from_secs(2));
+        }
+        assert_eq!(p.lost(), 50);
+        p.set_fault_state(SimDuration::ZERO, 0.0);
+        p.send(2, SimTime::from_secs(3));
+        assert_eq!(p.lost(), 50, "healthy pipe drops nothing at loss_prob 0");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`trace`] — the instrumentation plane: typed probes (counters, gauges,
 //!   timestamped events), pluggable sinks (null / ring / JSONL), and the
 //!   per-session [`trace::Recorder`] handle every layer reports through.
+//! * [`fault`] — deterministic fault injection: typed [`fault::FaultPlan`]s
+//!   of time-windowed faults (radio link failure, diag stalls, grant
+//!   starvation, feedback loss, wireline spikes, flash crowds) applied
+//!   through the existing layer seams, with `fault.*` transition events on
+//!   the trace plane.
 //!
 //! The kernel follows the smoltcp idiom rather than an async runtime: every
 //! component exposes an explicit `poll(now)`-style API, and a top-level
@@ -28,6 +33,7 @@
 //! single-threaded by construction.
 
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod process;
 pub mod rng;
@@ -36,6 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{ActiveFaults, FaultEvent, FaultKind, FaultPlan, FaultTimeline};
 pub use json::{FromKv, KvMap, ToJson};
 pub use rng::SimRng;
 pub use series::TimeSeries;

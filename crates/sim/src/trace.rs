@@ -212,6 +212,12 @@ impl<W: Write> JsonlSink<W> {
         counts.sort_by_key(|&(name, _)| name);
         counts
     }
+
+    /// Consume the sink and hand back the underlying writer (e.g. a
+    /// `Vec<u8>` buffer for byte-level comparison of two runs).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {

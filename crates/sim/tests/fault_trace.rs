@@ -1,0 +1,162 @@
+//! Integration tests for the trace plane under fault-heavy drivers: a
+//! dense overlapping [`FaultTimeline`] must stream ordered transitions
+//! into a [`RingSink`], and [`TimeSeries::try_push`] must reject a
+//! misbehaving (time-rewinding) probe without corrupting the series.
+
+use poi360_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
+use poi360_sim::series::TimeSeries;
+use poi360_sim::time::{SimDuration, SimTime};
+use poi360_sim::trace::{Recorder, RingSink};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+fn d(ms: u64) -> SimDuration {
+    SimDuration::from_millis(ms)
+}
+
+/// A dense plan with every kind overlapping: transitions arrive at the
+/// sink in non-decreasing time order, per-probe times are strictly
+/// increasing (each edge fires exactly once), and after the horizon every
+/// probe has recovered to the healthy value 0.0.
+#[test]
+fn ring_sink_keeps_fault_transitions_ordered() {
+    let plan = FaultPlan::new()
+        .with(FaultKind::RadioLinkFailure, t(100), d(200))
+        .with(FaultKind::DiagStall, t(150), d(300))
+        .with(FaultKind::GrantStarvation { factor: 0.5 }, t(120), d(250))
+        .with(FaultKind::GrantStarvation { factor: 0.5 }, t(200), d(250))
+        .with(FaultKind::FeedbackLoss { loss: 0.7 }, t(180), d(100))
+        .with(FaultKind::WirelineSpike { extra_delay: d(40), extra_loss: 0.05 }, t(50), d(400))
+        .with(FaultKind::FlashCrowd { extra_load: 0.4 }, t(300), d(150));
+    let horizon = plan.horizon();
+
+    let ring = RingSink::shared(4096);
+    let rec = Recorder::to_sink(ring.clone(), "fault-heavy");
+    let mut tl = FaultTimeline::new(plan);
+    let mut now = SimTime::ZERO;
+    while now < horizon + d(50) {
+        tl.advance(now, &rec);
+        now += poi360_sim::SUBFRAME;
+    }
+
+    let sink = ring.borrow();
+    assert!(!sink.is_empty(), "transitions were recorded");
+    let records: Vec<_> = sink.records().collect();
+    for pair in records.windows(2) {
+        assert!(pair[0].1.at <= pair[1].1.at, "sink stream went backwards in time");
+    }
+    let mut last_value = std::collections::BTreeMap::new();
+    let mut last_at: std::collections::BTreeMap<&str, SimTime> = std::collections::BTreeMap::new();
+    for (_, r) in &records {
+        assert!(r.name.starts_with("fault."), "only fault transitions expected, got {}", r.name);
+        if let Some(&prev) = last_at.get(r.name) {
+            assert!(r.at > prev, "duplicate edge for {} at {:?}", r.name, r.at);
+        }
+        last_at.insert(r.name, r.at);
+        last_value.insert(r.name, r.value);
+    }
+    assert_eq!(last_value.len(), 6, "every fault kind produced transitions");
+    for (name, value) in last_value {
+        assert_eq!(value, 0.0, "{name} did not recover to healthy by the horizon");
+    }
+}
+
+/// The composed grant-starvation magnitude walks through the overlap:
+/// one window takes half the grant, two stacked windows take 3/4, and the
+/// trace shows each step exactly once.
+#[test]
+fn overlapping_starvation_steps_are_traced() {
+    let plan = FaultPlan::new()
+        .with(FaultKind::GrantStarvation { factor: 0.5 }, t(100), d(300))
+        .with(FaultKind::GrantStarvation { factor: 0.5 }, t(200), d(100));
+    let ring = RingSink::shared(64);
+    let rec = Recorder::to_sink(ring.clone(), "steps");
+    let mut tl = FaultTimeline::new(plan);
+    for ms in 0..500 {
+        tl.advance(t(ms), &rec);
+    }
+    let sink = ring.borrow();
+    let values: Vec<f64> = sink
+        .records()
+        .filter(|(_, r)| r.name == "fault.grant_starvation")
+        .map(|(_, r)| r.value)
+        .collect();
+    // Magnitude = 1 - grant_factor: 0.5, then 0.75, back to 0.5, then 0.
+    assert_eq!(values, vec![0.5, 0.75, 0.5, 0.0]);
+}
+
+/// A full ring keeps the newest transitions: with a capacity smaller than
+/// the transition count, the retained window is the tail of the stream.
+#[test]
+fn ring_sink_evicts_oldest_under_pressure() {
+    let mut plan = FaultPlan::new();
+    for k in 0..32 {
+        plan.push(FaultKind::RadioLinkFailure, t(100 * (2 * k + 1)), d(50));
+    }
+    let ring = RingSink::shared(8);
+    let rec = Recorder::to_sink(ring.clone(), "pressure");
+    let mut tl = FaultTimeline::new(plan.clone());
+    let mut now = SimTime::ZERO;
+    while now < plan.horizon() + d(10) {
+        tl.advance(now, &rec);
+        now += poi360_sim::SUBFRAME;
+    }
+    let sink = ring.borrow();
+    assert_eq!(sink.len(), 8, "ring holds exactly its capacity");
+    // 32 windows x 2 edges = 64 transitions; the retained 8 are the last 8.
+    let first_retained = sink.records().next().expect("non-empty ring").1.at;
+    assert!(first_retained >= t(100 * (2 * 28 + 1)), "oldest retained {first_retained:?}");
+}
+
+/// A misbehaving probe that rewinds time must not corrupt a series:
+/// `try_push` rejects exactly the rewound samples, keeps the rest, and
+/// the series stays sorted throughout.
+#[test]
+fn try_push_rejects_rewinds_without_corrupting() {
+    let mut series = TimeSeries::new();
+    let mut rejected = 0u64;
+    let mut accepted = 0u64;
+    // A sawtooth driver: mostly forward, but every 7th sample rewinds —
+    // the shape a buggy fault seam would produce.
+    for k in 0u64..200 {
+        let at = if k % 7 == 6 { t(k * 10 - 35) } else { t(k * 10) };
+        match series.try_push(at, k as f64) {
+            Ok(()) => accepted += 1,
+            Err(err) => {
+                rejected += 1;
+                assert_eq!(err.rejected, at);
+                assert!(err.last > at, "rejection must cite a later last sample");
+            }
+        }
+    }
+    assert_eq!(accepted + rejected, 200);
+    assert!(rejected > 0, "the sawtooth must have produced rewinds");
+    assert_eq!(series.len(), accepted as usize);
+    let times: Vec<SimTime> = series.iter().map(|(at, _)| at).collect();
+    for pair in times.windows(2) {
+        assert!(pair[0] <= pair[1], "series order corrupted");
+    }
+}
+
+/// The recorder's gauge channel turns rejected samples into a drop
+/// counter in release builds and a debug assertion in debug builds —
+/// either way the retained series survives intact.
+#[test]
+fn recorder_survives_out_of_order_gauges_from_a_faulty_driver() {
+    let rec = Recorder::null();
+    rec.gauge("seam.level", t(100), 1.0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rec.gauge("seam.level", t(40), 2.0);
+    }));
+    if cfg!(debug_assertions) {
+        assert!(result.is_err(), "debug builds assert on out-of-order gauges");
+    } else {
+        assert!(result.is_ok());
+        assert_eq!(rec.out_of_order_drops(), 1);
+        rec.gauge("seam.level", t(200), 3.0);
+        let series = rec.gauge_series("seam.level");
+        assert_eq!(series.len(), 2, "good samples kept, bad sample dropped");
+    }
+}

@@ -10,6 +10,11 @@ use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::Recorder;
 use std::collections::VecDeque;
 
+/// Retransmissions older than this (since original send) are dropped at
+/// release time: the receiver abandons an incomplete frame 1 s after its
+/// first packet, so a retransmission this stale can never display.
+const STALE_RTX_AGE: SimDuration = SimDuration::from_millis(800);
+
 /// The pacer.
 #[derive(Debug)]
 pub struct Pacer {
@@ -86,6 +91,15 @@ impl Pacer {
 
         let mut out = Vec::new();
         while let Some(head) = self.queue.front() {
+            // A retransmission that aged past the receiver's abandon
+            // window while queued is dead weight: drop it rather than
+            // spend rate budget starving fresh frames behind it.
+            if head.retransmit && now.saturating_since(head.sent_at) > STALE_RTX_AGE {
+                let pkt = self.queue.pop_front().expect("head exists");
+                self.queued_bytes -= pkt.bytes as u64;
+                self.recorder.count("pacer.stale_rtx_dropped", now, 1);
+                continue;
+            }
             if (head.bytes as f64) > self.credit_bytes {
                 break;
             }
