@@ -57,6 +57,9 @@ for seed in 1 2 3; do
     POI360_FAULT_SEED=$seed cargo test -q --release --test faults
 done
 
+echo "== perf gate (per-layer medians vs pinned baseline + zero-alloc steady state) =="
+cargo run --release -p poi360-bench --bin reproduce -- perf --smoke --compare bench_results/perf_baseline.json
+
 echo "== cell-scale micro-benchmark =="
 cargo bench -p poi360-bench --bench cell_scale
 

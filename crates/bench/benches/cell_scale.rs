@@ -30,7 +30,9 @@ fn main() {
                 cell.enqueue(fg, Pkt, now);
             }
             now += poi360_sim::SUBFRAME;
-            black_box(cell.subframe(now));
+            let out = cell.subframe(now);
+            black_box(&out);
+            cell.recycle(out);
         });
         let subframes_per_sec = 1e9 / r.median_ns;
         eprintln!("  {ues:>4} UEs: {subframes_per_sec:>12.0} subframes/sec");

@@ -28,12 +28,29 @@
 //! trace streams are byte-identical, and writes
 //! `bench_results/faults[_smoke].jsonl` plus a verdict table. Any violated
 //! invariant makes the process exit nonzero, so CI can gate on it.
+//!
+//! `perf` profiles one layer of the subframe pipeline at a time (cell,
+//! uplink, transport, video, session), prints medians plus heap
+//! allocations per iteration, asserts the busy-cell steady state
+//! allocates nothing, and with `--compare <baseline.json>` fails on a
+//! median regression beyond the threshold — the CI perf gate. Results in
+//! `bench_results/perf.json` / `perf_probes.jsonl`.
+//!
+//! Every subcommand accepts `--threads N` to pin the worker-pool width
+//! (otherwise `POI360_THREADS`, otherwise all cores).
 
 use poi360_bench::experiments as exp;
 use poi360_bench::runner::ExpConfig;
 use poi360_sim::json::{FromKv, KvMap, ToJson};
 use poi360_testkit::{black_box, Bench};
 use std::io::Write;
+
+/// Count heap allocations so `reproduce perf` can enforce the
+/// zero-alloc steady-state gate (DESIGN.md §10). Counting is a few
+/// thread-local increments per allocation — noise for every other
+/// subcommand.
+#[global_allocator]
+static ALLOC: poi360_testkit::CountingAlloc = poi360_testkit::CountingAlloc;
 
 /// Every subcommand with a one-line description; `--list` prints this and
 /// an unknown subcommand enumerates the names.
@@ -52,6 +69,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("ablation", "prediction, mode, policy, and edge-relay ablations"),
     ("trace", "probe-stream JSONL export for one scenario (see --help text)"),
     ("faults", "fault-injection robustness suite, FBCC vs GCC (see --help text)"),
+    ("perf", "per-layer hot-path profile + allocation gate (see --help text)"),
     ("all", "every figure and table above"),
     ("list", "print this subcommand list (also --list)"),
     ("smoke", "quick JSON bench + aggregate sanity run (also --smoke)"),
@@ -76,8 +94,11 @@ fn usage() -> ! {
          [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
          \x20      reproduce trace [busy|baseline|quiet|coexist] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce faults [scenario] [--seconds N] [--seed N] [--smoke]\n\
+         \x20      reproduce perf [--smoke] [--compare <baseline.json>]\n\
          \x20      reproduce --list    (enumerate subcommands)\n\
-         \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)"
+         \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)\n\
+         \x20      any subcommand also accepts --threads N (worker-pool width;\n\
+         \x20      POI360_THREADS env is the fallback)"
     );
     std::process::exit(2);
 }
@@ -339,8 +360,39 @@ fn faults(args: &[String]) -> usize {
     failures
 }
 
+/// `reproduce perf [--smoke] [--compare <baseline.json>]` — the
+/// profiling plane. Returns the number of gate failures.
+fn perf(args: &[String]) -> usize {
+    let mut opts = poi360_bench::perf::PerfOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--compare" => {
+                opts.compare = Some(std::path::PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    poi360_bench::perf::run(&opts)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` applies to every subcommand: strip it here, before
+    // dispatch, and pin the worker pool.
+    if let Some(k) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(k + 1).and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+        else {
+            eprintln!("--threads needs a positive integer");
+            usage();
+        };
+        poi360_bench::runner::set_worker_threads(n);
+        args.drain(k..k + 2);
+    }
     if args.is_empty() {
         usage();
     }
@@ -361,6 +413,12 @@ fn main() {
     }
     if what == "faults" {
         if faults(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if what == "perf" {
+        if perf(&args[1..]) > 0 {
             std::process::exit(1);
         }
         return;

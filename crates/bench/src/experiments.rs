@@ -5,7 +5,7 @@
 //! (and, where useful for tests, structured results). The mapping to paper
 //! figures is the experiment index in DESIGN.md §3.
 
-use crate::runner::{run_multicells, run_sessions, ExpConfig};
+use crate::runner::{run_multicells, run_parallel, run_sessions, ExpConfig};
 use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use poi360_core::multicell::{FlowSpec, MultiCellConfig, MultiCellReport};
 use poi360_core::report::Aggregate;
@@ -633,6 +633,25 @@ fn coexist_seed(base: u64, mix_idx: usize, repeat: u64) -> u64 {
     base ^ ((mix_idx as u64 + 1) << 32) ^ repeat.wrapping_mul(0x9E37_79B9)
 }
 
+/// The `exp.repeats` ensemble configs for one mix (seeds depend only on
+/// `mix_idx` and the repeat, so batching mixes together cannot move them).
+fn coexist_configs(
+    exp: &ExpConfig,
+    mix_idx: usize,
+    flows: Vec<FlowSpec>,
+    background_ues: usize,
+) -> Vec<MultiCellConfig> {
+    (0..exp.repeats)
+        .map(|rep| MultiCellConfig {
+            flows: flows.clone(),
+            background_ues,
+            duration: exp.duration(),
+            seed: coexist_seed(exp.base_seed, mix_idx, rep),
+            ..Default::default()
+        })
+        .collect()
+}
+
 /// Run `exp.repeats` shared-cell ensembles of the given flows over the
 /// given background population.
 pub fn coexist_bench(
@@ -641,16 +660,7 @@ pub fn coexist_bench(
     flows: Vec<FlowSpec>,
     background_ues: usize,
 ) -> Vec<MultiCellReport> {
-    let configs = (0..exp.repeats)
-        .map(|rep| MultiCellConfig {
-            flows: flows.clone(),
-            background_ues,
-            duration: exp.duration(),
-            seed: coexist_seed(exp.base_seed, mix_idx, rep),
-            ..Default::default()
-        })
-        .collect();
-    run_multicells(configs)
+    run_multicells(coexist_configs(exp, mix_idx, flows, background_ues))
 }
 
 /// Pool the i-th flow across repeats.
@@ -680,6 +690,26 @@ fn mean<'a>(
 pub fn coexist(exp: &ExpConfig) -> String {
     let bg_typical = background_population_for(BackgroundLoad::Typical);
 
+    // Batch every mix AND every sweep size into one fan-out: the worker
+    // pool sees (mixes + sizes) x repeats jobs at once instead of
+    // `repeats` at a time, so wall-clock tracks the slowest job rather
+    // than the slowest serial group. Seeds depend only on (mix_idx,
+    // repeat), so the reports are byte-identical to per-group runs; the
+    // flat result vector is sliced back into groups of `repeats`.
+    let mixes = coexist_mixes();
+    let sweep_sizes = [2usize, 4, 8];
+    let mut configs = Vec::new();
+    for (mix_idx, (_, flows)) in mixes.iter().enumerate() {
+        configs.extend(coexist_configs(exp, mix_idx, flows.clone(), bg_typical));
+    }
+    for (k, n) in sweep_sizes.into_iter().enumerate() {
+        let flows: Vec<FlowSpec> = (0..n).map(|i| coexist_flow(RateControlKind::Fbcc, i)).collect();
+        configs.extend(coexist_configs(exp, 10 + k, flows, bg_typical));
+    }
+    let all = run_multicells(configs);
+    let repeats = exp.repeats.max(1) as usize;
+    let mut groups = all.chunks(repeats);
+
     let mut flows_t = Table::new(
         "Coexist — per-flow outcomes, 4 sessions sharing one cell (typical background population)",
         &["Cell", "Flow", "Tput", "Delay (ms)", "PSNR (dB)", "Freeze"],
@@ -688,10 +718,10 @@ pub fn coexist(exp: &ExpConfig) -> String {
         "Coexist — fairness and cell utilization",
         &["Cell", "Jain(tput)", "PRB utilization"],
     );
-    for (mix_idx, (label, flows)) in coexist_mixes().into_iter().enumerate() {
-        let reports = coexist_bench(exp, mix_idx, flows.clone(), bg_typical);
+    for (label, flows) in &mixes {
+        let reports = groups.next().expect("one group per mix");
         for (i, flow) in flows.iter().enumerate() {
-            let agg = pool_flow(&reports, i);
+            let agg = pool_flow(reports, i);
             flows_t.row(vec![
                 label.to_string(),
                 format!("{i} {}", flow.rate_control.label()),
@@ -712,11 +742,10 @@ pub fn coexist(exp: &ExpConfig) -> String {
         "Coexist — FBCC-only cell size sweep (per-flow fair share shrinks, fairness holds)",
         &["N flows", "Per-flow tput", "Jain(tput)", "PRB utilization"],
     );
-    for (k, n) in [2usize, 4, 8].into_iter().enumerate() {
-        let flows: Vec<FlowSpec> = (0..n).map(|i| coexist_flow(RateControlKind::Fbcc, i)).collect();
-        let reports = coexist_bench(exp, 10 + k, flows, bg_typical);
+    for n in sweep_sizes {
+        let reports = groups.next().expect("one group per sweep size");
         let mut agg = Aggregate::new("sweep");
-        for r in &reports {
+        for r in reports {
             for f in &r.flows {
                 agg.add(f);
             }
@@ -744,27 +773,53 @@ pub fn coexist(exp: &ExpConfig) -> String {
 /// Fig. 17a/b shape (busy clearly worse than idle) as the standalone
 /// uplink's calibrated `LoadConfig` scalars.
 pub fn coexist_validation(exp: &ExpConfig) -> String {
+    let loads = [
+        (BackgroundLoad::Idle, Scenario::quiet()),
+        (BackgroundLoad::Busy, Scenario::load_sweep()[1]),
+    ];
+    // Both loads' emergent ensembles go through one fan-out, and both
+    // loads' scalar control sessions through another (the old per-load
+    // serial loop left the pool idle); seeds depend only on (load,
+    // repeat), so outputs match the serial order exactly.
+    let mut configs = Vec::new();
+    for (load, _) in loads {
+        configs.extend(coexist_configs(
+            exp,
+            20 + load as usize,
+            vec![coexist_flow(RateControlKind::Fbcc, 0)],
+            background_population_for(load),
+        ));
+    }
+    let emergent = run_multicells(configs);
+    let mut session_cfgs = Vec::new();
+    for (load, scenario) in loads {
+        for rep in 0..exp.repeats {
+            session_cfgs.push(SessionConfig {
+                scheme: CompressionScheme::Poi360,
+                rate_control: RateControlKind::Fbcc,
+                network: NetworkKind::Cellular(scenario),
+                user: UserArchetype::all()[0],
+                duration: exp.duration(),
+                seed: coexist_seed(exp.base_seed, 30 + load as usize, rep),
+                ..Default::default()
+            });
+        }
+    }
+    let scalar = run_parallel(session_cfgs);
+
     let mut t = Table::new(
         "Coexist — emergent background load vs calibrated scalar (Fig. 17a/b shape)",
         &["Load", "Model", "PSNR (dB)", "Freeze", "Delay (ms)"],
     );
-    for (load, scenario) in [
-        (BackgroundLoad::Idle, Scenario::quiet()),
-        (BackgroundLoad::Busy, Scenario::load_sweep()[1]),
-    ] {
+    let repeats = exp.repeats.max(1) as usize;
+    for (k, (load, _)) in loads.iter().enumerate() {
         let label = match load {
             BackgroundLoad::Idle => "idle",
             BackgroundLoad::Typical => "typical",
             BackgroundLoad::Busy => "busy",
         };
         // Emergent: a populated shared cell.
-        let reports = coexist_bench(
-            exp,
-            20 + load as usize,
-            vec![coexist_flow(RateControlKind::Fbcc, 0)],
-            background_population_for(load),
-        );
-        let agg = pool_flow(&reports, 0);
+        let agg = pool_flow(&emergent[k * repeats..(k + 1) * repeats], 0);
         t.row(vec![
             label.to_string(),
             "emergent cell".into(),
@@ -774,18 +829,8 @@ pub fn coexist_validation(exp: &ExpConfig) -> String {
         ]);
         // Scalar: the standalone uplink's calibrated LoadConfig.
         let mut agg = Aggregate::new("scalar");
-        for rep in 0..exp.repeats {
-            let report = poi360_core::session::Session::new(SessionConfig {
-                scheme: CompressionScheme::Poi360,
-                rate_control: RateControlKind::Fbcc,
-                network: NetworkKind::Cellular(scenario),
-                user: UserArchetype::all()[0],
-                duration: exp.duration(),
-                seed: coexist_seed(exp.base_seed, 30 + load as usize, rep),
-                ..Default::default()
-            })
-            .run();
-            agg.add(&report);
+        for report in &scalar[k * repeats..(k + 1) * repeats] {
+            agg.add(report);
         }
         t.row(vec![
             label.to_string(),

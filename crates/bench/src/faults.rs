@@ -208,29 +208,46 @@ pub fn run_case(
     FaultOutcome { scenario: fs.name, what: fs.what, rc, report, verdict }
 }
 
-/// Run every given preset under both FBCC and GCC, all tracing into one
-/// in-memory JSONL stream (per-run src `"<scenario>.<rc>"`). Returns the
+/// Run every given preset under both FBCC and GCC, tracing into one
+/// logical JSONL stream (per-run src `"<scenario>.<rc>"`). Returns the
 /// outcomes plus the raw JSONL bytes — byte-identical across calls with
 /// the same arguments, which is exactly what callers assert.
+///
+/// The cases fan out across [`crate::runner::run_jobs`]: each case is an
+/// independent session with its own seed-derived streams, and it traces
+/// into its *own* in-memory sink. Trace records carry no cross-case state
+/// (no global sequence numbers, no shared clocks), so concatenating the
+/// per-case buffers in case order reproduces the old serial single-sink
+/// stream byte for byte, however many worker threads ran.
 pub fn run_suite(
     scenarios: &[FaultScenario],
     seconds: u64,
     seed: u64,
 ) -> (Vec<FaultOutcome>, Vec<u8>) {
-    let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
-    let handle: SinkHandle = sink.clone();
-    let mut outcomes = Vec::new();
+    let mut jobs = Vec::new();
     for fs in scenarios {
         for rc in [RateControlKind::Fbcc, RateControlKind::Gcc] {
-            let src = format!("{}.{}", fs.name, rc.label());
-            let recorder = Recorder::to_sink(Rc::clone(&handle), &src);
-            outcomes.push(run_case(fs, rc, seconds, seed, recorder));
+            jobs.push((fs.clone(), rc));
         }
     }
-    drop(handle);
-    sink.borrow_mut().flush();
-    let Ok(sink) = Rc::try_unwrap(sink) else { panic!("all trace handles dropped") };
-    (outcomes, sink.into_inner().into_inner())
+    let results = crate::runner::run_jobs(jobs, |(fs, rc)| {
+        let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
+        let handle: SinkHandle = sink.clone();
+        let src = format!("{}.{}", fs.name, rc.label());
+        let recorder = Recorder::to_sink(Rc::clone(&handle), &src);
+        let outcome = run_case(&fs, rc, seconds, seed, recorder);
+        drop(handle);
+        sink.borrow_mut().flush();
+        let Ok(sink) = Rc::try_unwrap(sink) else { panic!("all trace handles dropped") };
+        (outcome, sink.into_inner().into_inner())
+    });
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut bytes = Vec::new();
+    for (outcome, case_bytes) in results {
+        outcomes.push(outcome);
+        bytes.extend_from_slice(&case_bytes);
+    }
+    (outcomes, bytes)
 }
 
 #[cfg(test)]
@@ -246,6 +263,22 @@ mod tests {
         assert!(!a_bytes.is_empty(), "trace stream captured");
         assert_eq!(a_bytes, b_bytes, "fault suite reruns must be byte-identical");
         assert_eq!(b_out.len(), 2);
+    }
+
+    #[test]
+    fn suite_bytes_do_not_depend_on_worker_count() {
+        // Same matrix, pinned to one worker vs. several: the concatenated
+        // trace stream and the outcome order must not move.
+        let rlf = FaultScenario::by_name("rlf").expect("preset exists");
+        crate::runner::set_worker_threads(1);
+        let (serial_out, serial_bytes) = run_suite(std::slice::from_ref(&rlf), 6, 3);
+        crate::runner::set_worker_threads(4);
+        let (par_out, par_bytes) = run_suite(std::slice::from_ref(&rlf), 6, 3);
+        crate::runner::set_worker_threads(0);
+        assert_eq!(serial_bytes, par_bytes, "JSONL stream must be thread-count invariant");
+        let labels =
+            |o: &[FaultOutcome]| o.iter().map(|c| (c.scenario, c.rc.label())).collect::<Vec<_>>();
+        assert_eq!(labels(&serial_out), labels(&par_out));
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! The `reproduce perf` profiling plane: per-layer hot-path timing plus
+//! heap-allocation accounting, in one table.
+//!
+//! One micro-benchmark per layer of the subframe pipeline — cell
+//! scheduler, standalone uplink, transport (pacer + delay pipe), video
+//! encoder, whole session step — each measured with the testkit [`Bench`]
+//! harness *and* the counting allocator (allocations per iteration), so a
+//! perf regression and an allocation regression are caught by the same
+//! run. Medians are also surfaced as `perf.*` trace-style gauge probes
+//! into `bench_results/perf_probes.jsonl`, and the suite JSON (stamped
+//! with commit + argv by the harness) lands in `bench_results/perf.json`.
+//!
+//! Two gates ride on the output (wired into `ci.sh`):
+//!
+//! * `--compare <baseline.json>` diffs the fresh medians against the
+//!   checked-in `bench_results/perf_baseline.json` with a relative
+//!   threshold ([`DEFAULT_THRESHOLD`], `POI360_PERF_THRESHOLD` to
+//!   override) and fails the process on a regression.
+//! * The steady-state zero-alloc check: ticks 1000.. of a busy 500-UE
+//!   cell loop must perform **zero** heap allocations (DESIGN.md §10).
+//!   Requires the binary to install [`poi360_testkit::CountingAlloc`];
+//!   when it is absent the check reports `n/a` instead of vacuously
+//!   passing.
+
+use poi360_lte::buffer::PacketLike;
+use poi360_lte::cell::{Cell, CellConfig, UeId};
+use poi360_lte::channel::ChannelConfig;
+use poi360_lte::scenario::Scenario;
+use poi360_lte::uplink::{CellUplink, UplinkConfig};
+use poi360_metrics::table::Table;
+use poi360_net::packet::{FrameTag, Packet};
+use poi360_net::pipe::{DelayPipe, PipeConfig};
+use poi360_sim::time::SimTime;
+use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
+use poi360_sim::Recorder;
+use poi360_testkit::alloc::{counting_is_active, AllocScope};
+use poi360_testkit::{bench, black_box, Bench};
+use poi360_transport::pacer::Pacer;
+use poi360_video::compression::CompressionMode;
+use poi360_video::content::ContentModel;
+use poi360_video::encoder::{Encoder, EncoderConfig};
+use poi360_video::frame::{TileGrid, TilePos};
+use poi360_video::roi::Roi;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default relative-median regression threshold for `--compare`:
+/// generous enough to absorb machine noise on a 5-sample median, tight
+/// enough that a real hot-path regression (the kind that doubles a
+/// layer's cost) cannot hide. `POI360_PERF_THRESHOLD` overrides.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// Ticks skipped before the zero-alloc window opens (pool/scratch
+/// capacities settle during these).
+const WARM_TICKS: u64 = 1_000;
+
+/// Ticks measured by the zero-alloc gate.
+const GATE_TICKS: u64 = 1_000;
+
+/// Parsed `reproduce perf` options.
+#[derive(Clone, Debug, Default)]
+pub struct PerfOptions {
+    /// Fewer samples for the CI entry point.
+    pub smoke: bool,
+    /// Baseline suite JSON to diff against (gate fails on regression).
+    pub compare: Option<std::path::PathBuf>,
+}
+
+/// The regression threshold in effect: env override or the default.
+pub fn threshold() -> f64 {
+    std::env::var("POI360_PERF_THRESHOLD")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .unwrap_or(DEFAULT_THRESHOLD)
+}
+
+struct Pkt;
+impl PacketLike for Pkt {
+    fn wire_bytes(&self) -> u32 {
+        1_240
+    }
+}
+
+/// A busy cell: one backlogged foreground UE among `ues` total.
+fn busy_cell(ues: usize) -> (Cell<Pkt>, UeId) {
+    let mut cell = Cell::new(CellConfig::default(), 42);
+    let fg = cell.attach_foreground("fg.0", ChannelConfig::default());
+    cell.attach_background_population(ues - 1);
+    (cell, fg)
+}
+
+/// One measured layer: timing result plus allocations per iteration.
+struct LayerRow {
+    layer: &'static str,
+    what: &'static str,
+    median_ns: f64,
+    allocs_per_iter: f64,
+    bytes_per_iter: f64,
+}
+
+/// Time `f` under `name`, then measure its allocation rate over
+/// `alloc_iters` extra (warmed-up) iterations.
+fn layer(
+    b: &mut Bench,
+    rows: &mut Vec<LayerRow>,
+    layer: &'static str,
+    what: &'static str,
+    name: &str,
+    mut f: impl FnMut(),
+) {
+    let median_ns = b.bench(name, &mut f).median_ns;
+    let alloc_iters = 256u64;
+    let scope = AllocScope::enter();
+    for _ in 0..alloc_iters {
+        f();
+    }
+    let stats = scope.exit();
+    rows.push(LayerRow {
+        layer,
+        what,
+        median_ns,
+        allocs_per_iter: stats.allocs as f64 / alloc_iters as f64,
+        bytes_per_iter: stats.bytes as f64 / alloc_iters as f64,
+    });
+}
+
+/// The steady-state zero-alloc gate: a busy 500-UE cell loop, allocation
+/// count taken over ticks [`WARM_TICKS`]`..`[`WARM_TICKS`]` + `
+/// [`GATE_TICKS`]. Returns `None` when the counting allocator is not
+/// installed in this binary.
+pub fn steady_state_allocs() -> Option<u64> {
+    if !counting_is_active() {
+        return None;
+    }
+    let (mut cell, fg) = busy_cell(500);
+    let mut now = SimTime::ZERO;
+    let tick = |cell: &mut Cell<Pkt>, now: &mut SimTime| {
+        while cell.buffer_level(fg) < 20_000 {
+            cell.enqueue(fg, Pkt, *now);
+        }
+        *now += poi360_sim::SUBFRAME;
+        let out = cell.subframe(*now);
+        black_box(&out);
+        cell.recycle(out);
+    };
+    for _ in 0..WARM_TICKS {
+        tick(&mut cell, &mut now);
+    }
+    let scope = AllocScope::enter();
+    for _ in 0..GATE_TICKS {
+        tick(&mut cell, &mut now);
+    }
+    Some(scope.exit().allocs)
+}
+
+/// Run the whole per-layer suite. Returns the number of gate failures
+/// (regressions, missing benchmarks, steady-state allocations, IO
+/// errors); the caller turns nonzero into a nonzero exit code.
+pub fn run(opts: &PerfOptions) -> usize {
+    let samples = if opts.smoke { 5 } else { 11 };
+    let mut b = Bench::new("perf").samples(samples).warmup(2);
+    let mut rows: Vec<LayerRow> = Vec::new();
+
+    // --- cell: the multi-UE scheduler subframe (the dominant cost) ---
+    let (mut cell, fg) = busy_cell(500);
+    let mut now = SimTime::ZERO;
+    layer(
+        &mut b,
+        &mut rows,
+        "cell",
+        "500-UE PF subframe + recycle",
+        "perf/cell_subframe_500_ues",
+        || {
+            while cell.buffer_level(fg) < 20_000 {
+                cell.enqueue(fg, Pkt, now);
+            }
+            now += poi360_sim::SUBFRAME;
+            let out = cell.subframe(now);
+            black_box(&out);
+            cell.recycle(out);
+        },
+    );
+
+    // --- uplink: the standalone single-UE uplink subframe ---
+    let mut ul = CellUplink::new(UplinkConfig::default(), 3);
+    let mut now = SimTime::ZERO;
+    layer(
+        &mut b,
+        &mut rows,
+        "uplink",
+        "loaded standalone subframe",
+        "perf/uplink_subframe_loaded",
+        || {
+            while ul.buffer_level() < 12_000 {
+                ul.enqueue(Pkt, now);
+            }
+            now += poi360_sim::SUBFRAME;
+            let out = ul.subframe(now);
+            black_box(&out);
+            if let Some(diag) = out.diag {
+                ul.recycle_diag(diag);
+            }
+            ul.recycle_departed(out.departed);
+        },
+    );
+
+    // --- transport: pacer tick and delay-pipe poll, per-tick costs ---
+    let mut pacer = Pacer::new(3.0e6);
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
+    let mut staged: Vec<Packet> = Vec::new();
+    layer(
+        &mut b,
+        &mut rows,
+        "transport",
+        "pacer enqueue x4 + tick_into",
+        "perf/pacer_tick",
+        || {
+            for _ in 0..4 {
+                pacer.enqueue(Packet::video(
+                    seq,
+                    1_240,
+                    now,
+                    FrameTag { frame_no: seq, index: 0, count: 1 },
+                ));
+                seq += 1;
+            }
+            now += poi360_sim::SUBFRAME;
+            staged.clear();
+            pacer.tick_into(now, &mut staged);
+            black_box(&staged);
+        },
+    );
+
+    let mut pipe: DelayPipe<Packet> = DelayPipe::new(PipeConfig::cellular_downstream(), 7);
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
+    let mut arrivals: Vec<(SimTime, Packet)> = Vec::new();
+    layer(&mut b, &mut rows, "transport", "pipe send x2 + poll_into", "perf/pipe_poll", || {
+        now += poi360_sim::SUBFRAME;
+        for _ in 0..2 {
+            pipe.send(
+                Packet::video(seq, 1_240, now, FrameTag { frame_no: seq, index: 0, count: 1 }),
+                now,
+            );
+            seq += 1;
+        }
+        arrivals.clear();
+        pipe.poll_into(now, &mut arrivals);
+        black_box(&arrivals);
+    });
+
+    // --- video: one encoded frame ---
+    let grid = TileGrid::POI360;
+    let mut encoder = Encoder::new(EncoderConfig::default(), 1);
+    let content = ContentModel::new(grid, 1);
+    let roi = Roi::at_tile(&grid, TilePos::new(6, 4));
+    let matrix = CompressionMode::protected_geometric(1.4, 1, 1).matrix(&grid, roi.center);
+    let mut now = SimTime::ZERO;
+    layer(&mut b, &mut rows, "video", "one encoded frame", "perf/video_encode_frame", || {
+        now += poi360_sim::SimDuration::from_micros(27_778);
+        black_box(encoder.encode(now, roi, &matrix, &content, 3.0e6));
+    });
+
+    // --- session: the whole vertical slice, one subframe ---
+    let mut session = poi360_core::session::Session::new(poi360_core::config::SessionConfig {
+        rate_control: poi360_core::config::RateControlKind::Fbcc,
+        network: poi360_core::config::NetworkKind::Cellular(Scenario::baseline()),
+        // Far beyond what the bench will ever step: we drive it manually.
+        duration: poi360_sim::time::SimDuration::from_secs(1_000_000),
+        seed: 1,
+        ..Default::default()
+    });
+    for _ in 0..2_000 {
+        session.step();
+    }
+    layer(
+        &mut b,
+        &mut rows,
+        "session",
+        "full-stack subframe step",
+        "perf/session_step_cellular_fbcc",
+        || {
+            session.step();
+            black_box(session.now());
+        },
+    );
+
+    let mut failures = 0;
+
+    // Surface the medians as trace-style probes alongside the table.
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let probe_path = dir.join("perf_probes.jsonl");
+    match JsonlSink::create(&probe_path) {
+        Ok(sink) => {
+            let sink = Rc::new(RefCell::new(sink));
+            let handle: SinkHandle = sink.clone();
+            let rec = Recorder::to_sink(handle, "perf");
+            for (k, r) in b.results().iter().enumerate() {
+                // One gauge per layer benchmark; strictly increasing
+                // timestamps keep the recorder's order check happy.
+                rec.gauge("perf.median_ns", SimTime::from_micros(k as u64), r.median_ns);
+                rec.event(
+                    "perf.allocs_per_iter",
+                    SimTime::from_micros(k as u64),
+                    rows[k].allocs_per_iter,
+                );
+            }
+            drop(rec);
+            sink.borrow_mut().flush();
+            if sink.borrow().had_io_error() {
+                eprintln!("FAIL: probe writes to {} failed", probe_path.display());
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: cannot create {}: {e}", probe_path.display());
+            failures += 1;
+        }
+    }
+
+    // The per-layer table.
+    let mut t = Table::new(
+        "Hot-path profile — per-layer medians and heap allocations per iteration",
+        &["Layer", "What", "Median (us)", "Allocs/iter", "Bytes/iter"],
+    );
+    let counting = counting_is_active();
+    for r in &rows {
+        let (allocs, bytes) = if counting {
+            (format!("{:.2}", r.allocs_per_iter), format!("{:.0}", r.bytes_per_iter))
+        } else {
+            ("n/a".into(), "n/a".into())
+        };
+        t.row(vec![
+            r.layer.to_string(),
+            r.what.to_string(),
+            format!("{:.2}", r.median_ns / 1e3),
+            allocs,
+            bytes,
+        ]);
+    }
+    let mut out = t.render();
+
+    // The steady-state zero-alloc gate.
+    match steady_state_allocs() {
+        Some(0) => out.push_str(&format!(
+            "steady-state allocs (busy 500-UE cell, ticks {WARM_TICKS}..{}): 0 — pass\n",
+            WARM_TICKS + GATE_TICKS
+        )),
+        Some(n) => {
+            out.push_str(&format!(
+                "steady-state allocs (busy 500-UE cell, ticks {WARM_TICKS}..{}): {n} — FAIL \
+                 (DESIGN.md §10 requires zero)\n",
+                WARM_TICKS + GATE_TICKS
+            ));
+            failures += 1;
+        }
+        None => {
+            out.push_str("steady-state allocs: n/a (CountingAlloc not installed in this binary)\n")
+        }
+    }
+
+    // The baseline comparison gate.
+    if let Some(baseline_path) = &opts.compare {
+        let threshold = threshold();
+        match std::fs::read_to_string(baseline_path) {
+            Ok(baseline_json) => match bench::diff(&b.to_json(), &baseline_json, threshold) {
+                Ok(report) => {
+                    out.push_str(&format!(
+                        "baseline {} (threshold {:.0}%):\n{}",
+                        baseline_path.display(),
+                        threshold * 100.0,
+                        report.render()
+                    ));
+                    if !report.ok() {
+                        out.push_str("perf gate: FAIL — median regression beyond threshold\n");
+                        failures += 1;
+                    } else {
+                        out.push_str("perf gate: pass\n");
+                    }
+                }
+                Err(e) => {
+                    out.push_str(&format!("perf gate: FAIL — cannot diff: {e}\n"));
+                    failures += 1;
+                }
+            },
+            Err(e) => {
+                out.push_str(&format!(
+                    "perf gate: FAIL — cannot read {}: {e}\n",
+                    baseline_path.display()
+                ));
+                failures += 1;
+            }
+        }
+    }
+
+    println!("{out}");
+    if std::fs::write(dir.join("perf.txt"), &out).is_err() {
+        eprintln!("warning: could not write perf.txt");
+    }
+    if let Err(e) = b.finish() {
+        eprintln!("FAIL: cannot write perf.json: {e}");
+        failures += 1;
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_env_override_is_validated() {
+        // No env manipulation (tests run in parallel): just the default.
+        assert!(threshold() > 0.0);
+    }
+
+    #[test]
+    fn steady_state_check_is_honest_without_the_allocator() {
+        // The bench *lib* test binary does not install CountingAlloc, so
+        // the gate must report "not counting" rather than a vacuous pass.
+        assert_eq!(steady_state_allocs(), None);
+    }
+}

@@ -1,6 +1,11 @@
 //! Shared experiment plumbing: session fan-out across users × repetitions,
 //! parallelized across OS threads (sessions are independent and
-//! deterministic per seed).
+//! deterministic per seed). Every fan-out in the crate — session batches,
+//! shared-cell ensembles, the fault matrices — funnels through
+//! [`run_jobs`], a scoped-thread work-stealing pool whose width comes
+//! from [`worker_threads`]: a `--threads` flag or `POI360_THREADS` env
+//! override, else `available_parallelism`. Results always come back in
+//! input order, so parallelism never perturbs output bytes.
 
 use poi360_core::config::SessionConfig;
 use poi360_core::multicell::{MultiCell, MultiCellConfig, MultiCellReport};
@@ -64,6 +69,61 @@ impl FromKv for ExpConfig {
     }
 }
 
+/// Process-wide worker-thread override (0 = unset). Set by the
+/// `reproduce --threads N` flag via [`set_worker_threads`].
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pin the worker-pool width for this process (0 clears the override).
+pub fn set_worker_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Worker-pool width for [`run_jobs`]: the [`set_worker_threads`]
+/// override if set, else the `POI360_THREADS` environment variable, else
+/// `available_parallelism` (min 1 in every case).
+pub fn worker_threads() -> usize {
+    let pinned = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if pinned > 0 {
+        return pinned;
+    }
+    if let Ok(env) = std::env::var("POI360_THREADS") {
+        if let Ok(n) = env.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring unparsable POI360_THREADS={env:?}");
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Run independent jobs across [`worker_threads`] scoped threads and
+/// return the outputs **in input order**.
+///
+/// Each worker repeatedly pops a job off a shared stack, runs `f`, and
+/// files the result under the job's original index, so the caller sees
+/// identical bytes no matter how many threads ran or how the scheduler
+/// interleaved them. Jobs are plain data (`Send`); any non-`Send` state
+/// (sessions, cells) is constructed inside `f` on the worker thread.
+pub fn run_jobs<I: Send, O: Send>(jobs: Vec<I>, f: impl Fn(I) -> O + Sync) -> Vec<O> {
+    let threads = worker_threads().min(jobs.len()).max(1);
+    let jobs = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    let mut results: Vec<(usize, O)> = Vec::new();
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop();
+                let Some((idx, input)) = job else { break };
+                let output = f(input);
+                results_mutex.lock().expect("results poisoned").push((idx, output));
+            });
+        }
+    });
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Deterministic per-session seed from experiment base seed, user index,
 /// and repetition number.
 pub fn session_seed(base: u64, user_idx: usize, repeat: u64) -> u64 {
@@ -94,47 +154,17 @@ pub fn run_sessions(
     agg
 }
 
-/// Run a batch of independent sessions across available cores.
+/// Run a batch of independent sessions across the worker pool.
 pub fn run_parallel(jobs: Vec<SessionConfig>) -> Vec<SessionReport> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let jobs = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
-    let mut results: Vec<(usize, SessionReport)> = Vec::new();
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = jobs.lock().expect("job queue poisoned").pop();
-                let Some((idx, cfg)) = job else { break };
-                let report = Session::new(cfg).run();
-                results_mutex.lock().expect("results poisoned").push((idx, report));
-            });
-        }
-    });
-    results.sort_by_key(|&(idx, _)| idx);
-    results.into_iter().map(|(_, r)| r).collect()
+    run_jobs(jobs, |cfg| Session::new(cfg).run())
 }
 
-/// Run a batch of independent shared-cell ensembles across available
-/// cores. Each [`MultiCell`] holds non-`Send` session state, so the
+/// Run a batch of independent shared-cell ensembles across the worker
+/// pool. Each [`MultiCell`] holds non-`Send` session state, so the
 /// ensemble is *constructed* inside its worker thread; only the plain-data
 /// configs cross threads. Result order matches input order.
 pub fn run_multicells(configs: Vec<MultiCellConfig>) -> Vec<MultiCellReport> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let jobs = std::sync::Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>());
-    let mut results: Vec<(usize, MultiCellReport)> = Vec::new();
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = jobs.lock().expect("job queue poisoned").pop();
-                let Some((idx, cfg)) = job else { break };
-                let report = MultiCell::new(cfg).run();
-                results_mutex.lock().expect("results poisoned").push((idx, report));
-            });
-        }
-    });
-    results.sort_by_key(|&(idx, _)| idx);
-    results.into_iter().map(|(_, r)| r).collect()
+    run_jobs(configs, |cfg| MultiCell::new(cfg).run())
 }
 
 #[cfg(test)]
@@ -152,6 +182,27 @@ mod tests {
         assert_eq!(cfg.base_seed, ExpConfig::default().base_seed);
         assert!(ExpConfig::from_kv_str("duraton=12").is_err());
         assert!(ExpConfig::from_kv_str("repeats=abc").is_err());
+    }
+
+    #[test]
+    fn run_jobs_preserves_input_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let out = run_jobs(jobs, |k| k * k);
+        assert_eq!(out, (0..64).map(|k| k * k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_override_takes_priority() {
+        set_worker_threads(3);
+        assert_eq!(worker_threads(), 3);
+        set_worker_threads(0);
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_single() {
+        assert!(run_jobs(Vec::<u32>::new(), |k| k).is_empty());
+        assert_eq!(run_jobs(vec![7u32], |k| k + 1), vec![8]);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The zero-alloc steady-state gate as a regression test.
+//!
+//! This test binary installs the counting allocator for real (the lib
+//! test binary deliberately does not), self-checks that counting works,
+//! and then asserts DESIGN.md §10's core claim: once pools and scratch
+//! buffers have grown to their working capacity, a busy 500-UE cell's
+//! subframe + recycle loop performs **zero** heap allocations.
+
+use poi360_testkit::alloc::{count_allocs, counting_is_active};
+use poi360_testkit::black_box;
+
+#[global_allocator]
+static ALLOC: poi360_testkit::CountingAlloc = poi360_testkit::CountingAlloc;
+
+#[test]
+fn counting_allocator_actually_counts() {
+    assert!(counting_is_active(), "this binary installs CountingAlloc");
+    let ((), stats) = count_allocs(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        black_box(&v);
+    });
+    assert!(stats.allocs >= 1, "a Vec::with_capacity must be observed");
+    assert!(stats.bytes >= 32 * 8, "observed {} bytes", stats.bytes);
+}
+
+#[test]
+fn steady_state_subframes_do_not_allocate() {
+    let allocs = poi360_bench::perf::steady_state_allocs()
+        .expect("counting allocator is installed in this binary");
+    assert_eq!(allocs, 0, "ticks 1000.. of a busy 500-UE cell must not touch the heap");
+}
+
+#[test]
+fn session_steady_state_has_bounded_allocation_rate() {
+    // The full session keeps ordered maps on purpose (reassembly,
+    // feedback bookkeeping), so it is not zero-alloc — but the hot-path
+    // work should hold it to a handful of allocations per subframe, not
+    // the dozens the staging vectors used to cost.
+    use poi360_core::config::{NetworkKind, RateControlKind, SessionConfig};
+    use poi360_core::session::Session;
+    use poi360_lte::scenario::Scenario;
+    use poi360_sim::time::SimDuration;
+
+    let mut s = Session::new(SessionConfig {
+        rate_control: RateControlKind::Fbcc,
+        network: NetworkKind::Cellular(Scenario::baseline()),
+        duration: SimDuration::from_secs(1_000_000),
+        seed: 1,
+        ..Default::default()
+    });
+    for _ in 0..5_000 {
+        s.step();
+    }
+    let ticks = 5_000u64;
+    let ((), stats) = count_allocs(|| {
+        for _ in 0..ticks {
+            s.step();
+        }
+        black_box(s.now());
+    });
+    let per_tick = stats.allocs as f64 / ticks as f64;
+    assert!(per_tick < 4.0, "session allocates {per_tick:.2}/subframe — staging has regressed");
+}

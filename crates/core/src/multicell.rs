@@ -127,6 +127,8 @@ pub struct MultiCell {
     cell: Rc<RefCell<Cell<Packet>>>,
     sessions: Vec<Session>,
     now: SimTime,
+    /// Per-step ROI staging, reused across subframes.
+    rois: Vec<poi360_video::roi::Roi>,
 }
 
 impl MultiCell {
@@ -184,7 +186,7 @@ impl MultiCell {
             sessions.push(session);
         }
         cell.borrow_mut().attach_background_population(cfg.background_ues);
-        MultiCell { cfg, cell, sessions, now: SimTime::ZERO }
+        MultiCell { cfg, cell, sessions, now: SimTime::ZERO, rois: Vec::new() }
     }
 
     /// Configuration in use.
@@ -195,11 +197,21 @@ impl MultiCell {
     /// Advance every session and the cell by exactly one subframe.
     pub fn step(&mut self) {
         let now = self.now;
-        let rois: Vec<_> = self.sessions.iter_mut().map(|s| s.multi_begin()).collect();
-        let out = self.cell.borrow_mut().subframe(now);
-        for ((session, outcome), roi) in self.sessions.iter_mut().zip(out.per_ue).zip(rois.iter()) {
+        self.rois.clear();
+        for s in &mut self.sessions {
+            let roi = s.multi_begin();
+            self.rois.push(roi);
+        }
+        let mut out = self.cell.borrow_mut().subframe(now);
+        for ((session, outcome), roi) in
+            self.sessions.iter_mut().zip(out.per_ue.drain(..)).zip(self.rois.iter())
+        {
             session.multi_complete(outcome, roi);
         }
+        // The outcomes went to the sessions (which recycle their departed
+        // vectors and diag reports themselves); hand the emptied shells
+        // back to the cell.
+        self.cell.borrow_mut().recycle(out);
         self.now += poi360_sim::SUBFRAME;
     }
 

@@ -40,6 +40,7 @@ use poi360_lte::cell::{Cell, UeId};
 use poi360_lte::uplink::{CellUplink, SubframeOutcome};
 use poi360_net::packet::Packet;
 use poi360_net::pipe::{DelayPipe, PipeConfig};
+use poi360_net::pool::BufPool;
 use poi360_net::wireline::{WirelineConfig, WirelineLink};
 use poi360_sim::fault::{FaultPlan, FaultTimeline};
 use poi360_sim::time::{SimDuration, SimTime};
@@ -142,6 +143,15 @@ pub struct Session {
     next_roi_feedback_at: SimTime,
     next_rr_at: SimTime,
     last_arrival: Option<(SimTime, SimTime)>, // (pkt departed_at, arrival)
+
+    // ---- hot-path staging (DESIGN.md §10) ----
+    /// Strict free-list for the pacer's per-tick release buffer; leased at
+    /// the top of phase 4 and recycled at its end, so a leak panics.
+    pacer_pool: BufPool<Packet>,
+    /// Downstream arrival staging, cleared (capacity kept) every tick.
+    arrivals: Vec<(SimTime, Packet)>,
+    /// Feedback arrival staging, cleared (capacity kept) every tick.
+    fb_arrivals: Vec<(SimTime, FeedbackMsg)>,
 
     // ---- measurement ----
     /// Probe handle every layer reports through; the report's series are
@@ -267,6 +277,9 @@ impl Session {
             next_roi_feedback_at: SimTime::ZERO,
             next_rr_at: SimTime::from_millis(100),
             last_arrival: None,
+            pacer_pool: BufPool::with_slots(2),
+            arrivals: Vec::new(),
+            fb_arrivals: Vec::new(),
             recorder,
             report: SessionReport { label, ..Default::default() },
             rx_bytes_this_second: 0,
@@ -365,9 +378,12 @@ impl Session {
             self.downstream.set_fault_state(af.extra_path_delay, af.extra_path_loss);
         }
         self.feedback.tick(now);
-        for (_, msg) in self.feedback.poll(now) {
+        let mut fb = std::mem::take(&mut self.fb_arrivals);
+        self.feedback.poll_into(now, &mut fb);
+        for (_, msg) in fb.drain(..) {
             self.sender_handle_feedback(msg);
         }
+        self.fb_arrivals = fb;
 
         // 3. Frame capture + encode on schedule.
         while self.now >= self.next_frame_at {
@@ -377,7 +393,9 @@ impl Session {
 
         // 4. Pace packets toward the access link.
         self.pacer.set_rate_bps(self.rate.rtp_rate_bps(now));
-        for mut pkt in self.pacer.tick(now) {
+        let mut paced = self.pacer_pool.lease();
+        self.pacer.tick_into(now, &mut paced);
+        for mut pkt in paced.drain(..) {
             pkt.sent_at = now; // abs-send-time: when the packet leaves the app
             self.sent_packets.insert(pkt.seq, pkt.clone());
             if self.sent_packets.len() > 4_000 {
@@ -396,6 +414,7 @@ impl Session {
                 }
             }
         }
+        self.pacer_pool.recycle(paced);
 
         client_roi
     }
@@ -406,13 +425,26 @@ impl Session {
     /// shared-cell driver.
     fn absorb_uplink(&mut self, out: SubframeOutcome<Packet>) {
         let now = self.now;
-        for (pkt, _) in out.departed {
+        let mut departed = out.departed;
+        for (pkt, _) in departed.drain(..) {
             self.downstream.send(pkt, now);
+        }
+        // Hand the emptied shell back to the access layer so its next
+        // subframe serves into it instead of allocating.
+        match &mut self.access {
+            Access::Cellular(ul) => ul.recycle_departed(departed),
+            Access::SharedCell { cell, .. } => cell.borrow_mut().recycle_departed(departed),
+            Access::Wireline(_) => {}
         }
         if let Some(diag) = out.diag {
             self.recorder.gauge("uplink.fw_buffer_bytes", now, diag.last_buffer_bytes() as f64);
             self.recorder.gauge("uplink.phy_rate_bps", now, diag.mean_phy_rate_bps());
             self.rate.on_diag(&diag, now);
+            match &mut self.access {
+                Access::Cellular(ul) => ul.recycle_diag(diag),
+                Access::SharedCell { cell, ue } => cell.borrow_mut().recycle_diag(*ue, diag),
+                Access::Wireline(_) => {}
+            }
         }
     }
 
@@ -422,10 +454,12 @@ impl Session {
 
         // 6. Deliveries at the client.
         self.downstream.tick(now);
-        let arrivals = self.downstream.poll(now);
-        for (at, pkt) in arrivals {
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        self.downstream.poll_into(now, &mut arrivals);
+        for (at, pkt) in arrivals.drain(..) {
             self.client_handle_packet(pkt, at, client_roi);
         }
+        self.arrivals = arrivals;
 
         // 7. Client housekeeping: NACKs, abandoned frames, REMB, RR, ROI/M.
         self.client_housekeeping(client_roi);

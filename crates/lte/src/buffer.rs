@@ -109,8 +109,15 @@ impl<T: PacketLike> FirmwareBuffer<T> {
     /// Serve up to `budget_bytes` from the head of the queue; returns the
     /// packets whose final byte was transmitted this service, with their
     /// original enqueue time.
-    pub fn serve(&mut self, mut budget_bytes: u32) -> Vec<(T, SimTime)> {
+    pub fn serve(&mut self, budget_bytes: u32) -> Vec<(T, SimTime)> {
         let mut done = Vec::new();
+        self.serve_into(budget_bytes, &mut done);
+        done
+    }
+
+    /// Like [`FirmwareBuffer::serve`], but appends departures into a
+    /// caller-owned buffer so the per-subframe hot path reuses capacity.
+    pub fn serve_into(&mut self, mut budget_bytes: u32, done: &mut Vec<(T, SimTime)>) {
         while budget_bytes > 0 {
             let Some(head) = self.queue.front_mut() else { break };
             let take = head.remaining.min(budget_bytes);
@@ -123,7 +130,6 @@ impl<T: PacketLike> FirmwareBuffer<T> {
                 done.push((q.item, q.enqueued_at));
             }
         }
-        done
     }
 }
 

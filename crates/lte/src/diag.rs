@@ -57,6 +57,9 @@ pub struct DiagInterface {
     period: SimDuration,
     pending: Vec<DiagSample>,
     epoch_start: SimTime,
+    // Sample vector returned by a consumer via `recycle`, reused for the
+    // next epoch so steady-state reporting does not allocate.
+    spare: Option<Vec<DiagSample>>,
 }
 
 impl DiagInterface {
@@ -66,7 +69,12 @@ impl DiagInterface {
     /// Create an interface with the given report period.
     pub fn new(period: SimDuration) -> Self {
         assert!(!period.is_zero());
-        DiagInterface { period, pending: Vec::with_capacity(64), epoch_start: SimTime::ZERO }
+        DiagInterface {
+            period,
+            pending: Vec::with_capacity(64),
+            epoch_start: SimTime::ZERO,
+            spare: None,
+        }
     }
 
     /// Report period.
@@ -80,12 +88,22 @@ impl DiagInterface {
         let elapsed = sample.at.saturating_since(self.epoch_start) + poi360_sim::SUBFRAME;
         if elapsed >= self.period {
             let delivered_at = sample.at + poi360_sim::SUBFRAME;
-            let samples = std::mem::take(&mut self.pending);
+            let next = self.spare.take().unwrap_or_default();
+            let samples = std::mem::replace(&mut self.pending, next);
             self.epoch_start = delivered_at;
             Some(DiagReport { delivered_at, samples })
         } else {
             None
         }
+    }
+
+    /// Return a consumed report's sample storage for reuse by the next
+    /// epoch. Consumers that drop reports instead simply fall back to a
+    /// fresh allocation per epoch.
+    pub fn recycle(&mut self, report: DiagReport) {
+        let mut samples = report.samples;
+        samples.clear();
+        self.spare = Some(samples);
     }
 }
 

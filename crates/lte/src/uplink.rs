@@ -172,6 +172,9 @@ pub struct CellUplink<T> {
     /// Whether an injected radio link failure was active last subframe,
     /// for the re-establishment flush on its trailing edge.
     was_rlf: bool,
+    /// Departed-packet vector shells returned via `recycle_departed`,
+    /// reused so steady-state subframes do not allocate.
+    departed_pool: Vec<Vec<(T, SimTime)>>,
     recorder: Recorder,
 }
 
@@ -190,9 +193,24 @@ impl<T: PacketLike> CellUplink<T> {
             faults: FaultTimeline::default(),
             stale_diag: None,
             was_rlf: false,
+            departed_pool: Vec::new(),
             recorder: Recorder::null(),
             cfg,
         }
+    }
+
+    /// Return a consumed outcome's departed-vector shell (emptied) so the
+    /// next subframe reuses its capacity instead of allocating.
+    pub fn recycle_departed(&mut self, mut departed: Vec<(T, SimTime)>) {
+        departed.clear();
+        if self.departed_pool.len() < 4 {
+            self.departed_pool.push(departed);
+        }
+    }
+
+    /// Return a consumed diag report's sample storage for epoch reuse.
+    pub fn recycle_diag(&mut self, report: DiagReport) {
+        self.diag.recycle(report);
     }
 
     /// Attach the session's probe recorder.
@@ -285,7 +303,8 @@ impl<T: PacketLike> CellUplink<T> {
             (base as f64 * af.grant_factor) as u32
         };
         let serve_bytes = grant_bits / 8;
-        let departed = self.fw.serve(serve_bytes);
+        let mut departed = self.departed_pool.pop().unwrap_or_default();
+        self.fw.serve_into(serve_bytes, &mut departed);
         let served_bits =
             departed.iter().map(|(p, _)| p.wire_bytes()).sum::<u32>().saturating_mul(8);
         // TBS reflects the grant actually used: bounded by both the grant

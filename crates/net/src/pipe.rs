@@ -240,6 +240,12 @@ impl<T> DelayPipe<T> {
         self.in_flight.drain_due(now)
     }
 
+    /// Like [`DelayPipe::poll`], but appends into a caller-owned buffer so
+    /// per-tick polling reuses capacity instead of allocating.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, T)>) {
+        self.in_flight.drain_due_into(now, out);
+    }
+
     /// Next arrival instant, if any packet is in flight.
     pub fn next_arrival(&self) -> Option<SimTime> {
         self.in_flight.next_due()

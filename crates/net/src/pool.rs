@@ -1,0 +1,114 @@
+//! A small free-list buffer pool for per-tick packet staging.
+//!
+//! The transport pacer and the delay pipes hand vectors of packets across
+//! layer boundaries every tick. [`BufPool`] lets those call sites lease a
+//! buffer, fill and consume it, and recycle the emptied shell — so the
+//! steady-state loop reuses capacity instead of allocating a fresh `Vec`
+//! per tick (DESIGN.md §10).
+//!
+//! The pool is deliberately strict: it has a fixed number of slots, and
+//! leasing while every slot is already out panics. A buffer can never be
+//! handed out twice — leasing moves it out of the pool — and the slot
+//! accounting turns a leak (a leased buffer that is dropped instead of
+//! recycled) into a loud failure at the next over-subscribed lease
+//! rather than a silent allocation regression.
+
+/// A bounded free-list of reusable `Vec<T>` buffers.
+#[derive(Debug)]
+pub struct BufPool<T> {
+    free: Vec<Vec<T>>,
+    slots: usize,
+    live: usize,
+}
+
+impl<T> BufPool<T> {
+    /// Create a pool with `slots` leasable buffers (initially empty
+    /// shells; they grow to their working capacity on first use and keep
+    /// it across recycles).
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots > 0, "a pool needs at least one slot");
+        BufPool { free: Vec::with_capacity(slots), slots, live: 0 }
+    }
+
+    /// Number of slots currently leased out.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Lease a buffer. The returned vector is empty but keeps whatever
+    /// capacity it grew on earlier leases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every slot is already live: either the caller leaked a
+    /// buffer (dropped it instead of [`BufPool::recycle`]-ing it) or two
+    /// call sites are fighting over an undersized pool.
+    pub fn lease(&mut self) -> Vec<T> {
+        assert!(
+            self.live < self.slots,
+            "BufPool over-subscribed: all {} slots are live (leaked lease?)",
+            self.slots
+        );
+        self.live += 1;
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a leased buffer. Its contents are dropped; its capacity is
+    /// kept for the next lease.
+    pub fn recycle(&mut self, mut buf: Vec<T>) {
+        assert!(self.live > 0, "BufPool::recycle without a live lease");
+        buf.clear();
+        self.live -= 1;
+        self.free.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycle_keeps_capacity() {
+        let mut pool: BufPool<u32> = BufPool::with_slots(2);
+        let mut a = pool.lease();
+        a.extend(0..100);
+        let cap = a.capacity();
+        pool.recycle(a);
+        let b = pool.lease();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "recycled shell keeps its capacity");
+        pool.recycle(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-subscribed")]
+    fn double_lease_beyond_slots_panics() {
+        let mut pool: BufPool<u32> = BufPool::with_slots(1);
+        let _live = pool.lease();
+        // The one slot is out; the pool must refuse to hand out another
+        // buffer rather than risk aliasing a live one.
+        let _second = pool.lease();
+    }
+
+    #[test]
+    fn leak_is_caught_at_the_next_oversubscribed_lease() {
+        let mut pool: BufPool<u32> = BufPool::with_slots(2);
+        drop(pool.lease()); // leaked: dropped, not recycled
+        let _ok = pool.lease(); // one slot still free
+        assert_eq!(pool.live(), 2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.lease()));
+        assert!(r.is_err(), "third lease must panic: the leak used up a slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a live lease")]
+    fn recycle_of_a_foreign_buffer_panics() {
+        let mut pool: BufPool<u32> = BufPool::with_slots(1);
+        pool.recycle(Vec::new());
+    }
+}

@@ -79,10 +79,17 @@ impl<E> EventQueue<E> {
     /// Drain every event due at or before `now`, in deterministic order.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
         let mut out = Vec::new();
+        self.drain_due_into(now, &mut out);
+        out
+    }
+
+    /// Like [`EventQueue::drain_due`], but appends into a caller-owned
+    /// buffer so steady-state polling reuses capacity instead of
+    /// allocating a fresh `Vec` per tick.
+    pub fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, E)>) {
         while let Some(ev) = self.pop_due(now) {
             out.push(ev);
         }
-        out
     }
 
     /// Pop the earliest event unconditionally.

@@ -22,6 +22,13 @@ pub struct OrnsteinUhlenbeck {
     theta: f64,
     sigma: f64,
     x: f64,
+    // Transition coefficients are pure functions of (theta, sigma, dt);
+    // callers step on a fixed cadence, so cache them per step size and skip
+    // the exp/sqrt on every tick. Recomputing yields the same bits, so the
+    // cache cannot perturb a deterministic run.
+    cached_dt: f64,
+    decay: f64,
+    noise_scale: f64,
 }
 
 impl OrnsteinUhlenbeck {
@@ -30,7 +37,15 @@ impl OrnsteinUhlenbeck {
     pub fn new(mu: f64, theta: f64, sigma: f64) -> Self {
         assert!(theta > 0.0, "reversion rate must be positive");
         assert!(sigma >= 0.0);
-        OrnsteinUhlenbeck { mu, theta, sigma, x: mu }
+        OrnsteinUhlenbeck {
+            mu,
+            theta,
+            sigma,
+            x: mu,
+            cached_dt: f64::NAN,
+            decay: 0.0,
+            noise_scale: 0.0,
+        }
     }
 
     /// Convenience constructor from the stationary standard deviation and a
@@ -56,10 +71,15 @@ impl OrnsteinUhlenbeck {
     /// Advance by `dt` and return the new value.
     pub fn step(&mut self, dt: SimDuration, rng: &mut SimRng) -> f64 {
         let dt = dt.as_secs_f64();
-        let decay = (-self.theta * dt).exp();
-        // Exact transition: X' ~ N(mu + (X-mu) e^{-theta dt}, var)
-        let var = self.sigma * self.sigma / (2.0 * self.theta) * (1.0 - decay * decay);
-        self.x = self.mu + (self.x - self.mu) * decay + var.sqrt() * rng.gaussian();
+        if dt != self.cached_dt {
+            let decay = (-self.theta * dt).exp();
+            // Exact transition: X' ~ N(mu + (X-mu) e^{-theta dt}, var)
+            let var = self.sigma * self.sigma / (2.0 * self.theta) * (1.0 - decay * decay);
+            self.cached_dt = dt;
+            self.decay = decay;
+            self.noise_scale = var.sqrt();
+        }
+        self.x = self.mu + (self.x - self.mu) * self.decay + self.noise_scale * rng.gaussian();
         self.x
     }
 }
@@ -180,6 +200,27 @@ mod tests {
         let coarse = run(1, 100, 3);
         let fine = run(10, 10, 4);
         assert!((coarse - fine).abs() < 0.1, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn ou_coefficient_cache_is_bit_identical() {
+        // Alternating step sizes forces cache invalidation every step; a
+        // process that recomputes from scratch each time (fresh clone, cold
+        // cache) must produce the exact same bits.
+        let mut rng_a = SimRng::from_seed(9);
+        let mut rng_b = SimRng::from_seed(9);
+        let mut cached = OrnsteinUhlenbeck::with_stationary(5.0, 2.0, 0.4);
+        let mut cold = OrnsteinUhlenbeck::with_stationary(5.0, 2.0, 0.4);
+        for k in 0..500u64 {
+            let dt = SimDuration::from_millis(if k % 3 == 0 { 1 } else { 100 });
+            let a = cached.step(dt, &mut rng_a);
+            // Rebuild the uncached process at the same state each step.
+            let mut fresh = OrnsteinUhlenbeck::with_stationary(5.0, 2.0, 0.4);
+            fresh.set_value(cold.value());
+            let b = fresh.step(dt, &mut rng_b);
+            cold = fresh;
+            assert_eq!(a.to_bits(), b.to_bits(), "step {k}");
+        }
     }
 
     #[test]

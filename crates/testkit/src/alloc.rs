@@ -1,0 +1,154 @@
+//! Thread-local heap-allocation counting (in-repo `dhat` replacement).
+//!
+//! The workspace's perf discipline (DESIGN.md §10) says the steady-state
+//! subframe loop must not touch the heap. Asserting that needs a way to
+//! *count* allocations, hermetically. [`CountingAlloc`] wraps the system
+//! allocator and bumps thread-local counters on every `alloc`/`realloc`;
+//! [`AllocScope`] snapshots those counters around a region:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: poi360_testkit::alloc::CountingAlloc = poi360_testkit::alloc::CountingAlloc;
+//!
+//! let scope = AllocScope::enter();
+//! hot_loop();
+//! let stats = scope.exit();
+//! assert_eq!(stats.allocs, 0, "steady state must not allocate");
+//! ```
+//!
+//! The counters are thread-local `Cell<u64>`s with const initializers, so
+//! reading or bumping them never allocates (a lazily-initialized TLS slot
+//! would recurse into the allocator on first touch). Installing the
+//! allocator is the *binary's* choice — a `#[global_allocator]` item in
+//! the bench/test binary — so library crates and ordinary test binaries
+//! keep the plain system allocator. When the counting allocator is not
+//! installed, scopes simply report zero deltas; callers that need to
+//! distinguish "no allocations" from "not counting" check
+//! [`counting_is_active`], which performs a sentinel allocation and sees
+//! whether the counters moved.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `#[global_allocator]` shim that counts allocations per thread.
+///
+/// Delegates every operation to [`System`]; the only addition is the
+/// thread-local bookkeeping. `dealloc` is deliberately not counted — the
+/// zero-alloc gate cares about *acquiring* heap memory in the hot loop,
+/// and frees of pre-existing buffers (e.g. a shrink-to-fit outside the
+/// measured region) would only muddy the signal.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc acquires heap (growth) or at least exercises the
+        // allocator; either way the hot loop must not do it.
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation counts observed over an [`AllocScope`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Heap acquisitions (`alloc` + `alloc_zeroed` + `realloc` calls).
+    pub allocs: u64,
+    /// Bytes requested across those acquisitions.
+    pub bytes: u64,
+}
+
+/// Snapshot-based measurement of allocations on the current thread.
+#[derive(Debug)]
+pub struct AllocScope {
+    allocs_at_enter: u64,
+    bytes_at_enter: u64,
+}
+
+impl AllocScope {
+    /// Start counting from the current thread's totals.
+    pub fn enter() -> Self {
+        AllocScope {
+            allocs_at_enter: ALLOCS.with(Cell::get),
+            bytes_at_enter: BYTES.with(Cell::get),
+        }
+    }
+
+    /// Allocations on this thread since [`AllocScope::enter`].
+    pub fn exit(self) -> AllocStats {
+        AllocStats {
+            allocs: ALLOCS.with(Cell::get) - self.allocs_at_enter,
+            bytes: BYTES.with(Cell::get) - self.bytes_at_enter,
+        }
+    }
+}
+
+/// Measure the allocations `f` performs on the current thread.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
+    let scope = AllocScope::enter();
+    let r = f();
+    (r, scope.exit())
+}
+
+/// Whether the counting allocator is actually installed in this binary.
+///
+/// Performs one sentinel heap allocation and checks that the thread's
+/// counter moved. A zero-alloc assertion should require this first —
+/// otherwise a binary that forgot its `#[global_allocator]` item would
+/// vacuously pass.
+pub fn counting_is_active() -> bool {
+    let before = ALLOCS.with(Cell::get);
+    let sentinel: Vec<u8> = Vec::with_capacity(64);
+    std::hint::black_box(&sentinel);
+    ALLOCS.with(Cell::get) > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The testkit test binary does NOT install CountingAlloc (that is a
+    // per-binary decision), so these tests exercise the inactive path;
+    // the active path is covered by poi360-bench's zero_alloc test which
+    // installs the allocator for real.
+
+    #[test]
+    fn inactive_counting_reports_zero_deltas() {
+        assert!(!counting_is_active());
+        let ((), stats) = count_allocs(|| {
+            let v: Vec<u64> = (0..1_000).collect();
+            std::hint::black_box(&v);
+        });
+        assert_eq!(stats, AllocStats { allocs: 0, bytes: 0 });
+    }
+
+    #[test]
+    fn scope_deltas_are_relative_to_enter() {
+        let a = AllocScope::enter();
+        let b = AllocScope::enter();
+        let sa = a.exit();
+        let sb = b.exit();
+        assert_eq!(sa.allocs, sb.allocs);
+    }
+}

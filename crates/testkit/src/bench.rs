@@ -1,10 +1,14 @@
 //! Wall-clock micro-benchmark harness (in-repo `criterion` replacement).
 //!
 //! Each benchmark runs a closure in timed batches: the batch size is
-//! calibrated so one batch takes roughly [`TARGET_BATCH`], a few warmup
-//! batches prime caches and branch predictors, then the per-iteration
-//! time is the **median** over [`Bench::samples`] timed batches — robust
-//! to scheduler noise without criterion's statistical machinery.
+//! calibrated so one batch takes roughly [`TARGET_BATCH`], warmup batches
+//! run until consecutive batch times agree within [`WARMUP_TOLERANCE`]
+//! (capped at [`MAX_WARMUP_BATCHES`]) so caches, branch predictors, and
+//! frequency scaling settle, then the per-iteration time is the
+//! **median** over [`Bench::samples`] timed batches — robust to scheduler
+//! noise without criterion's statistical machinery. The adaptive warmup
+//! exists because fixed 1-batch warmups left samples=5 medians jittering
+//! ~8% run-to-run on cold suites.
 //!
 //! [`Bench::finish`] writes every result as JSON to
 //! `bench_results/<suite>.json` (one object per line inside a JSON array)
@@ -58,8 +62,16 @@ const TARGET_BATCH: Duration = Duration::from_millis(20);
 /// Timed batches per benchmark (median taken over these).
 const DEFAULT_SAMPLES: usize = 11;
 
-/// Warmup batches before timing starts.
+/// Minimum warmup batches before timing starts.
 const DEFAULT_WARMUP: usize = 3;
+
+/// Warmup continues until two consecutive batches agree within this
+/// relative spread (|a-b| / min(a,b)).
+const WARMUP_TOLERANCE: f64 = 0.03;
+
+/// Hard cap on warmup batches, so a body with irreducible variance (e.g.
+/// one dominated by OS jitter) cannot warm up forever.
+const MAX_WARMUP_BATCHES: usize = 12;
 
 /// One benchmark's measurements.
 #[derive(Clone, Debug)]
@@ -124,7 +136,9 @@ impl Bench {
         self
     }
 
-    /// Override the number of warmup batches.
+    /// Override the *minimum* number of warmup batches (warmup continues
+    /// past this until consecutive batch times stabilize, up to
+    /// [`MAX_WARMUP_BATCHES`]).
     pub fn warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
         self
@@ -134,9 +148,29 @@ impl Bench {
     /// [`crate::black_box`] inside `f` to defeat dead-code elimination.
     pub fn bench(&mut self, name: impl Into<String>, mut f: impl FnMut()) -> &BenchResult {
         let name = name.into();
-        let iters = calibrate(&mut f);
-        for _ in 0..self.warmup {
-            run_batch(&mut f, iters);
+        let mut iters = calibrate(&mut f);
+        // Adaptive warmup: keep running batches until two consecutive
+        // ones agree within WARMUP_TOLERANCE, so the timed samples see a
+        // settled cache/branch-predictor/clock state.
+        let cap = MAX_WARMUP_BATCHES.max(self.warmup);
+        let mut prev = run_batch(&mut f, iters).as_secs_f64();
+        let mut batches = 1usize;
+        while batches < cap {
+            let cur = run_batch(&mut f, iters).as_secs_f64();
+            batches += 1;
+            let spread = (cur - prev).abs() / cur.min(prev).max(f64::MIN_POSITIVE);
+            prev = cur;
+            if batches >= self.warmup && spread <= WARMUP_TOLERANCE {
+                break;
+            }
+        }
+        // Recalibrate after warmup: the settled body is often faster than
+        // the cold one calibrate() saw, which would undersize batches and
+        // let scheduler noise back in.
+        let settled = run_batch(&mut f, iters);
+        if settled < TARGET_BATCH / 2 {
+            let scale = TARGET_BATCH.as_secs_f64() / settled.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters);
         }
         let mut per_iter_ns: Vec<f64> = (0..self.samples)
             .map(|_| run_batch(&mut f, iters).as_nanos() as f64 / iters as f64)
@@ -206,6 +240,123 @@ impl Bench {
     }
 }
 
+/// One benchmark's current-vs-baseline comparison from [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffEntry {
+    /// Benchmark name (shared by both suites).
+    pub name: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+    /// Relative change: `(current - baseline) / baseline`. Positive means
+    /// the current run is slower.
+    pub rel_delta: f64,
+    /// Whether `rel_delta` exceeds the comparison threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing a suite against a baseline with [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Per-benchmark comparisons, in the current suite's order. Only
+    /// benchmarks present in *both* suites appear.
+    pub entries: Vec<DiffEntry>,
+    /// Benchmark names present in the baseline but missing from the
+    /// current run — a silently dropped benchmark must not pass the gate.
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes: no entry regressed and nothing vanished.
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty() && self.entries.iter().all(|e| !e.regressed)
+    }
+
+    /// Human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let verdict = if e.regressed { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "  {:<44} {:>10.3} ms -> {:>10.3} ms  {:>+7.1}%  {}\n",
+                e.name,
+                e.baseline_ns / 1e6,
+                e.current_ns / 1e6,
+                e.rel_delta * 100.0,
+                verdict
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("  {name:<44} missing from current run\n"));
+        }
+        out
+    }
+}
+
+/// Pull `(name, median_ns)` pairs out of a suite JSON document (the
+/// format [`Bench::to_json`] writes).
+fn suite_medians(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = poi360_sim::json::parse_json(doc)?;
+    let results = doc
+        .get("results")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "suite JSON has no `results` array".to_string())?;
+    results
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| "result without a `name`".to_string())?;
+            let median = r
+                .get("median_ns")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("result {name:?} without `median_ns`"))?;
+            Ok((name.to_string(), median))
+        })
+        .collect()
+}
+
+/// Relative regressions are only failures when the absolute slowdown
+/// also clears this floor: sub-microsecond benchmark bodies jitter tens
+/// of percent run-to-run from scheduler noise alone, and a "regression"
+/// of 300 ns is not a hot-path event worth failing CI over.
+pub const ABS_SLACK_NS: f64 = 1_000.0;
+
+/// Compare a current suite JSON against a baseline suite JSON.
+///
+/// A benchmark regresses when its current median exceeds the baseline
+/// median by more than `threshold` (relative: 0.25 = 25% slower) *and*
+/// by more than [`ABS_SLACK_NS`] absolute. Medians *below* baseline
+/// never fail — improvements are free; the baseline is re-pinned
+/// deliberately (EXPERIMENTS.md), not ratcheted automatically.
+/// Benchmarks new in the current run are ignored; benchmarks that
+/// disappeared are reported in [`DiffReport::missing`].
+pub fn diff(current_json: &str, baseline_json: &str, threshold: f64) -> Result<DiffReport, String> {
+    let current = suite_medians(current_json)?;
+    let baseline = suite_medians(baseline_json)?;
+    let mut entries = Vec::new();
+    for (name, current_ns) in &current {
+        if let Some((_, baseline_ns)) = baseline.iter().find(|(b, _)| b == name) {
+            let rel_delta = (current_ns - baseline_ns) / baseline_ns.max(f64::MIN_POSITIVE);
+            entries.push(DiffEntry {
+                name: name.clone(),
+                baseline_ns: *baseline_ns,
+                current_ns: *current_ns,
+                rel_delta,
+                regressed: rel_delta > threshold && current_ns - baseline_ns > ABS_SLACK_NS,
+            });
+        }
+    }
+    let missing = baseline
+        .iter()
+        .map(|(name, _)| name.clone())
+        .filter(|name| !current.iter().any(|(c, _)| c == name))
+        .collect();
+    Ok(DiffReport { entries, missing })
+}
+
 /// Find an iteration count whose batch takes roughly [`TARGET_BATCH`]:
 /// double from 1 until the batch is measurable, then scale linearly.
 fn calibrate(f: &mut impl FnMut()) -> u64 {
@@ -273,5 +424,77 @@ mod tests {
     fn calibrate_scales_up_cheap_bodies() {
         let mut noop = || {};
         assert!(calibrate(&mut noop) > 1);
+    }
+
+    fn suite_json(results: &[(&str, f64)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\"suite\":\"t\",\"commit\":\"unknown\",\"invocation\":[],\"results\":[");
+        for (k, (name, median)) in results.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"iters_per_sample\":1,\"samples\":5,\
+                 \"median_ns\":{median},\"min_ns\":{median},\"mean_ns\":{median}}}"
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    #[test]
+    fn diff_passes_within_threshold_and_on_improvement() {
+        let baseline = suite_json(&[("a", 100.0), ("b", 100.0)]);
+        let current = suite_json(&[("a", 110.0), ("b", 40.0)]);
+        let report = diff(&current, &baseline, 0.25).expect("parses");
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.entries.len(), 2);
+        assert!((report.entries[0].rel_delta - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_fails_a_synthetic_regression() {
+        // The CI gate's contract: a median that blows past the threshold
+        // must flip ok() to false.
+        let baseline = suite_json(&[("cell_scale/subframe_500_ues", 60_000.0)]);
+        let current = suite_json(&[("cell_scale/subframe_500_ues", 100_000.0)]);
+        let report = diff(&current, &baseline, 0.25).expect("parses");
+        assert!(!report.ok());
+        assert!(report.entries[0].regressed);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn diff_tolerates_relative_jitter_on_nanosecond_bodies() {
+        // 3x slower, but only 200 ns absolute: scheduler noise, not a
+        // regression — the absolute slack keeps the gate quiet.
+        let baseline = suite_json(&[("tiny", 100.0)]);
+        let current = suite_json(&[("tiny", 300.0)]);
+        let report = diff(&current, &baseline, 0.25).expect("parses");
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn diff_reports_benchmarks_missing_from_current() {
+        let baseline = suite_json(&[("a", 100.0), ("gone", 100.0)]);
+        let current = suite_json(&[("a", 100.0)]);
+        let report = diff(&current, &baseline, 0.25).expect("parses");
+        assert!(!report.ok(), "a vanished benchmark must not pass silently");
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn diff_ignores_benchmarks_new_in_current() {
+        let baseline = suite_json(&[("a", 100.0)]);
+        let current = suite_json(&[("a", 100.0), ("new", 5.0)]);
+        let report = diff(&current, &baseline, 0.25).expect("parses");
+        assert!(report.ok());
+        assert_eq!(report.entries.len(), 1);
+    }
+
+    #[test]
+    fn diff_rejects_malformed_json() {
+        assert!(diff("{", "{}", 0.25).is_err());
+        assert!(diff("{\"results\":true}", "{\"results\":[]}", 0.25).is_err());
     }
 }

@@ -8,16 +8,23 @@
 //!   property over N generated cases; a failing case is shrunk by
 //!   bisection over its raw random draws and reported with the exact
 //!   seed (`POI360_PROP_SEED=...`) that reproduces it.
-//! * [`bench`] — wall-clock micro-benchmarks: warmup, then the median of
-//!   N timed batches, with JSON results written to `bench_results/`.
+//! * [`bench`] — wall-clock micro-benchmarks: adaptive warmup, then the
+//!   median of N timed batches, with JSON results written to
+//!   `bench_results/` and a [`bench::diff`] comparator for the CI
+//!   perf-regression gate.
+//! * [`alloc`] — a thread-local counting allocator so perf suites can
+//!   assert the steady-state hot path performs zero heap allocations
+//!   (DESIGN.md §10).
 //!
 //! Both harnesses are deterministic by construction: case seeds derive
 //! from the property's name, never from ambient entropy, so CI and a
 //! developer laptop always test the identical case set.
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 
+pub use alloc::{count_allocs, AllocScope, AllocStats, CountingAlloc};
 pub use bench::{results_dir, Bench, BenchResult};
 pub use prop::{CaseError, CaseResult, Gen};
 

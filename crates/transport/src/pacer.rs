@@ -83,13 +83,21 @@ impl Pacer {
 
     /// Advance to `now` and release the packets the rate budget allows.
     pub fn tick(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Like [`Pacer::tick`], but appends released packets into a
+    /// caller-owned buffer so the per-tick hot path reuses capacity.
+    pub fn tick_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
         let dt = now.saturating_since(self.last_tick);
         self.last_tick = now;
         self.credit_bytes += self.rate_bps / 8.0 * dt.as_secs_f64();
         let cap = self.rate_bps / 8.0 * self.burst.as_secs_f64();
         self.credit_bytes = self.credit_bytes.min(cap.max(2_000.0));
 
-        let mut out = Vec::new();
+        let released_from = out.len();
         while let Some(head) = self.queue.front() {
             // A retransmission that aged past the receiver's abandon
             // window while queued is dead weight: drop it rather than
@@ -108,11 +116,10 @@ impl Pacer {
             self.queued_bytes -= pkt.bytes as u64;
             out.push(pkt);
         }
-        if !out.is_empty() {
-            let released: u64 = out.iter().map(|p| p.bytes as u64).sum();
+        if out.len() > released_from {
+            let released: u64 = out[released_from..].iter().map(|p| p.bytes as u64).sum();
             self.recorder.event("pacer.released_bytes", now, released as f64);
         }
-        out
     }
 }
 
