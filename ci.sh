@@ -52,10 +52,16 @@ echo "== fault-injection smoke (recovery invariants, FBCC vs GCC) =="
 cargo run --release -p poi360-bench --bin reproduce -- faults --smoke >/dev/null
 test -s bench_results/faults_smoke.jsonl
 
-echo "== fault regression suite, 3-seed matrix =="
+echo "== fault + handover regression suite, 3-seed matrix =="
+# tests/faults.rs also carries the handover packet-conservation
+# invariants, so this matrix covers both planes per seed.
 for seed in 1 2 3; do
     POI360_FAULT_SEED=$seed cargo test -q --release --test faults
 done
+
+echo "== hex-grid mobility smoke (handover invariants + thread invariance + 3-seed matrix) =="
+cargo run --release -p poi360-bench --bin reproduce -- mobility --smoke >/dev/null
+test -s bench_results/mobility_smoke.jsonl
 
 echo "== perf gate (per-layer medians vs pinned baseline + zero-alloc steady state) =="
 cargo run --release -p poi360-bench --bin reproduce -- perf --smoke --compare bench_results/perf_baseline.json

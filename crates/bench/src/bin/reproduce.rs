@@ -29,6 +29,17 @@
 //! `bench_results/faults[_smoke].jsonl` plus a verdict table. Any violated
 //! invariant makes the process exit nonzero, so CI can gate on it.
 //!
+//! `mobility` drives telephony sessions across a hex grid of cells
+//! (ground mobility, inter-cell interference, A3 handover with firmware
+//! buffers migrating between cells), judges the handover invariants —
+//! every convoy flow hands over, exact packet conservation across every
+//! migration, no video reordering, bounded delivery gaps — proves the
+//! JSONL probe stream byte-identical across reruns and worker-pool
+//! widths, runs a 3-seed matrix, and writes
+//! `bench_results/mobility[_smoke].jsonl` plus a per-flow table. Any
+//! violated invariant exits nonzero. Presets come from the shared
+//! scenario registry (`convoy` by default; `--list` shows the rest).
+//!
 //! `perf` profiles one layer of the subframe pipeline at a time (cell,
 //! uplink, transport, video, session), prints medians plus heap
 //! allocations per iteration, asserts the busy-cell steady state
@@ -69,6 +80,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("ablation", "prediction, mode, policy, and edge-relay ablations"),
     ("trace", "probe-stream JSONL export for one scenario (see --help text)"),
     ("faults", "fault-injection robustness suite, FBCC vs GCC (see --help text)"),
+    ("mobility", "hex-grid A3 handover suite: conservation + gap invariants (see --help text)"),
     ("perf", "per-layer hot-path profile + allocation gate (see --help text)"),
     ("all", "every figure and table above"),
     ("list", "print this subcommand list (also --list)"),
@@ -79,6 +91,10 @@ fn list() {
     println!("reproduce subcommands:");
     for (name, what) in SUBCOMMANDS {
         println!("  {name:<10} {what}");
+    }
+    println!("\nnamed presets (reproduce faults <name> / reproduce mobility <name>):");
+    for p in poi360_lte::scenario::preset_registry() {
+        println!("  {:<9} {:<12} {}", p.family, p.name, p.what);
     }
 }
 
@@ -94,6 +110,7 @@ fn usage() -> ! {
          [--full] [--seconds N] [--repeats N] [--seed N] [--exp k=v,...]\n\
          \x20      reproduce trace [busy|baseline|quiet|coexist] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce faults [scenario] [--seconds N] [--seed N] [--smoke]\n\
+         \x20      reproduce mobility [scenario] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce perf [--smoke] [--compare <baseline.json>]\n\
          \x20      reproduce --list    (enumerate subcommands)\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)\n\
@@ -296,8 +313,7 @@ fn faults(args: &[String]) -> usize {
         Some(name) => match FaultScenario::by_name(name) {
             Some(fs) => vec![fs],
             None => {
-                let names: Vec<&str> = FaultScenario::all().iter().map(|f| f.name).collect();
-                eprintln!("unknown fault scenario `{name}`; expected one of: {}", names.join(", "));
+                eprintln!("{}", poi360_lte::scenario::unknown_preset_error("fault", name));
                 std::process::exit(2);
             }
         },
@@ -360,6 +376,76 @@ fn faults(args: &[String]) -> usize {
     failures
 }
 
+/// `reproduce mobility [scenario]` — drive sessions across the hex
+/// grid, judge the handover invariants, prove the probe stream
+/// thread-count invariant, and run a 3-seed matrix. Returns the number
+/// of failures.
+fn mobility(args: &[String]) -> usize {
+    use poi360_bench::mobility as mo;
+    use poi360_lte::scenario::{unknown_preset_error, MobilityScenario};
+
+    let mut scale = mo::MobilityScale::full();
+    let mut seed: u64 = 1;
+    let mut smoke = false;
+    let mut which: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                // CI entry point: compressed lattice, same invariants.
+                smoke = true;
+                scale = mo::MobilityScale::smoke();
+            }
+            "--seconds" => {
+                scale.seconds =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            name if !name.starts_with('-') => which = Some(name.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let name = which.unwrap_or_else(|| "convoy".to_string());
+    let Some(ms) = MobilityScenario::by_name(&name) else {
+        eprintln!("{}", unknown_preset_error("mobility", &name));
+        std::process::exit(2);
+    };
+
+    eprintln!(
+        "# mobility `{}`: {}s, {} flows + {} load UEs, seed {seed}; thread-invariance pair + 3-seed matrix",
+        ms.name, scale.seconds, scale.flows, scale.load_ues
+    );
+    let protocol = mo::run_protocol(&ms, &scale, seed);
+
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let stem = match (smoke, name.as_str()) {
+        (true, "convoy") => "mobility_smoke".to_string(),
+        (true, other) => format!("mobility_{other}_smoke"),
+        (false, other) => format!("mobility_{other}"),
+    };
+    let path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&path, &protocol.bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+
+    // The .txt artifact is exactly the protocol text — the golden test
+    // regenerates and pins it — so the path line (which varies by
+    // checkout) goes to stdout only.
+    println!("{}", protocol.text);
+    println!("{} JSONL bytes -> {}", protocol.bytes.len(), path.display());
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
+        let _ = f.write_all(protocol.text.as_bytes());
+    }
+    protocol.failures
+}
+
 /// `reproduce perf [--smoke] [--compare <baseline.json>]` — the
 /// profiling plane. Returns the number of gate failures.
 fn perf(args: &[String]) -> usize {
@@ -413,6 +499,12 @@ fn main() {
     }
     if what == "faults" {
         if faults(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if what == "mobility" {
+        if mobility(&args[1..]) > 0 {
             std::process::exit(1);
         }
         return;

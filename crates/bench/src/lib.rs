@@ -6,6 +6,7 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod mobility;
 pub mod perf;
 pub mod runner;
 

@@ -17,8 +17,10 @@
 //!   → encoder → packetizer → pacer → uplink), network path, client pipeline
 //!   (reassembly → render → measurement), and all feedback loops, driven one
 //!   LTE subframe at a time.
-//! * [`multicell`] — the lockstep driver for M sessions sharing one
-//!   multi-UE eNodeB cell (coexistence experiments).
+//! * [`multicell`] — lockstep drivers for M sessions sharing one
+//!   multi-UE eNodeB cell (coexistence experiments) and for sessions
+//!   moving across a hex grid of cells with A3 handover (mobility
+//!   experiments).
 //! * [`config`] — session/experiment configuration.
 //! * [`report`] — per-session measurement record and cross-session
 //!   aggregation.
@@ -38,7 +40,10 @@ pub use adaptive::{AdaptiveCompression, RoiMismatchMonitor};
 pub use baselines::{ConduitCompression, PyramidCompression};
 pub use config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 pub use fbcc::{Fbcc, FbccConfig};
-pub use multicell::{FlowSpec, MultiCell, MultiCellConfig, MultiCellReport};
+pub use multicell::{
+    FlowGridStats, FlowSpec, MultiCell, MultiCellConfig, MultiCellReport, MultiGrid,
+    MultiGridConfig, MultiGridReport,
+};
 pub use policy::CompressionPolicy;
 pub use predictive::PredictiveCompression;
 pub use rate::RateController;

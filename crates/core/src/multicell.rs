@@ -10,14 +10,28 @@
 //! proportional-fair allocation across all UEs, and every session then
 //! absorbs its own slice of the grant. The entire run is a deterministic
 //! function of one master seed.
+//!
+//! [`MultiGrid`] scales the same lockstep discipline to a hex lattice of
+//! cells with ground mobility: each subframe moves every UE, refreshes
+//! its radio observation (path loss + shadowing + neighbor-cell
+//! interference), runs the A3/RLF decision, migrates firmware buffers
+//! across cells on handover, and then lets every cell run its own PF
+//! allocation. Interference couples cells through the *previous*
+//! subframe's published PRB activity, so cells can be stepped in any
+//! order (and the run stays byte-identical regardless of threading).
 
 use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use crate::report::SessionReport;
 use crate::session::Session;
+use poi360_lte::cell::background::{BackgroundTraffic, BackgroundTrafficConfig};
 use poi360_lte::cell::{Cell, CellConfig, UeId};
 use poi360_lte::channel::ChannelConfig;
+use poi360_lte::grid::{
+    A3Config, A3State, CellId, GroundMotion, HexGrid, HoDecision, MobilityKind, RadioConfig,
+    RadioMap, RadioUe,
+};
 use poi360_lte::scenario::BackgroundLoad;
-use poi360_net::packet::Packet;
+use poi360_net::packet::{FlowKind, Packet};
 use poi360_sim::fault::FaultPlan;
 use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::rng::SimRng;
@@ -229,6 +243,692 @@ impl MultiCell {
     }
 }
 
+// =====================================================================
+// Multi-cell grid driver: mobility + A3 handover over a hex lattice
+// =====================================================================
+
+/// Configuration of a hex-grid mobility run ([`MultiGrid`]).
+#[derive(Clone, Debug)]
+pub struct MultiGridConfig {
+    /// Scheduler parameters for every cell.
+    pub cell: CellConfig,
+    /// Nominal channel config handed to each attach. Grid UEs get their
+    /// channel verdict from the radio map every subframe, so this
+    /// internal channel is never stepped — it only shapes construction.
+    pub channel: ChannelConfig,
+    /// Path-loss / shadowing / interference model.
+    pub radio: RadioConfig,
+    /// A3 handover + RLF parameters.
+    pub a3: A3Config,
+    /// Hex rings around the center cell (1 = the 7-cell cluster).
+    pub rings: usize,
+    /// Inter-site distance, meters.
+    pub isd_m: f64,
+    /// Trajectory family for every mobile UE.
+    pub mobility: MobilityKind,
+    /// Ground speed, m/s.
+    pub speed_mps: f64,
+    /// The telephony sessions under test (all mobile).
+    pub flows: Vec<FlowSpec>,
+    /// Mobile cross-traffic UEs (real queues of [`FlowKind::Cross`]
+    /// packets that hand over just like the flows).
+    pub load_ues: usize,
+    /// Stationary background UEs attached to every cell (they keep
+    /// neighbor cells busy, which is what makes interference bite).
+    pub static_bg_per_cell: usize,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Master seed: every cell, flow, trajectory, and shadowing track
+    /// derives a named stream from it.
+    pub seed: u64,
+    /// Initial encoding bitrate for every flow, bps.
+    pub start_rate_bps: f64,
+}
+
+impl Default for MultiGridConfig {
+    fn default() -> Self {
+        MultiGridConfig {
+            cell: CellConfig::default(),
+            channel: ChannelConfig::default(),
+            radio: RadioConfig::default(),
+            a3: A3Config::default(),
+            rings: 1,
+            isd_m: 500.0,
+            mobility: MobilityKind::Convoy,
+            speed_mps: 20.0,
+            flows: vec![FlowSpec::default(); 4],
+            load_ues: 60,
+            static_bg_per_cell: 5,
+            duration: SimDuration::from_secs(30),
+            seed: 1,
+            start_rate_bps: 1.0e6,
+        }
+    }
+}
+
+/// Mobility/handover accounting for one flow over a grid run.
+#[derive(Clone, Debug)]
+pub struct FlowGridStats {
+    /// Flow label (`fg.{k:02}`).
+    pub label: String,
+    /// Clean A3 handovers executed.
+    pub handovers: u64,
+    /// Radio link failures (late handovers).
+    pub rlfs: u64,
+    /// Packets accepted into the (traveling) firmware buffer.
+    pub enqueued: u64,
+    /// Packets whose last byte was transmitted (any serving cell).
+    pub delivered: u64,
+    /// Packets discarded by RLF re-establishment flushes.
+    pub flushed: u64,
+    /// Packets still queued when the run ended.
+    pub queued_at_end: u64,
+    /// First-transmission video packets that arrived out of order or
+    /// duplicated across a handover (must be 0: the buffer is FIFO and
+    /// travels whole).
+    pub seq_violations: u64,
+    /// When each handover/RLF executed, ms.
+    pub ho_at_ms: Vec<u64>,
+    /// Delivery gap around each handover/RLF: from the event to the
+    /// first packet served at the target cell, ms.
+    pub gap_ms: Vec<f64>,
+    /// Mean displayed ROI PSNR in the 1 s windows before all handovers
+    /// (0.0 when no sample landed in a window).
+    pub psnr_before_db: f64,
+    /// ... and in the 1 s windows after.
+    pub psnr_after_db: f64,
+}
+
+impl FlowGridStats {
+    /// Exact packet conservation: everything accepted was delivered,
+    /// explicitly flushed, or is still queued.
+    pub fn conserved(&self) -> bool {
+        self.enqueued == self.delivered + self.flushed + self.queued_at_end
+    }
+}
+
+impl ToJson for FlowGridStats {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("label", &self.label.as_str())
+            .field("handovers", &(self.handovers as f64))
+            .field("rlfs", &(self.rlfs as f64))
+            .field("enqueued", &(self.enqueued as f64))
+            .field("delivered", &(self.delivered as f64))
+            .field("flushed", &(self.flushed as f64))
+            .field("queued_at_end", &(self.queued_at_end as f64))
+            .field("seq_violations", &(self.seq_violations as f64))
+            .field("conserved", &self.conserved())
+            .field("psnr_before_db", &self.psnr_before_db)
+            .field("psnr_after_db", &self.psnr_after_db)
+            .write(out);
+    }
+}
+
+/// Results of a grid mobility run.
+#[derive(Clone, Debug)]
+pub struct MultiGridReport {
+    /// Per-flow session reports, in flow order.
+    pub flows: Vec<SessionReport>,
+    /// Per-flow handover/conservation stats, in flow order.
+    pub flow_stats: Vec<FlowGridStats>,
+    /// Number of cells in the lattice.
+    pub cells: usize,
+    /// Mobile cross-traffic UEs.
+    pub load_ues: usize,
+    /// Handovers executed by load UEs.
+    pub load_handovers: u64,
+    /// RLFs suffered by load UEs.
+    pub load_rlfs: u64,
+    /// Load UEs whose buffers failed exact conservation (must be 0).
+    pub load_conservation_violations: u64,
+    /// Mean PRB utilization across all cells.
+    pub mean_utilization: f64,
+    /// Out-of-order gauge samples dropped across all recorders (must
+    /// be 0: the lockstep loop emits probes in time order).
+    pub probe_drops: u64,
+}
+
+impl ToJson for MultiGridReport {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("cells", &(self.cells as f64))
+            .field("load_ues", &(self.load_ues as f64))
+            .field("load_handovers", &(self.load_handovers as f64))
+            .field("load_rlfs", &(self.load_rlfs as f64))
+            .field("load_conservation_violations", &(self.load_conservation_violations as f64))
+            .field("mean_utilization", &self.mean_utilization)
+            .field("probe_drops", &(self.probe_drops as f64))
+            .field("flow_stats", &self.flow_stats)
+            .field("flows", &self.flows)
+            .write(out);
+    }
+}
+
+/// Which grid UE owns a cell's foreground slot right now.
+#[derive(Clone, Copy)]
+enum SlotOwner {
+    FlowUe(usize),
+    LoadUe(usize),
+    Vacant,
+}
+
+/// Mobility + handover state of one grid UE (flow or load).
+struct MobileUe {
+    motion: GroundMotion,
+    radio: RadioUe,
+    a3: A3State,
+    serving: CellId,
+    slot: UeId,
+    /// Data interruption window after a handover / re-establishment.
+    outage_until: SimTime,
+    handovers: u64,
+    rlfs: u64,
+}
+
+/// Cross-traffic source state of one load UE.
+struct LoadSource {
+    traffic: BackgroundTraffic,
+    carry_bytes: u64,
+    next_seq: u64,
+    delivered: u64,
+}
+
+/// Per-flow delivery accounting the driver keeps outside the session.
+#[derive(Default)]
+struct FlowTally {
+    delivered: u64,
+    last_video_seq: Option<u64>,
+    seq_violations: u64,
+    ho_at: Vec<SimTime>,
+    gaps_ms: Vec<f64>,
+    /// A handover happened and no packet has departed since.
+    pending_gap_from: Option<SimTime>,
+}
+
+/// Lockstep driver for telephony sessions moving across a hex grid of
+/// cells: per-subframe mobility → radio map → A3/RLF decisions →
+/// firmware-buffer migration → one PF allocation per cell. Single
+/// threaded and a pure function of the master seed (interference uses
+/// the previous subframe's published activity, and every stochastic
+/// track is keyed by UE name), so runs are byte-identical regardless of
+/// worker-thread settings.
+pub struct MultiGrid {
+    cfg: MultiGridConfig,
+    radio: RadioMap,
+    cells: Vec<Rc<RefCell<Cell<Packet>>>>,
+    /// Slot-owner map per cell, indexed like the cell's `per_ue`.
+    owners: Vec<Vec<SlotOwner>>,
+    sessions: Vec<Session>,
+    flow_recorders: Vec<Recorder>,
+    grid_recorder: Recorder,
+    flow_ues: Vec<MobileUe>,
+    load_ues: Vec<MobileUe>,
+    loads: Vec<LoadSource>,
+    tallies: Vec<FlowTally>,
+    /// Previous-subframe PRB utilization per cell (interference input).
+    activity: Vec<f64>,
+    /// This subframe's utilization, staged then swapped into `activity`.
+    next_activity: Vec<f64>,
+    now: SimTime,
+    rois: Vec<poi360_video::roi::Roi>,
+}
+
+impl MultiGrid {
+    /// Build the lattice, attach every flow and load UE at its starting
+    /// position, and seed the per-cell background populations.
+    pub fn new(cfg: MultiGridConfig) -> Self {
+        MultiGrid::build(cfg, None)
+    }
+
+    /// Like [`MultiGrid::new`] with trace output: flow `k` records under
+    /// `fg.{k:02}`, cell `c` under `cell.{c:02}`, and the driver itself
+    /// (handover/RLF counts, mean activity) under `grid`.
+    pub fn traced(cfg: MultiGridConfig, sink: SinkHandle) -> Self {
+        MultiGrid::build(cfg, Some(sink))
+    }
+
+    fn build(cfg: MultiGridConfig, sink: Option<SinkHandle>) -> Self {
+        assert!(!cfg.flows.is_empty(), "a MultiGrid needs at least one flow");
+        let grid = HexGrid::new(cfg.rings, cfg.isd_m);
+        let n_cells = grid.len();
+        let mut radio = RadioMap::new(cfg.radio, grid);
+
+        let mut cells = Vec::with_capacity(n_cells);
+        let mut owners = Vec::with_capacity(n_cells);
+        for c in 0..n_cells {
+            let cell_seed = SimRng::stream(cfg.seed, &format!("grid.cell.{c:02}")).next_u64();
+            let cell = Rc::new(RefCell::new(Cell::new(cfg.cell, cell_seed)));
+            if let Some(sink) = &sink {
+                let rec = Recorder::to_sink(Rc::clone(sink), &format!("cell.{c:02}"));
+                cell.borrow_mut().set_recorder(&rec);
+            }
+            cell.borrow_mut().attach_background_population(cfg.static_bg_per_cell);
+            cells.push(cell);
+            owners.push(Vec::new());
+        }
+        let grid_recorder = match &sink {
+            Some(sink) => Recorder::to_sink(Rc::clone(sink), "grid"),
+            None => Recorder::null(),
+        };
+
+        // Stagger indices: flows are spread evenly through the mobile
+        // population (convoy position is a function of the index), loads
+        // fill the remaining positions in order.
+        let n_flows = cfg.flows.len();
+        let total_mobiles = n_flows + cfg.load_ues;
+        let flow_stagger: Vec<usize> = (0..n_flows).map(|k| k * total_mobiles / n_flows).collect();
+        let mut load_stagger = Vec::with_capacity(cfg.load_ues);
+        for idx in 0..total_mobiles {
+            if !flow_stagger.contains(&idx) {
+                load_stagger.push(idx);
+            }
+        }
+        load_stagger.truncate(cfg.load_ues);
+
+        let attach_mobile = |radio: &mut RadioMap,
+                             cells: &[Rc<RefCell<Cell<Packet>>>],
+                             owners: &mut [Vec<SlotOwner>],
+                             name: &str,
+                             stagger: usize,
+                             owner_of: &dyn Fn() -> SlotOwner|
+         -> MobileUe {
+            let motion = GroundMotion::new(
+                cfg.mobility,
+                radio.grid(),
+                cfg.speed_mps,
+                cfg.seed,
+                name,
+                stagger,
+                total_mobiles,
+            );
+            let (x, y) = motion.position();
+            let serving = radio.grid().serving_cell(x, y);
+            let slot = cells[serving.0].borrow_mut().attach_foreground(name, cfg.channel);
+            let track = radio.register_ue(cfg.seed, name);
+            let owner = owner_of();
+            if slot.0 == owners[serving.0].len() {
+                owners[serving.0].push(owner);
+            } else {
+                owners[serving.0][slot.0] = owner;
+            }
+            MobileUe {
+                motion,
+                radio: track,
+                a3: A3State::default(),
+                serving,
+                slot,
+                outage_until: SimTime::ZERO,
+                handovers: 0,
+                rlfs: 0,
+            }
+        };
+
+        let mut sessions = Vec::with_capacity(n_flows);
+        let mut flow_recorders = Vec::with_capacity(n_flows);
+        let mut flow_ues = Vec::with_capacity(n_flows);
+        for (k, flow) in cfg.flows.iter().enumerate() {
+            let label = format!("fg.{k:02}");
+            let m =
+                attach_mobile(&mut radio, &cells, &mut owners, &label, flow_stagger[k], &|| {
+                    SlotOwner::FlowUe(k)
+                });
+            let flow_seed = SimRng::stream(cfg.seed, &format!("grid.flow.{k}")).next_u64();
+            let session_cfg = SessionConfig {
+                scheme: flow.scheme,
+                rate_control: flow.rate_control,
+                user: flow.user,
+                duration: cfg.duration,
+                seed: flow_seed,
+                network: NetworkKind::Cellular(poi360_lte::scenario::Scenario::baseline()),
+                start_rate_bps: cfg.start_rate_bps,
+                ..Default::default()
+            };
+            let recorder = match &sink {
+                Some(sink) => Recorder::to_sink(Rc::clone(sink), &label),
+                None => Recorder::null(),
+            };
+            flow_recorders.push(recorder.clone());
+            sessions.push(Session::with_shared_cell_traced(
+                session_cfg,
+                Rc::clone(&cells[m.serving.0]),
+                m.slot,
+                recorder,
+            ));
+            flow_ues.push(m);
+        }
+
+        let mut load_ues = Vec::with_capacity(cfg.load_ues);
+        let mut loads = Vec::with_capacity(cfg.load_ues);
+        for (j, &stagger) in load_stagger.iter().enumerate() {
+            let name = format!("ld.{j:03}");
+            let m = attach_mobile(&mut radio, &cells, &mut owners, &name, stagger, &|| {
+                SlotOwner::LoadUe(j)
+            });
+            load_ues.push(m);
+            // Lighter profile than the in-cell background UEs: with
+            // hundreds of mobiles sharing a handful of cells, commuter
+            // phones mostly idle with bursts.
+            let mut profile = SimRng::stream(cfg.seed, &format!("grid.load.{name}"));
+            let traffic_cfg = BackgroundTrafficConfig {
+                on_rate_bps: profile.uniform_range(0.1e6, 0.5e6),
+                mean_on: SimDuration::from_secs_f64(profile.uniform_range(0.5, 2.0)),
+                mean_off: SimDuration::from_secs_f64(profile.uniform_range(2.0, 8.0)),
+                ..Default::default()
+            };
+            let traffic_seed = profile.next_u64();
+            loads.push(LoadSource {
+                traffic: BackgroundTraffic::new(traffic_cfg, traffic_seed),
+                carry_bytes: 0,
+                next_seq: 0,
+                delivered: 0,
+            });
+        }
+
+        let tallies = (0..n_flows).map(|_| FlowTally::default()).collect();
+        MultiGrid {
+            cfg,
+            radio,
+            cells,
+            owners,
+            sessions,
+            flow_recorders,
+            grid_recorder,
+            flow_ues,
+            load_ues,
+            loads,
+            tallies,
+            activity: vec![0.0; n_cells],
+            next_activity: vec![0.0; n_cells],
+            now: SimTime::ZERO,
+            rois: Vec::new(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &MultiGridConfig {
+        &self.cfg
+    }
+
+    /// Detach `m` from its serving cell, carry the firmware buffer to
+    /// `target`, and re-attach. `rlf` selects the failure flavor: flush
+    /// + re-establishment instead of head-restart + clean interruption.
+    fn migrate(
+        cfg: &MultiGridConfig,
+        cells: &[Rc<RefCell<Cell<Packet>>>],
+        owners: &mut [Vec<SlotOwner>],
+        m: &mut MobileUe,
+        target: CellId,
+        rlf: bool,
+        now: SimTime,
+    ) -> u64 {
+        let mut mu = cells[m.serving.0].borrow_mut().detach_foreground(m.slot);
+        let owner = std::mem::replace(&mut owners[m.serving.0][m.slot.0], SlotOwner::Vacant);
+        let flushed = if rlf {
+            m.rlfs += 1;
+            mu.flush()
+        } else {
+            m.handovers += 1;
+            // The RLC context dies with the source cell: a packet caught
+            // mid-segmentation retransmits in full at the target.
+            mu.restart_head();
+            0
+        };
+        let slot = cells[target.0].borrow_mut().attach_migrated(mu, cfg.channel);
+        if slot.0 == owners[target.0].len() {
+            owners[target.0].push(owner);
+        } else {
+            owners[target.0][slot.0] = owner;
+        }
+        m.serving = target;
+        m.slot = slot;
+        m.outage_until = now + if rlf { cfg.a3.reestablish_time } else { cfg.a3.interruption };
+        flushed
+    }
+
+    /// Advance the whole grid by exactly one subframe.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let dt = poi360_sim::SUBFRAME;
+
+        // Phase 1: mobility, measurements, handover decisions, radio
+        // overrides. Flows first, then loads — a fixed order, and every
+        // UE only touches its own named streams.
+        for k in 0..self.flow_ues.len() {
+            let m = &mut self.flow_ues[k];
+            let (x, y) = m.motion.step(dt);
+            let obs = self.radio.observe(m.radio, dt, x, y, m.serving, &self.activity);
+            let decision = m.a3.decide(
+                &self.cfg.a3,
+                now,
+                obs.serving_rsrp_dbm,
+                obs.sinr_db,
+                obs.best_neighbor,
+            );
+            match decision {
+                HoDecision::Stay => {}
+                HoDecision::Handover(t) => {
+                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, false, now);
+                    self.sessions[k].rehome_shared_cell(Rc::clone(&self.cells[t.0]), m.slot);
+                    self.flow_recorders[k].event("ho.exec", now, t.0 as f64);
+                    self.grid_recorder.count("grid.handover", now, 1);
+                    self.tallies[k].ho_at.push(now);
+                    self.tallies[k].pending_gap_from.get_or_insert(now);
+                }
+                HoDecision::Rlf(t) => {
+                    let flushed = MultiGrid::migrate(
+                        &self.cfg,
+                        &self.cells,
+                        &mut self.owners,
+                        m,
+                        t,
+                        true,
+                        now,
+                    );
+                    self.sessions[k].rehome_shared_cell(Rc::clone(&self.cells[t.0]), m.slot);
+                    self.flow_recorders[k].event("ho.rlf", now, flushed as f64);
+                    self.grid_recorder.count("grid.rlf", now, 1);
+                    self.tallies[k].ho_at.push(now);
+                    self.tallies[k].pending_gap_from.get_or_insert(now);
+                }
+            }
+            let forced = now < m.outage_until;
+            let state = obs.channel_state(self.radio.config(), forced);
+            self.cells[m.serving.0].borrow_mut().set_foreground_radio(m.slot, state);
+            if now.as_millis().is_multiple_of(100) {
+                self.flow_recorders[k].gauge("grid.serving_cell", now, m.serving.0 as f64);
+            }
+        }
+        for j in 0..self.load_ues.len() {
+            let m = &mut self.load_ues[j];
+            let (x, y) = m.motion.step(dt);
+            let obs = self.radio.observe(m.radio, dt, x, y, m.serving, &self.activity);
+            let decision = m.a3.decide(
+                &self.cfg.a3,
+                now,
+                obs.serving_rsrp_dbm,
+                obs.sinr_db,
+                obs.best_neighbor,
+            );
+            match decision {
+                HoDecision::Stay => {}
+                HoDecision::Handover(t) => {
+                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, false, now);
+                    self.grid_recorder.count("grid.handover", now, 1);
+                }
+                HoDecision::Rlf(t) => {
+                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, true, now);
+                    self.grid_recorder.count("grid.rlf", now, 1);
+                }
+            }
+            let forced = now < m.outage_until;
+            let state = obs.channel_state(self.radio.config(), forced);
+            self.cells[m.serving.0].borrow_mut().set_foreground_radio(m.slot, state);
+        }
+
+        // Phase 2: sources. Sessions run their sender pipeline (enqueue
+        // into their current serving cell); load UEs turn accrued bytes
+        // into cross packets.
+        self.rois.clear();
+        for s in &mut self.sessions {
+            let roi = s.multi_begin();
+            self.rois.push(roi);
+        }
+        for (j, load) in self.loads.iter_mut().enumerate() {
+            load.carry_bytes += load.traffic.subframe();
+            if load.carry_bytes >= LOAD_PACKET_BYTES {
+                let m = &self.load_ues[j];
+                let mut cell = self.cells[m.serving.0].borrow_mut();
+                while load.carry_bytes >= LOAD_PACKET_BYTES {
+                    load.carry_bytes -= LOAD_PACKET_BYTES;
+                    let pkt = Packet::cross(load.next_seq, LOAD_PACKET_BYTES as u32, now);
+                    load.next_seq += 1;
+                    cell.enqueue(m.slot, pkt, now);
+                }
+            }
+        }
+
+        // Phase 3: every cell runs one PF allocation; outcomes route back
+        // to their owners; this subframe's utilization becomes the next
+        // subframe's interference activity.
+        for c in 0..self.cells.len() {
+            let mut out = self.cells[c].borrow_mut().subframe(now);
+            self.next_activity[c] =
+                out.prbs_granted as f64 / self.cfg.cell.total_prbs.max(1) as f64;
+            for (slot_idx, outcome) in out.per_ue.drain(..).enumerate() {
+                match self.owners[c][slot_idx] {
+                    SlotOwner::FlowUe(k) => {
+                        let tally = &mut self.tallies[k];
+                        for (pkt, _) in &outcome.departed {
+                            tally.delivered += 1;
+                            if pkt.flow == FlowKind::Video && !pkt.retransmit {
+                                if let Some(prev) = tally.last_video_seq {
+                                    if pkt.seq <= prev {
+                                        tally.seq_violations += 1;
+                                    }
+                                }
+                                tally.last_video_seq =
+                                    Some(tally.last_video_seq.map_or(pkt.seq, |p| p.max(pkt.seq)));
+                            }
+                        }
+                        if !outcome.departed.is_empty() {
+                            if let Some(from) = tally.pending_gap_from.take() {
+                                tally.gaps_ms.push(now.saturating_since(from).as_secs_f64() * 1e3);
+                            }
+                        }
+                        self.sessions[k].multi_complete(outcome, &self.rois[k]);
+                    }
+                    SlotOwner::LoadUe(j) => {
+                        self.loads[j].delivered += outcome.departed.len() as u64;
+                        let mut cell = self.cells[c].borrow_mut();
+                        cell.recycle_departed(outcome.departed);
+                        if let Some(report) = outcome.diag {
+                            cell.recycle_diag(UeId(slot_idx), report);
+                        }
+                    }
+                    SlotOwner::Vacant => {
+                        let mut cell = self.cells[c].borrow_mut();
+                        cell.recycle_departed(outcome.departed);
+                        if let Some(report) = outcome.diag {
+                            cell.recycle_diag(UeId(slot_idx), report);
+                        }
+                    }
+                }
+            }
+            self.cells[c].borrow_mut().recycle(out);
+        }
+        std::mem::swap(&mut self.activity, &mut self.next_activity);
+
+        if now.as_millis().is_multiple_of(100) {
+            let mean = self.activity.iter().sum::<f64>() / self.activity.len() as f64;
+            self.grid_recorder.gauge("grid.mean_activity", now, mean);
+        }
+        self.now = now + dt;
+    }
+
+    /// Run to completion and assemble the report.
+    pub fn run(mut self) -> MultiGridReport {
+        let end = SimTime::ZERO + self.cfg.duration;
+        while self.now < end {
+            self.step();
+        }
+
+        // Per-flow stats. ROI-quality-across-handover windows come from
+        // the recorder's PSNR gauge, which must be read *before*
+        // `into_report` takes the channel.
+        let mut flow_stats = Vec::with_capacity(self.sessions.len());
+        for (k, m) in self.flow_ues.iter().enumerate() {
+            let tally = &self.tallies[k];
+            let fw = {
+                let cell = self.cells[m.serving.0].borrow();
+                let fw = cell.firmware(m.slot);
+                (fw.total_enqueued(), fw.flushed(), fw.len() as u64)
+            };
+            let psnr = self.flow_recorders[k].gauge_series("video.roi_psnr_db");
+            let window = SimDuration::from_secs(1);
+            let (mut before_sum, mut before_n, mut after_sum, mut after_n) = (0.0, 0u64, 0.0, 0u64);
+            for &at in &tally.ho_at {
+                for (t, v) in psnr.iter() {
+                    if t < at && at.saturating_since(t) <= window {
+                        before_sum += v;
+                        before_n += 1;
+                    } else if t >= at && t.saturating_since(at) <= window {
+                        after_sum += v;
+                        after_n += 1;
+                    }
+                }
+            }
+            flow_stats.push(FlowGridStats {
+                label: format!("fg.{k:02}"),
+                handovers: m.handovers,
+                rlfs: m.rlfs,
+                enqueued: fw.0,
+                delivered: tally.delivered,
+                flushed: fw.1,
+                queued_at_end: fw.2,
+                seq_violations: tally.seq_violations,
+                ho_at_ms: tally.ho_at.iter().map(|t| t.as_millis()).collect(),
+                gap_ms: tally.gaps_ms.clone(),
+                psnr_before_db: if before_n > 0 { before_sum / before_n as f64 } else { 0.0 },
+                psnr_after_db: if after_n > 0 { after_sum / after_n as f64 } else { 0.0 },
+            });
+        }
+
+        let mut load_conservation_violations = 0u64;
+        let (mut load_handovers, mut load_rlfs) = (0u64, 0u64);
+        for (j, m) in self.load_ues.iter().enumerate() {
+            load_handovers += m.handovers;
+            load_rlfs += m.rlfs;
+            let cell = self.cells[m.serving.0].borrow();
+            let fw = cell.firmware(m.slot);
+            if fw.total_enqueued() != self.loads[j].delivered + fw.flushed() + fw.len() as u64 {
+                load_conservation_violations += 1;
+            }
+        }
+
+        let mean_utilization =
+            self.cells.iter().map(|c| c.borrow().mean_utilization()).sum::<f64>()
+                / self.cells.len() as f64;
+        let probe_drops = self.grid_recorder.out_of_order_drops()
+            + self.flow_recorders.iter().map(Recorder::out_of_order_drops).sum::<u64>();
+        self.grid_recorder.flush();
+        MultiGridReport {
+            flows: self.sessions.into_iter().map(Session::into_report).collect(),
+            flow_stats,
+            cells: self.cells.len(),
+            load_ues: self.load_ues.len(),
+            load_handovers,
+            load_rlfs,
+            load_conservation_violations,
+            mean_utilization,
+            probe_drops,
+        }
+    }
+}
+
+/// Wire size of one cross-traffic packet, bytes.
+const LOAD_PACKET_BYTES: u64 = 1_200;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +998,80 @@ mod tests {
         let report = MultiCell::new(tiny(vec![FlowSpec::default(); 4], 9)).run();
         let jain = report.jain_throughput();
         assert!(jain > 0.9, "jain {jain}");
+    }
+
+    /// A compressed grid: short inter-site distance and fast UEs so the
+    /// convoy crosses cell boundaries within a few simulated seconds.
+    fn grid_tiny(flows: usize, seed: u64) -> MultiGridConfig {
+        MultiGridConfig {
+            flows: vec![FlowSpec::default(); flows],
+            load_ues: 10,
+            static_bg_per_cell: 2,
+            isd_m: 160.0,
+            speed_mps: 30.0,
+            duration: SimDuration::from_secs(8),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn convoy_flows_hand_over_and_conserve() {
+        let report = MultiGrid::new(grid_tiny(2, 11)).run();
+        assert_eq!(report.cells, 7);
+        assert_eq!(report.flow_stats.len(), 2);
+        for fs in &report.flow_stats {
+            assert!(
+                fs.handovers + fs.rlfs >= 1,
+                "{} crossed no boundary (ho {} rlf {})",
+                fs.label,
+                fs.handovers,
+                fs.rlfs
+            );
+            assert!(
+                fs.conserved(),
+                "{}: enq {} != del {} + flushed {} + queued {}",
+                fs.label,
+                fs.enqueued,
+                fs.delivered,
+                fs.flushed,
+                fs.queued_at_end
+            );
+            assert_eq!(fs.seq_violations, 0, "{} reordered/duplicated video", fs.label);
+            assert!(fs.enqueued > 100, "{} barely sent ({})", fs.label, fs.enqueued);
+        }
+        assert_eq!(report.load_conservation_violations, 0);
+        assert!(report.load_handovers >= 1, "no load UE ever handed over");
+        for flow in &report.flows {
+            assert!(flow.frames_sent > 100, "sent {}", flow.frames_sent);
+        }
+    }
+
+    #[test]
+    fn grid_runs_are_deterministic_and_seed_sensitive() {
+        let a = MultiGrid::new(grid_tiny(2, 5)).run();
+        let b = MultiGrid::new(grid_tiny(2, 5)).run();
+        let c = MultiGrid::new(grid_tiny(2, 6)).run();
+        let (mut ja, mut jb, mut jc) = (String::new(), String::new(), String::new());
+        a.write_json(&mut ja);
+        b.write_json(&mut jb);
+        c.write_json(&mut jc);
+        assert_eq!(ja, jb, "same seed must reproduce byte-identically");
+        assert_ne!(ja, jc, "different seed must diverge");
+    }
+
+    #[test]
+    fn traced_grid_run_emits_handover_probes() {
+        let sink = poi360_sim::trace::RingSink::shared(400_000);
+        let report = MultiGrid::traced(grid_tiny(2, 11), sink.clone()).run();
+        assert!(report.flow_stats.iter().any(|f| f.handovers + f.rlfs >= 1));
+        let ring = sink.borrow();
+        assert!(ring.count_of("ho.exec") + ring.count_of("ho.rlf") > 0, "handover events traced");
+        assert!(ring.count_of("grid.serving_cell") > 0, "serving-cell gauge traced");
+        assert!(ring.count_of("grid.mean_activity") > 0, "activity gauge traced");
+        let srcs: std::collections::BTreeSet<_> =
+            ring.records().map(|(src, _)| src.clone()).collect();
+        assert!(srcs.contains("grid"), "srcs {srcs:?}");
+        assert!(srcs.contains("cell.00"), "srcs {srcs:?}");
     }
 }

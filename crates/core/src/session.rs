@@ -481,6 +481,21 @@ impl Session {
         self.step_egress(client_roi);
     }
 
+    /// Handover: repoint this shared-cell session at its UE's new serving
+    /// cell. The grid driver has already moved the firmware buffer via
+    /// [`poi360_lte::cell::Cell::detach_foreground`] /
+    /// [`poi360_lte::cell::Cell::attach_migrated`]; from here on the
+    /// session enqueues into (and recycles through) the target cell.
+    pub(crate) fn rehome_shared_cell(&mut self, new_cell: Rc<RefCell<Cell<Packet>>>, new_ue: UeId) {
+        match &mut self.access {
+            Access::SharedCell { cell, ue } => {
+                *cell = new_cell;
+                *ue = new_ue;
+            }
+            _ => panic!("rehome_shared_cell on a non-shared-cell session"),
+        }
+    }
+
     /// Consume the session and produce its report (shared-cell driver
     /// path; standalone callers use [`Session::run`]).
     pub(crate) fn into_report(self) -> SessionReport {

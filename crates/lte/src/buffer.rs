@@ -27,6 +27,7 @@ pub struct FirmwareBuffer<T> {
     level_bytes: u64,
     capacity_bytes: u64,
     dropped: u64,
+    flushed: u64,
     total_enqueued: u64,
     total_served_bytes: u64,
 }
@@ -41,6 +42,7 @@ impl<T: PacketLike> FirmwareBuffer<T> {
             level_bytes: 0,
             capacity_bytes,
             dropped: 0,
+            flushed: 0,
             total_enqueued: 0,
             total_served_bytes: 0,
         }
@@ -64,6 +66,14 @@ impl<T: PacketLike> FirmwareBuffer<T> {
     /// Packets dropped at the tail due to overflow.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Packets discarded by [`FirmwareBuffer::flush`] (a subset of
+    /// [`FirmwareBuffer::dropped`]). Flushed packets *were* accepted, so
+    /// exact conservation holds:
+    /// `total_enqueued == delivered + flushed + len`.
+    pub fn flushed(&self) -> u64 {
+        self.flushed
     }
 
     /// Total packets ever accepted.
@@ -90,7 +100,22 @@ impl<T: PacketLike> FirmwareBuffer<T> {
         self.queue.clear();
         self.level_bytes = 0;
         self.dropped += n;
+        self.flushed += n;
         n
+    }
+
+    /// Undo any partial service of the head packet: after a handover the
+    /// RLC context does not transfer, so a packet caught mid-segmentation
+    /// is retransmitted in full at the target cell. Restores the head's
+    /// remaining bytes (and the buffer level) to the packet's wire size;
+    /// `total_served_bytes` stays monotone — those bytes really were
+    /// sent, just wasted.
+    pub fn restart_head(&mut self) {
+        if let Some(head) = self.queue.front_mut() {
+            let undo = head.item.wire_bytes() - head.remaining;
+            head.remaining = head.item.wire_bytes();
+            self.level_bytes += undo as u64;
+        }
     }
 
     /// Offer a packet; drop-tail on overflow. Returns `true` if accepted.
@@ -209,6 +234,39 @@ mod tests {
         b.serve(600);
         assert_eq!(b.total_served_bytes(), 1_000);
         assert_eq!(b.total_enqueued(), 1);
+    }
+
+    #[test]
+    fn flush_counts_separately_from_overflow() {
+        let mut b = FirmwareBuffer::new(1_000);
+        assert!(b.enqueue(Pkt(900), SimTime::ZERO));
+        assert!(!b.enqueue(Pkt(200), SimTime::ZERO)); // overflow
+        assert_eq!(b.flush(), 1);
+        assert_eq!(b.flushed(), 1);
+        assert_eq!(b.dropped(), 2, "flush drops count toward dropped too");
+        // Conservation: accepted == delivered + flushed + queued.
+        assert_eq!(b.total_enqueued(), b.flushed() + b.len() as u64);
+    }
+
+    #[test]
+    fn restart_head_rewinds_partial_service() {
+        let mut b = FirmwareBuffer::new(10_000);
+        b.enqueue(Pkt(1_000), SimTime::ZERO);
+        b.enqueue(Pkt(500), SimTime::ZERO);
+        assert!(b.serve(400).is_empty());
+        assert_eq!(b.level_bytes(), 1_100);
+        b.restart_head();
+        assert_eq!(b.level_bytes(), 1_500, "head restored to full size");
+        assert_eq!(b.total_served_bytes(), 400, "wasted bytes stay counted");
+        // The full packet must now be re-served before it departs.
+        assert!(b.serve(999).is_empty());
+        assert_eq!(b.serve(1).len(), 1);
+        // Idempotent on an unserved head and harmless when empty.
+        b.restart_head();
+        assert_eq!(b.level_bytes(), 500);
+        b.serve(10_000);
+        b.restart_head();
+        assert!(b.is_empty());
     }
 
     #[test]

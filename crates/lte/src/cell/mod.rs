@@ -27,7 +27,7 @@
 pub mod background;
 
 use crate::buffer::{FirmwareBuffer, PacketLike};
-use crate::channel::{Channel, ChannelConfig};
+use crate::channel::{Channel, ChannelConfig, ChannelState};
 use crate::diag::{DiagInterface, DiagReport, DiagSample};
 use crate::scenario::BackgroundLoad;
 use crate::tbs;
@@ -114,15 +114,27 @@ impl UeLink {
     }
 
     /// Phase A: advance channel + BSR pipeline given the current queue
-    /// level.
-    fn observe(&mut self, queue_bytes: u64, bsr_delay: usize, now: SimTime) {
+    /// level. When `radio` is `Some`, the grid's radio map dictates the
+    /// channel verdict and the internal [`Channel`] is *not* stepped (no
+    /// RNG draws), so grid-driven runs stay deterministic regardless of
+    /// how long a UE has been attached.
+    fn observe(
+        &mut self,
+        queue_bytes: u64,
+        bsr_delay: usize,
+        now: SimTime,
+        radio: Option<ChannelState>,
+    ) {
         self.bsr.push_back(queue_bytes);
         self.reported = if self.bsr.len() > bsr_delay.max(1) {
             self.bsr.pop_front().expect("non-empty after push")
         } else {
             0
         };
-        let ch = self.channel.subframe(now);
+        let ch = match radio {
+            Some(state) => state,
+            None => self.channel.subframe(now),
+        };
         // A handover moves the UE to a serving cell with no BSR state yet.
         if ch.in_outage && !self.was_in_outage {
             self.bsr.clear();
@@ -151,6 +163,38 @@ struct ForegroundUe<T> {
     diag: DiagInterface,
     /// Frozen `(buffer_bytes, tbs_bits)` while a diag stall is active.
     stale_diag: Option<(u64, u32)>,
+    /// Externally supplied channel verdict for the next subframe
+    /// ([`Cell::set_foreground_radio`]); consumed in phase A.
+    radio: Option<ChannelState>,
+}
+
+/// A foreground UE detached from one cell, in transit to another: the
+/// firmware buffer (with every queued packet) and diag interface travel;
+/// the radio link is rebuilt from the target cell's seed on re-attach.
+pub struct MigratedUe<T> {
+    name: String,
+    fw: FirmwareBuffer<T>,
+    diag: DiagInterface,
+}
+
+impl<T: PacketLike> MigratedUe<T> {
+    /// The UE's name (keys its RNG streams on the target cell too).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rewind any partial service of the head packet: the RLC context
+    /// does not survive the handover, so a packet caught mid-segmentation
+    /// retransmits in full at the target cell.
+    pub fn restart_head(&mut self) {
+        self.fw.restart_head();
+    }
+
+    /// RRC re-establishment after a radio link failure: everything
+    /// queued is lost. Returns the number of packets flushed.
+    pub fn flush(&mut self) -> u64 {
+        self.fw.flush()
+    }
 }
 
 /// A background UE: an on/off byte backlog that competes for PRBs.
@@ -250,7 +294,10 @@ pub struct CellSubframe<T> {
 pub struct Cell<T> {
     cfg: CellConfig,
     seed: u64,
-    fg: Vec<ForegroundUe<T>>,
+    /// Foreground slots, indexed by [`UeId`]. A slot goes `None` when its
+    /// UE hands over to another cell ([`Cell::detach_foreground`]) and is
+    /// reused by the next arrival, so UeIds of resident UEs stay stable.
+    fg: Vec<Option<ForegroundUe<T>>>,
     bg: Vec<BackgroundUe>,
     subframes: u64,
     prbs_granted_total: u64,
@@ -306,29 +353,89 @@ impl<T: PacketLike> Cell<T> {
     /// Attach a foreground (session-driven) UE. Names must be unique
     /// within the cell; they key the UE's RNG streams.
     pub fn attach_foreground(&mut self, name: &str, ch_cfg: ChannelConfig) -> UeId {
-        assert!(
-            self.fg.iter().all(|u| u.link.name != name)
-                && self.bg.iter().all(|u| u.link.name != name),
-            "duplicate UE name {name:?}"
-        );
-        self.fg.push(ForegroundUe {
+        self.assert_unique(name);
+        self.place_foreground(ForegroundUe {
             link: UeLink::new(self.seed, name, ch_cfg),
             fw: FirmwareBuffer::new(self.cfg.fw_capacity_bytes),
             diag: DiagInterface::new(self.cfg.diag_period),
             stale_diag: None,
-        });
-        UeId(self.fg.len() - 1)
+            radio: None,
+        })
+    }
+
+    fn assert_unique(&self, name: &str) {
+        assert!(
+            self.fg.iter().flatten().all(|u| u.link.name != name)
+                && self.bg.iter().all(|u| u.link.name != name),
+            "duplicate UE name {name:?}"
+        );
+    }
+
+    /// Fill the lowest vacant slot (deterministic) or grow the vector.
+    fn place_foreground(&mut self, ue: ForegroundUe<T>) -> UeId {
+        match self.fg.iter().position(Option::is_none) {
+            Some(k) => {
+                self.fg[k] = Some(ue);
+                UeId(k)
+            }
+            None => {
+                self.fg.push(Some(ue));
+                UeId(self.fg.len() - 1)
+            }
+        }
+    }
+
+    /// Detach a foreground UE for handover: its firmware buffer and diag
+    /// interface leave with it, its slot opens for reuse, and its radio
+    /// link (channel, HARQ, BSR pipeline, PF average) dies with the
+    /// serving-cell context, exactly as X2 handover rebuilds MAC state.
+    pub fn detach_foreground(&mut self, ue: UeId) -> MigratedUe<T> {
+        let u = self.fg[ue.0].take().expect("detach of an occupied slot");
+        MigratedUe { name: u.link.name, fw: u.fw, diag: u.diag }
+    }
+
+    /// Re-attach a migrated UE. The target cell builds a fresh radio link
+    /// keyed by the *same* UE name and its own seed; the firmware buffer
+    /// arrives with whatever survived the handover.
+    pub fn attach_migrated(&mut self, mu: MigratedUe<T>, ch_cfg: ChannelConfig) -> UeId {
+        self.assert_unique(&mu.name);
+        let link = UeLink::new(self.seed, &mu.name, ch_cfg);
+        self.place_foreground(ForegroundUe {
+            link,
+            fw: mu.fw,
+            diag: mu.diag,
+            stale_diag: None,
+            radio: None,
+        })
+    }
+
+    /// Dictate a foreground UE's channel verdict for the next subframe.
+    /// While a grid drives a UE this is called every subframe; the UE's
+    /// internal stochastic channel is then never stepped.
+    pub fn set_foreground_radio(&mut self, ue: UeId, state: ChannelState) {
+        self.fg[ue.0].as_mut().expect("occupied slot").radio = Some(state);
+    }
+
+    /// Per-UE RRC re-establishment (grid RLF path): flush the firmware
+    /// buffer and BSR state of one UE. Returns the packets flushed.
+    pub fn flush_foreground(&mut self, ue: UeId) -> u64 {
+        let u = self.fg[ue.0].as_mut().expect("occupied slot");
+        u.link.bsr.clear();
+        u.link.reported = 0;
+        u.fw.flush()
+    }
+
+    /// Read access to a foreground UE's firmware buffer (conservation
+    /// accounting: `total_enqueued`, `flushed`, `len`).
+    pub fn firmware(&self, ue: UeId) -> &FirmwareBuffer<T> {
+        &self.fg[ue.0].as_ref().expect("occupied slot").fw
     }
 
     /// Attach one background UE. Its traffic profile and channel are drawn
     /// from a stream keyed by `name`, and background UEs are kept sorted
     /// by name so attach order never affects results.
     pub fn attach_background(&mut self, name: &str) {
-        assert!(
-            self.fg.iter().all(|u| u.link.name != name)
-                && self.bg.iter().all(|u| u.link.name != name),
-            "duplicate UE name {name:?}"
-        );
+        self.assert_unique(name);
         let mut profile = SimRng::stream(self.seed, &format!("cell.{name}.profile"));
         let traffic_cfg = BackgroundTrafficConfig {
             on_rate_bps: profile.uniform_range(0.4e6, 2.4e6),
@@ -359,9 +466,9 @@ impl<T: PacketLike> Cell<T> {
         }
     }
 
-    /// Number of foreground UEs attached.
+    /// Number of foreground UEs currently resident (occupied slots).
     pub fn foreground_count(&self) -> usize {
-        self.fg.len()
+        self.fg.iter().flatten().count()
     }
 
     /// Number of background UEs attached.
@@ -372,17 +479,17 @@ impl<T: PacketLike> Cell<T> {
     /// Offer a packet to a foreground UE's firmware buffer. Returns false
     /// on overflow drop.
     pub fn enqueue(&mut self, ue: UeId, item: T, now: SimTime) -> bool {
-        self.fg[ue.0].fw.enqueue(item, now)
+        self.fg[ue.0].as_mut().expect("occupied slot").fw.enqueue(item, now)
     }
 
     /// A foreground UE's firmware-buffer level, bytes.
     pub fn buffer_level(&self, ue: UeId) -> u64 {
-        self.fg[ue.0].fw.level_bytes()
+        self.fg[ue.0].as_ref().expect("occupied slot").fw.level_bytes()
     }
 
     /// Packets dropped at a foreground UE's firmware-buffer tail.
     pub fn dropped(&self, ue: UeId) -> u64 {
-        self.fg[ue.0].fw.dropped()
+        self.fg[ue.0].as_ref().expect("occupied slot").fw.dropped()
     }
 
     /// Mean fraction of PRBs granted per subframe so far.
@@ -405,7 +512,7 @@ impl<T: PacketLike> Cell<T> {
         // and BSR state — queued packets are lost, not delivered seconds
         // late.
         if self.was_rlf && !af.radio_failure {
-            for u in &mut self.fg {
+            for u in self.fg.iter_mut().flatten() {
                 u.fw.flush();
                 u.link.bsr.clear();
                 u.link.reported = 0;
@@ -416,9 +523,13 @@ impl<T: PacketLike> Cell<T> {
         // Phase A: observe. Foreground first (UeId order), then background
         // (name order); each UE touches only its own RNG streams.
         self.scratch.fg_levels.clear();
-        self.scratch.fg_levels.extend(self.fg.iter().map(|u| u.fw.level_bytes()));
-        for (u, &level) in self.fg.iter_mut().zip(&self.scratch.fg_levels) {
-            u.link.observe(level, bsr_delay, now);
+        self.scratch
+            .fg_levels
+            .extend(self.fg.iter().map(|s| s.as_ref().map_or(0, |u| u.fw.level_bytes())));
+        for (slot, &level) in self.fg.iter_mut().zip(&self.scratch.fg_levels) {
+            let Some(u) = slot else { continue };
+            let radio = u.radio.take();
+            u.link.observe(level, bsr_delay, now, radio);
             // An injected radio link failure overrides the channel verdict:
             // the serving eNodeB is gone, so no BSR state survives either.
             if af.radio_failure {
@@ -432,13 +543,14 @@ impl<T: PacketLike> Cell<T> {
             let arrived = u.traffic.subframe();
             let cap = u.traffic.config().backlog_cap_bytes;
             u.backlog_bytes = (u.backlog_bytes + arrived).min(cap);
-            u.link.observe(u.backlog_bytes, bsr_delay, now);
+            u.link.observe(u.backlog_bytes, bsr_delay, now, None);
         }
 
         // Phase B: gather candidates and allocate PRBs.
         let max_prbs_per_ue = self.cfg.max_prbs_per_ue;
         self.scratch.cands.clear();
-        for (k, u) in self.fg.iter().enumerate() {
+        for (k, slot) in self.fg.iter().enumerate() {
+            let Some(u) = slot else { continue };
             self.scratch.cands.extend(candidate(Slot::Fg(k), &u.link, max_prbs_per_ue));
         }
         for (k, u) in self.bg.iter().enumerate() {
@@ -474,7 +586,7 @@ impl<T: PacketLike> Cell<T> {
                 grant_bits = (grant_bits as f64 * af.grant_factor) as u32;
             }
             let link = match c.slot {
-                Slot::Fg(k) => &mut self.fg[k].link,
+                Slot::Fg(k) => &mut self.fg[k].as_mut().expect("candidate slot occupied").link,
                 Slot::Bg(k) => &mut self.bg[k].link,
             };
             // Initial HARQ loss wastes the grant; the PRBs stay consumed.
@@ -487,7 +599,8 @@ impl<T: PacketLike> Cell<T> {
                     } else {
                         let buffer_at_start = self.scratch.fg_levels[k];
                         let departed = &mut self.scratch.per_ue_departed[k];
-                        self.fg[k].fw.serve_into(grant_bits / 8, departed);
+                        let fw = &mut self.fg[k].as_mut().expect("candidate slot occupied").fw;
+                        fw.serve_into(grant_bits / 8, departed);
                         let served_bits = departed
                             .iter()
                             .map(|(p, _)| p.wire_bytes())
@@ -512,7 +625,7 @@ impl<T: PacketLike> Cell<T> {
                 self.scratch.per_ue_tbs[k] = tbs_bits;
             }
             let link = match c.slot {
-                Slot::Fg(k) => &mut self.fg[k].link,
+                Slot::Fg(k) => &mut self.fg[k].as_mut().expect("candidate slot occupied").link,
                 Slot::Bg(k) => &mut self.bg[k].link,
             };
             link.update_avg(tbs_bits, alpha);
@@ -535,9 +648,11 @@ impl<T: PacketLike> Cell<T> {
                 u.link.update_avg(0, alpha);
             }
         }
-        for (u, &hit) in self.fg.iter_mut().zip(&self.scratch.sched_fg) {
-            if !hit {
-                u.link.update_avg(0, alpha);
+        for (slot, &hit) in self.fg.iter_mut().zip(&self.scratch.sched_fg) {
+            if let Some(u) = slot {
+                if !hit {
+                    u.link.update_avg(0, alpha);
+                }
             }
         }
 
@@ -554,7 +669,21 @@ impl<T: PacketLike> Cell<T> {
         let mut per_ue = self.scratch.spare_per_ue.pop().unwrap_or_default();
         per_ue.clear();
         per_ue.reserve(self.fg.len());
-        for (k, u) in self.fg.iter_mut().enumerate() {
+        for (k, slot) in self.fg.iter_mut().enumerate() {
+            let Some(u) = slot else {
+                // Vacant slot (its UE handed over away): a zeroed outcome
+                // keeps `per_ue` indexed by UeId.
+                per_ue.push(SubframeOutcome {
+                    departed: std::mem::take(&mut self.scratch.per_ue_departed[k]),
+                    tbs_bits: 0,
+                    buffer_bytes: 0,
+                    cqi: 0,
+                    load: (prbs_granted + crowd_prbs) as f64 / total,
+                    in_outage: true,
+                    diag: None,
+                });
+                continue;
+            };
             let buffer_bytes = self.scratch.fg_levels[k];
             let tbs_bits = self.scratch.per_ue_tbs[k];
             // A diag stall freezes what the chipset logs for this UE while
@@ -610,7 +739,7 @@ impl<T: PacketLike> Cell<T> {
     /// Return a consumed diag report's sample storage to the UE that
     /// produced it, for reuse by its next 40 ms epoch.
     pub fn recycle_diag(&mut self, ue: UeId, report: DiagReport) {
-        if let Some(u) = self.fg.get_mut(ue.0) {
+        if let Some(u) = self.fg.get_mut(ue.0).and_then(Option::as_mut) {
             u.diag.recycle(report);
         }
     }

@@ -1,0 +1,244 @@
+//! Ground mobility over the hex grid.
+//!
+//! The viewport crate models *head* motion as a behaviour enum over an
+//! acceleration-limited integrator; this module is the same idea at
+//! street scale: each UE owns a [`GroundMotion`] that integrates a 2-D
+//! position at a behaviour-specific velocity, with all randomness drawn
+//! from the UE's own named stream so the population is order-independent
+//! (attach order and population size never change an individual
+//! trajectory).
+//!
+//! Three behaviours cover the scenarios the paper could not measure:
+//!
+//! * [`MobilityKind::Convoy`] — the whole population drives a common
+//!   heading at a common speed (staggered starting positions), crossing
+//!   cell boundaries together: the repeated-handover stress case.
+//! * [`MobilityKind::Waypoint`] — classic random-waypoint inside the
+//!   grid's coverage disc: uncorrelated individual mobility.
+//! * [`MobilityKind::FlashCrowd`] — everyone converges from the rim
+//!   toward a rendezvous cell and parks there: mobility that *ends* in
+//!   the load concentration the fault plane's flash crowd injects
+//!   directly.
+
+use super::hex::HexGrid;
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::SimDuration;
+
+/// Which trajectory family a scenario uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MobilityKind {
+    /// Common heading, common speed, staggered starts along the route.
+    Convoy,
+    /// Random waypoints inside the grid's coverage disc.
+    Waypoint,
+    /// Converge on a rendezvous point, then park.
+    FlashCrowd,
+}
+
+/// Behaviour-specific state.
+#[derive(Clone, Debug)]
+enum Behaviour {
+    /// Fixed velocity, meters/second per axis.
+    Convoy { vx: f64, vy: f64 },
+    /// Current leg toward `(tx, ty)`; a new target is drawn uniformly
+    /// from the `roam`-radius disc on arrival.
+    Waypoint { tx: f64, ty: f64, pause_left: SimDuration, roam: f64 },
+    /// Head toward `(tx, ty)` and stop within one step of it.
+    FlashCrowd { tx: f64, ty: f64 },
+}
+
+/// One UE's trajectory integrator.
+#[derive(Clone, Debug)]
+pub struct GroundMotion {
+    x: f64,
+    y: f64,
+    speed_mps: f64,
+    behaviour: Behaviour,
+    rng: SimRng,
+}
+
+impl GroundMotion {
+    /// Build UE `index` of `count` for the given behaviour. All draws
+    /// come from a stream keyed by `master_seed` and the UE's name, so
+    /// trajectories are independent of population size and attach order.
+    pub fn new(
+        kind: MobilityKind,
+        grid: &HexGrid,
+        speed_mps: f64,
+        master_seed: u64,
+        name: &str,
+        index: usize,
+        count: usize,
+    ) -> Self {
+        let mut rng = SimRng::stream(master_seed, &format!("grid.motion.{name}"));
+        let isd = grid.isd_m();
+        let extent = grid.extent_m();
+        match kind {
+            MobilityKind::Convoy => {
+                // The convoy drives the +x axis through the row of cell
+                // centers at y = 0; boundaries sit at odd multiples of
+                // isd/2. Starts are staggered across [-1.25, -0.55]·isd
+                // (all inside the q = -1 cell) so every vehicle crosses
+                // at least one boundary early in the run, plus a small
+                // lane jitter so UEs are not radio-identical.
+                let frac = if count <= 1 { 0.5 } else { index as f64 / (count - 1) as f64 };
+                let x = -isd * (1.25 - 0.70 * frac);
+                let y = rng.uniform_range(-0.08, 0.08) * isd;
+                GroundMotion {
+                    x,
+                    y,
+                    speed_mps,
+                    behaviour: Behaviour::Convoy { vx: speed_mps, vy: 0.0 },
+                    rng,
+                }
+            }
+            MobilityKind::Waypoint => {
+                let roam = extent * 0.9;
+                let (x, y) = uniform_in_disc(&mut rng, roam);
+                let (tx, ty) = uniform_in_disc(&mut rng, roam);
+                GroundMotion {
+                    x,
+                    y,
+                    speed_mps,
+                    behaviour: Behaviour::Waypoint { tx, ty, pause_left: SimDuration::ZERO, roam },
+                    rng,
+                }
+            }
+            MobilityKind::FlashCrowd => {
+                // Start near the rim, converge on the center cell.
+                let angle = rng.uniform_range(0.0, std::f64::consts::TAU);
+                let radius = extent * rng.uniform_range(0.55, 0.95);
+                let (tx, ty) = uniform_in_disc(&mut rng, isd * 0.25);
+                GroundMotion {
+                    x: radius * angle.cos(),
+                    y: radius * angle.sin(),
+                    speed_mps,
+                    behaviour: Behaviour::FlashCrowd { tx, ty },
+                    rng,
+                }
+            }
+        }
+    }
+
+    /// Current position, meters.
+    pub fn position(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// Advance the trajectory by `dt` and return the new position.
+    pub fn step(&mut self, dt: SimDuration) -> (f64, f64) {
+        let dt_s = dt.as_secs_f64();
+        match &mut self.behaviour {
+            Behaviour::Convoy { vx, vy } => {
+                self.x += *vx * dt_s;
+                self.y += *vy * dt_s;
+            }
+            Behaviour::Waypoint { tx, ty, pause_left, roam } => {
+                if !pause_left.is_zero() {
+                    *pause_left = pause_left.saturating_sub(dt);
+                } else {
+                    let (dx, dy) = (*tx - self.x, *ty - self.y);
+                    let dist = (dx * dx + dy * dy).sqrt();
+                    let hop = self.speed_mps * dt_s;
+                    if dist <= hop {
+                        self.x = *tx;
+                        self.y = *ty;
+                        // Arrived: dwell, then pick the next waypoint.
+                        *pause_left = SimDuration::from_secs_f64(self.rng.uniform_range(0.5, 3.0));
+                        let (nx, ny) = uniform_in_disc(&mut self.rng, *roam);
+                        *tx = nx;
+                        *ty = ny;
+                    } else {
+                        self.x += dx / dist * hop;
+                        self.y += dy / dist * hop;
+                    }
+                }
+            }
+            Behaviour::FlashCrowd { tx, ty } => {
+                let (dx, dy) = (*tx - self.x, *ty - self.y);
+                let dist = (dx * dx + dy * dy).sqrt();
+                let hop = self.speed_mps * dt_s;
+                if dist > hop {
+                    self.x += dx / dist * hop;
+                    self.y += dy / dist * hop;
+                } else {
+                    self.x = *tx;
+                    self.y = *ty;
+                }
+            }
+        }
+        (self.x, self.y)
+    }
+}
+
+/// Uniform draw from a disc of the given radius around the origin.
+fn uniform_in_disc(rng: &mut SimRng, radius: f64) -> (f64, f64) {
+    let angle = rng.uniform_range(0.0, std::f64::consts::TAU);
+    let r = radius * rng.uniform().sqrt();
+    (r * angle.cos(), r * angle.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> HexGrid {
+        HexGrid::new(1, 500.0)
+    }
+
+    fn run(kind: MobilityKind, seed: u64, steps: usize) -> Vec<(f64, f64)> {
+        let g = grid();
+        let mut m = GroundMotion::new(kind, &g, 20.0, seed, "ue.0", 0, 8);
+        (0..steps).map(|_| m.step(SimDuration::from_millis(100))).collect()
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_per_name() {
+        for kind in [MobilityKind::Convoy, MobilityKind::Waypoint, MobilityKind::FlashCrowd] {
+            assert_eq!(run(kind, 9, 500), run(kind, 9, 500));
+        }
+    }
+
+    #[test]
+    fn convoy_crosses_the_first_boundary() {
+        let g = grid();
+        let mut m = GroundMotion::new(MobilityKind::Convoy, &g, 20.0, 1, "ue.3", 3, 8);
+        let start = g.serving_cell(m.position().0, m.position().1);
+        let mut crossed = false;
+        for _ in 0..30_000 {
+            let (x, y) = m.step(poi360_sim::SUBFRAME);
+            if g.serving_cell(x, y) != start {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed, "a convoy vehicle must leave its starting cell within 30s");
+    }
+
+    #[test]
+    fn waypoint_stays_in_coverage() {
+        let g = grid();
+        let extent = g.extent_m();
+        let mut m = GroundMotion::new(MobilityKind::Waypoint, &g, 15.0, 2, "ue.1", 1, 4);
+        for _ in 0..60_000 {
+            let (x, y) = m.step(poi360_sim::SUBFRAME);
+            let r = (x * x + y * y).sqrt();
+            assert!(r <= extent * 1.05, "wandered to {r} (extent {extent})");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_converges_and_parks() {
+        let g = grid();
+        let mut m = GroundMotion::new(MobilityKind::FlashCrowd, &g, 20.0, 3, "ue.2", 2, 16);
+        let mut last = (0.0, 0.0);
+        for _ in 0..120_000 {
+            last = m.step(poi360_sim::SUBFRAME);
+        }
+        let r = (last.0 * last.0 + last.1 * last.1).sqrt();
+        assert!(r <= g.isd_m() * 0.3, "crowd member ended {r} m from the rendezvous");
+        // Parked: a further step moves nothing.
+        let next = m.step(poi360_sim::SUBFRAME);
+        assert_eq!(next, last);
+    }
+}

@@ -1,0 +1,278 @@
+//! The network layer above a single cell: eNodeB geometry, UE mobility,
+//! radio-map path loss with neighbor-cell interference, and A3 handover.
+//!
+//! The paper's field study was pinned to whatever commercial cell the
+//! instrumented phone happened to camp on; this module builds the
+//! multi-cell world those experiments could not control. A [`hex::HexGrid`]
+//! places eNodeBs, [`mobility::GroundMotion`] drives UEs across cell
+//! boundaries, [`RadioMap`] turns positions into per-UE SINR/CQI with
+//! distance + shadowing path loss and previous-subframe neighbor-cell
+//! activity as interference, and [`handover::A3State`] decides when a UE
+//! detaches from its serving [`crate::cell::Cell`] and re-attaches on the
+//! target (its firmware buffer travels with it; a late handover becomes an
+//! RLF that flushes the buffer through the same RRC re-establishment path
+//! the fault plane exercises).
+//!
+//! Everything here is deterministic: each UE's shadowing and trajectory
+//! come from streams keyed by the UE's *name*, and interference uses the
+//! previous subframe's published cell activity, so a lockstep multi-cell
+//! run is a pure function of its master seed regardless of attach order
+//! or thread count.
+
+pub mod handover;
+pub mod hex;
+pub mod mobility;
+
+pub use handover::{A3Config, A3State, HoDecision};
+pub use hex::{CellId, HexGrid};
+pub use mobility::{GroundMotion, MobilityKind};
+
+use crate::channel::ChannelState;
+use crate::tbs;
+use poi360_sim::process::OrnsteinUhlenbeck;
+use poi360_sim::rng::SimRng;
+use poi360_sim::time::SimDuration;
+
+/// Path-loss / interference model parameters.
+///
+/// Log-distance path loss `PL(d) = pl0 + 10·n·log10(max(d, d0)/d0)` with
+/// per-(UE, cell) log-normal shadowing, calibrated so a UE near a site
+/// sees the paper's strong-signal tier (CQI 15) and a cell-edge UE on a
+/// half-loaded grid lands in the moderate tier.
+#[derive(Clone, Copy, Debug)]
+pub struct RadioConfig {
+    /// eNodeB reference transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance, dB.
+    pub pl0_db: f64,
+    /// Reference distance, meters.
+    pub d0_m: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+    /// Thermal noise floor, dBm.
+    pub noise_dbm: f64,
+    /// Shadowing stationary std, dB.
+    pub shadow_std_db: f64,
+    /// Shadowing correlation time, seconds.
+    pub shadow_tau_secs: f64,
+    /// SINR below which the UE cannot hold uplink sync (grants stop).
+    pub outage_sinr_db: f64,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            tx_power_dbm: 10.0,
+            pl0_db: 70.0,
+            d0_m: 25.0,
+            exponent: 3.0,
+            noise_dbm: -100.0,
+            shadow_std_db: 3.0,
+            shadow_tau_secs: 8.0,
+            outage_sinr_db: -6.0,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Deterministic (shadowing-free) RSRP at distance `d_m`, dBm.
+    pub fn mean_rsrp_dbm(&self, d_m: f64) -> f64 {
+        let d = d_m.max(self.d0_m);
+        self.tx_power_dbm - self.pl0_db - 10.0 * self.exponent * (d / self.d0_m).log10()
+    }
+}
+
+/// Handle to a UE registered with a [`RadioMap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RadioUe(usize);
+
+/// One subframe's radio measurements for a UE.
+#[derive(Clone, Copy, Debug)]
+pub struct RadioObservation {
+    /// Serving-cell RSRP, dBm (with shadowing).
+    pub serving_rsrp_dbm: f64,
+    /// Strongest non-serving cell and its RSRP, dBm.
+    pub best_neighbor: Option<(CellId, f64)>,
+    /// Serving SINR with neighbor-cell interference, dB.
+    pub sinr_db: f64,
+}
+
+impl RadioObservation {
+    /// The [`ChannelState`] a cell should schedule this UE with.
+    /// `forced_outage` covers handover/re-establishment interruption.
+    pub fn channel_state(&self, cfg: &RadioConfig, forced_outage: bool) -> ChannelState {
+        ChannelState {
+            sinr_db: self.sinr_db,
+            cqi: tbs::sinr_to_cqi(self.sinr_db),
+            in_outage: forced_outage || self.sinr_db < cfg.outage_sinr_db,
+        }
+    }
+}
+
+/// Per-(UE, cell) radio state: path loss from the grid geometry plus an
+/// independent Ornstein–Uhlenbeck shadowing track toward every site.
+pub struct RadioMap {
+    cfg: RadioConfig,
+    grid: HexGrid,
+    /// UE-major `[ue * n_cells + cell]` shadowing processes.
+    shadows: Vec<OrnsteinUhlenbeck>,
+    /// One RNG per UE (keyed by name) driving all its shadowing tracks.
+    rngs: Vec<SimRng>,
+    /// Per-call RSRP staging, reused so steady state never allocates.
+    rsrp_scratch: Vec<f64>,
+}
+
+impl RadioMap {
+    /// Build an empty map over the grid.
+    pub fn new(cfg: RadioConfig, grid: HexGrid) -> Self {
+        let n = grid.len();
+        RadioMap { cfg, grid, shadows: Vec::new(), rngs: Vec::new(), rsrp_scratch: vec![0.0; n] }
+    }
+
+    /// Model parameters in use.
+    pub fn config(&self) -> &RadioConfig {
+        &self.cfg
+    }
+
+    /// The grid geometry this map covers.
+    pub fn grid(&self) -> &HexGrid {
+        &self.grid
+    }
+
+    /// Register a UE. All its shadowing randomness derives from
+    /// `master_seed` and `name`, so registration order is irrelevant.
+    pub fn register_ue(&mut self, master_seed: u64, name: &str) -> RadioUe {
+        let mut rng = SimRng::stream(master_seed, &format!("grid.shadow.{name}"));
+        for _ in 0..self.grid.len() {
+            let mut ou = OrnsteinUhlenbeck::with_stationary(
+                0.0,
+                self.cfg.shadow_std_db,
+                self.cfg.shadow_tau_secs,
+            );
+            // Start each track at a stationary draw, not at zero, so the
+            // first seconds of a run are not artificially shadow-free.
+            ou.set_value(rng.normal(0.0, self.cfg.shadow_std_db));
+            self.shadows.push(ou);
+        }
+        self.rngs.push(rng);
+        RadioUe(self.rngs.len() - 1)
+    }
+
+    /// Advance one UE's shadowing by `dt` and measure the radio at
+    /// `(x, y)`. `activity` is each cell's previous-subframe PRB
+    /// utilization in `[0, 1]`, which scales its interference
+    /// contribution; `serving` selects whose signal is the numerator.
+    pub fn observe(
+        &mut self,
+        ue: RadioUe,
+        dt: SimDuration,
+        x: f64,
+        y: f64,
+        serving: CellId,
+        activity: &[f64],
+    ) -> RadioObservation {
+        let n = self.grid.len();
+        debug_assert_eq!(activity.len(), n);
+        let rng = &mut self.rngs[ue.0];
+        for c in 0..n {
+            let shadow = self.shadows[ue.0 * n + c].step(dt, rng);
+            let d = self.grid.distance_m(CellId(c), x, y);
+            self.rsrp_scratch[c] = self.cfg.mean_rsrp_dbm(d) + shadow;
+        }
+
+        let serving_rsrp_dbm = self.rsrp_scratch[serving.0];
+        let mut best_neighbor: Option<(CellId, f64)> = None;
+        let mut interference_mw = 0.0;
+        for (c, &rsrp) in self.rsrp_scratch.iter().enumerate() {
+            if c == serving.0 {
+                continue;
+            }
+            // Reciprocity proxy for uplink inter-cell interference: the
+            // louder a neighbor site sounds to this UE and the busier
+            // that cell was last subframe, the more its uplink traffic
+            // degrades this UE's grants.
+            interference_mw += dbm_to_mw(rsrp) * activity[c].clamp(0.0, 1.0);
+            if best_neighbor.is_none_or(|(_, b)| rsrp > b) {
+                best_neighbor = Some((CellId(c), rsrp));
+            }
+        }
+        let denom_mw = dbm_to_mw(self.cfg.noise_dbm) + interference_mw;
+        let sinr_db = serving_rsrp_dbm - mw_to_dbm(denom_mw);
+        RadioObservation { serving_rsrp_dbm, best_neighbor, sinr_db }
+    }
+}
+
+fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_sim::SUBFRAME;
+
+    fn map() -> RadioMap {
+        RadioMap::new(RadioConfig::default(), HexGrid::new(1, 500.0))
+    }
+
+    #[test]
+    fn near_site_is_top_cqi_far_site_is_not() {
+        let mut m = map();
+        let ue = m.register_ue(1, "ue.0");
+        let idle = vec![0.0; 7];
+        let near = m.observe(ue, SUBFRAME, 30.0, 0.0, CellId(0), &idle);
+        assert!(near.sinr_db > 20.0, "near-site SINR {}", near.sinr_db);
+        assert_eq!(near.channel_state(m.config(), false).cqi, 15);
+        let far = m.observe(ue, SUBFRAME, 420.0, 0.0, CellId(0), &idle);
+        assert!(far.sinr_db < near.sinr_db - 10.0, "far {} near {}", far.sinr_db, near.sinr_db);
+    }
+
+    #[test]
+    fn busy_neighbors_depress_sinr() {
+        let mut m = map();
+        let ue = m.register_ue(2, "ue.0");
+        // Cell edge between site 0 (origin) and its +x neighbor.
+        let (x, y) = (250.0, 0.0);
+        let quiet = m.observe(ue, SUBFRAME, x, y, CellId(0), &[0.0; 7]);
+        let busy = m.observe(ue, SUBFRAME, x, y, CellId(0), &[0.8; 7]);
+        assert!(
+            busy.sinr_db < quiet.sinr_db - 3.0,
+            "busy {} quiet {}",
+            busy.sinr_db,
+            quiet.sinr_db
+        );
+    }
+
+    #[test]
+    fn best_neighbor_tracks_geometry() {
+        let cfg = RadioConfig { shadow_std_db: 0.0, ..RadioConfig::default() };
+        let mut m0 = RadioMap::new(cfg, HexGrid::new(1, 500.0));
+        let ue = m0.register_ue(3, "ue.0");
+        let obs = m0.observe(ue, SUBFRAME, 350.0, 0.0, CellId(0), &[0.2; 7]);
+        // The +x neighbor's center is at (500, 0): 150 m away vs 350 m.
+        let (target, rsrp) = obs.best_neighbor.expect("six neighbors exist");
+        let (cx, cy) = m0.grid().center_of(target);
+        assert_eq!((cx, cy), (500.0, 0.0));
+        assert!(rsrp > obs.serving_rsrp_dbm);
+    }
+
+    #[test]
+    fn registration_order_does_not_change_a_ue_track() {
+        let run = |names: &[&str]| {
+            let mut m = map();
+            let ues: Vec<RadioUe> = names.iter().map(|n| m.register_ue(7, n)).collect();
+            let target = ues[names.iter().position(|&n| n == "ue.x").unwrap()];
+            let act = vec![0.3; 7];
+            (0..2_000)
+                .map(|_| m.observe(target, SUBFRAME, 200.0, 50.0, CellId(0), &act).sinr_db)
+                .collect::<Vec<f64>>()
+        };
+        let a = run(&["ue.x", "ue.y", "ue.z"]);
+        let b = run(&["ue.z", "ue.y", "ue.x"]);
+        assert_eq!(a, b, "a UE's shadowing must be keyed by name, not index");
+    }
+}

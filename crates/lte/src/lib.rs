@@ -29,11 +29,15 @@
 //!   (background load, signal strength, mobility).
 //! * [`cell`] — a shared multi-UE eNodeB: one PF PRB allocation per
 //!   subframe across N attached UEs, with emergent background load.
+//! * [`grid`] — the network above a cell: hex eNodeB lattice, ground
+//!   mobility, path-loss radio map with neighbor interference, and A3
+//!   handover.
 
 pub mod buffer;
 pub mod cell;
 pub mod channel;
 pub mod diag;
+pub mod grid;
 pub mod scenario;
 pub mod scheduler;
 pub mod tbs;

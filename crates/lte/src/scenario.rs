@@ -14,6 +14,7 @@
 
 use crate as poi360_lte;
 use crate::channel::ChannelConfig;
+use crate::grid::{A3Config, MobilityKind};
 use crate::uplink::{LoadConfig, UplinkConfig};
 use poi360_sim::fault::{FaultKind, FaultPlan};
 use poi360_sim::time::{SimDuration, SimTime};
@@ -325,6 +326,117 @@ impl FaultScenario {
     }
 }
 
+/// A named hex-grid mobility condition: trajectory family, speed,
+/// lattice geometry, and handover tuning. These presets are the
+/// vocabulary shared by `reproduce mobility`, the handover tests, and
+/// EXPERIMENTS.md — the grid driver in `poi360-core` materializes them
+/// into a full run configuration.
+#[derive(Clone, Debug)]
+pub struct MobilityScenario {
+    /// Stable name (CLI argument, test name, report row).
+    pub name: &'static str,
+    /// One-line description for tables and docs.
+    pub what: &'static str,
+    /// Trajectory family.
+    pub kind: MobilityKind,
+    /// Ground speed, m/s.
+    pub speed_mps: f64,
+    /// Hex rings around the center cell (1 = 7 cells).
+    pub rings: usize,
+    /// Inter-site distance, meters.
+    pub isd_m: f64,
+    /// A3 handover + RLF tuning.
+    pub a3: A3Config,
+}
+
+impl MobilityScenario {
+    /// All named mobility scenarios, in presentation order.
+    pub fn all() -> Vec<MobilityScenario> {
+        vec![
+            MobilityScenario {
+                name: "convoy",
+                what: "lane of UEs drives straight across the lattice",
+                kind: MobilityKind::Convoy,
+                speed_mps: 20.0,
+                rings: 1,
+                isd_m: 500.0,
+                a3: A3Config::default(),
+            },
+            MobilityScenario {
+                name: "waypoint",
+                what: "random-waypoint roaming with dwell pauses",
+                kind: MobilityKind::Waypoint,
+                speed_mps: 15.0,
+                rings: 1,
+                isd_m: 500.0,
+                a3: A3Config::default(),
+            },
+            MobilityScenario {
+                name: "flash_crowd",
+                what: "everyone converges on the center cell and parks",
+                kind: MobilityKind::FlashCrowd,
+                speed_mps: 15.0,
+                rings: 1,
+                isd_m: 500.0,
+                a3: A3Config::default(),
+            },
+            MobilityScenario {
+                name: "late_ho",
+                what: "over-conservative A3 (14dB/640ms): handovers turn into RLFs",
+                kind: MobilityKind::Convoy,
+                speed_mps: 20.0,
+                rings: 1,
+                isd_m: 500.0,
+                a3: A3Config {
+                    hysteresis_db: 14.0,
+                    time_to_trigger: SimDuration::from_millis(640),
+                    ..A3Config::default()
+                },
+            },
+        ]
+    }
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<MobilityScenario> {
+        MobilityScenario::all().into_iter().find(|m| m.name == name)
+    }
+}
+
+/// One row of the unified preset registry.
+#[derive(Clone, Copy, Debug)]
+pub struct PresetInfo {
+    /// Which experiment family the preset belongs to.
+    pub family: &'static str,
+    /// Preset name (what the CLI accepts).
+    pub name: &'static str,
+    /// One-line description.
+    pub what: &'static str,
+}
+
+/// Every named preset across experiment families, in presentation
+/// order: fault scenarios first, then mobility scenarios. `reproduce
+/// --list` and unknown-preset errors both read from here so the valid
+/// set can never drift from what the code accepts.
+pub fn preset_registry() -> Vec<PresetInfo> {
+    let mut out = Vec::new();
+    for f in FaultScenario::all() {
+        out.push(PresetInfo { family: "fault", name: f.name, what: f.what });
+    }
+    for m in MobilityScenario::all() {
+        out.push(PresetInfo { family: "mobility", name: m.name, what: m.what });
+    }
+    out
+}
+
+/// Error text for an unknown preset that names the valid set for the
+/// family, e.g. `unknown mobility scenario "x" (expected one of:
+/// convoy, waypoint, ...)`.
+pub fn unknown_preset_error(family: &str, got: &str) -> String {
+    let valid: Vec<&str> =
+        preset_registry().into_iter().filter(|p| p.family == family).map(|p| p.name).collect();
+    format!("unknown {family} scenario \"{got}\" (expected one of: {})", valid.join(", "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +513,47 @@ mod tests {
             assert_eq!(FaultScenario::by_name(f.name).map(|g| g.what), Some(f.what));
         }
         assert!(FaultScenario::by_name("no_such").is_none());
+    }
+
+    #[test]
+    fn preset_registry_unifies_families_with_unique_names() {
+        let reg = preset_registry();
+        assert_eq!(
+            reg.len(),
+            FaultScenario::all().len() + MobilityScenario::all().len(),
+            "registry covers both families"
+        );
+        let keys: std::collections::HashSet<_> = reg.iter().map(|p| (p.family, p.name)).collect();
+        assert_eq!(keys.len(), reg.len(), "(family, name) pairs are unique");
+        for p in &reg {
+            match p.family {
+                "fault" => assert!(FaultScenario::by_name(p.name).is_some()),
+                "mobility" => assert!(MobilityScenario::by_name(p.name).is_some()),
+                other => panic!("unexpected family {other}"),
+            }
+        }
+        assert!(MobilityScenario::by_name("no_such").is_none());
+    }
+
+    #[test]
+    fn unknown_preset_error_names_the_valid_set() {
+        let e = unknown_preset_error("mobility", "bogus");
+        assert!(e.contains("\"bogus\""), "{e}");
+        for m in MobilityScenario::all() {
+            assert!(e.contains(m.name), "{e} missing {}", m.name);
+        }
+        assert!(!e.contains("diag_freeze"), "fault presets don't leak into mobility errors");
+        let e = unknown_preset_error("fault", "bogus");
+        assert!(e.contains("rlf") && e.contains("stacked"), "{e}");
+    }
+
+    #[test]
+    fn late_ho_preset_is_meaningfully_conservative() {
+        let late = MobilityScenario::by_name("late_ho").unwrap();
+        let base = A3Config::default();
+        assert!(late.a3.hysteresis_db > base.hysteresis_db + 5.0);
+        assert!(late.a3.time_to_trigger > base.time_to_trigger);
+        assert_eq!(late.a3.rlf_timer, base.rlf_timer, "RLF detection unchanged");
     }
 
     #[test]

@@ -61,6 +61,11 @@ impl Packet {
     pub fn rtcp(seq: u64, bytes: u32, sent_at: SimTime) -> Packet {
         Packet { flow: FlowKind::Rtcp, seq, bytes, sent_at, frame: None, retransmit: false }
     }
+
+    /// Construct a background cross-traffic packet (grid load UEs).
+    pub fn cross(seq: u64, bytes: u32, sent_at: SimTime) -> Packet {
+        Packet { flow: FlowKind::Cross, seq, bytes, sent_at, frame: None, retransmit: false }
+    }
 }
 
 impl PacketLike for Packet {

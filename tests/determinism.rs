@@ -112,6 +112,68 @@ fn per_ue_streams_decouple_foreground_from_background() {
     assert_ne!(tbs_alone, tbs_crowded, "competition should actually change scheduling");
 }
 
+// ---------------------------------------------------------------------
+// Hex-grid mobility determinism
+// ---------------------------------------------------------------------
+
+use poi360_bench::mobility as mo;
+use poi360_lte::scenario::MobilityScenario;
+
+/// A 7-cell convoy — mobility, shadowing, inter-cell interference, A3
+/// handovers, firmware buffers migrating between cells — emits a
+/// byte-identical JSONL probe stream across reruns *and* across worker
+/// pool widths (the in-process equivalent of different `POI360_THREADS`
+/// values): the grid driver is lockstep single-threaded and interference
+/// couples cells only through the previous subframe's published
+/// activity, so no thread schedule can reorder anything.
+#[test]
+fn grid_convoy_byte_identical_across_thread_counts_and_reruns() {
+    let ms = MobilityScenario::by_name("convoy").expect("preset exists");
+    let scale = mo::MobilityScale::smoke();
+    poi360_bench::runner::set_worker_threads(1);
+    let (out, a) = mo::run_case(&ms, &scale, 21);
+    let (_, b) = mo::run_case(&ms, &scale, 21);
+    poi360_bench::runner::set_worker_threads(4);
+    let (_, c) = mo::run_case(&ms, &scale, 21);
+    poi360_bench::runner::set_worker_threads(0);
+    assert_eq!(out.report.cells, 7, "rings=1 lattice");
+    assert!(!a.is_empty(), "trace stream captured");
+    assert_eq!(a, b, "grid rerun diverged at the same worker width");
+    assert_eq!(a, c, "grid stream moved with the worker-pool width");
+}
+
+/// A different master seed perturbs the whole grid trajectory — the
+/// stream is deterministic, not constant.
+#[test]
+fn grid_different_seeds_diverge() {
+    let ms = MobilityScenario::by_name("convoy").expect("preset exists");
+    let scale = mo::MobilityScale::smoke();
+    let (_, a) = mo::run_case(&ms, &scale, 31);
+    let (_, b) = mo::run_case(&ms, &scale, 32);
+    assert_ne!(a, b, "distinct seeds should give distinct grid traces");
+}
+
+/// The grid report itself (JSON serialization, every counter and stat)
+/// is a pure function of the seed — mirrors the MultiCell guarantee.
+#[test]
+fn multigrid_same_seed_gives_byte_identical_report() {
+    use poi360::core::multicell::{MultiGrid, MultiGridConfig};
+    let mk = || MultiGridConfig {
+        flows: vec![FlowSpec::default(); 2],
+        load_ues: 8,
+        static_bg_per_cell: 2,
+        isd_m: 160.0,
+        speed_mps: 30.0,
+        duration: SimDuration::from_secs(6),
+        seed: 77,
+        ..Default::default()
+    };
+    let a = MultiGrid::new(mk()).run().to_json();
+    let b = MultiGrid::new(mk()).run().to_json();
+    assert_eq!(a, b, "multi-grid report must be a pure function of the seed");
+    assert!(a.contains("\"flow_stats\":"), "report JSON lost its fields");
+}
+
 /// Named component streams derived from one master seed are mutually
 /// independent: different names give uncorrelated sequences, the same
 /// name reproduces the identical sequence.

@@ -8,6 +8,10 @@
 //! On top of that, a rerun of the whole suite under the same seed must
 //! produce a byte-identical JSONL trace stream.
 //!
+//! The hex-grid mobility presets ride the same judge machinery
+//! (`poi360_bench::mobility`): packet conservation across every
+//! handover, explicit RLF losses, and in-order video delivery.
+//!
 //! The seed comes from `POI360_FAULT_SEED` (default 1); ci.sh runs a
 //! small seed matrix so the invariants are not tuned to one trajectory.
 
@@ -100,4 +104,61 @@ fn different_seeds_diverge() {
     let (_, a) = fi::run_suite(std::slice::from_ref(&fs), 8, 11);
     let (_, b) = fi::run_suite(std::slice::from_ref(&fs), 8, 12);
     assert_ne!(a, b, "distinct seeds should give distinct traces");
+}
+
+// ---------------------------------------------------------------------
+// Packet conservation across handover (mobility presets, judged by the
+// same machinery `reproduce mobility` uses)
+// ---------------------------------------------------------------------
+
+use poi360_bench::mobility as mo;
+use poi360_lte::scenario::MobilityScenario;
+
+/// Every RTP packet accepted by a firmware buffer before a handover is
+/// accounted for afterwards: delivered by some serving cell, explicitly
+/// dropped by an RLF flush, or still queued at run end — exactly once.
+/// (Stale retransmissions are culled *before* the buffer by the session's
+/// RTX age rule, so they never enter this ledger.) The judge also checks
+/// first-transmission video never reorders or duplicates across the
+/// migration, i.e. no silent loss and no double delivery.
+#[test]
+fn handover_conserves_every_packet() {
+    let ms = MobilityScenario::by_name("convoy").expect("preset exists");
+    let (out, _) = mo::run_case(&ms, &mo::MobilityScale::smoke(), seed());
+    assert!(
+        out.verdict.pass(),
+        "convoy seed {} violated {:?}\n{:#?}",
+        seed(),
+        out.verdict.failures(),
+        out.verdict
+    );
+    for fs in &out.report.flow_stats {
+        assert!(fs.handovers + fs.rlfs >= 1, "{} never handed over", fs.label);
+        assert_eq!(
+            fs.enqueued,
+            fs.delivered + fs.flushed + fs.queued_at_end,
+            "{} leaked packets",
+            fs.label
+        );
+        assert_eq!(fs.seq_violations, 0, "{} reordered or duplicated video", fs.label);
+    }
+    assert_eq!(out.report.load_conservation_violations, 0, "a load UE leaked packets");
+}
+
+/// Under the over-conservative `late_ho` preset, handovers degrade into
+/// RLFs whose losses must be *explicit*: the flush counter owns every
+/// packet the re-establishment discarded, and the conservation identity
+/// still balances to the packet.
+#[test]
+fn rlf_flush_losses_are_explicit_not_silent() {
+    let late = MobilityScenario::by_name("late_ho").expect("preset exists");
+    let (out, _) = mo::run_case(&late, &mo::MobilityScale::smoke(), seed());
+    let rlfs: u64 = out.report.flow_stats.iter().map(|f| f.rlfs).sum();
+    let flushed: u64 = out.report.flow_stats.iter().map(|f| f.flushed).sum();
+    assert!(rlfs >= 1, "late_ho preset must cause at least one RLF");
+    assert!(flushed >= 1, "an RLF on a loaded uplink must flush queued packets");
+    for fs in &out.report.flow_stats {
+        assert!(fs.conserved(), "{}: RLF broke conservation", fs.label);
+        assert_eq!(fs.seq_violations, 0, "{}: RLF reordered video", fs.label);
+    }
 }

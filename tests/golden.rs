@@ -67,3 +67,17 @@ fn fig6_matches_golden() {
     let fresh = exp::fig6(&ExpConfig::default());
     assert_rows_match("fig6", &fresh, &golden("fig6"));
 }
+
+/// The `reproduce mobility --smoke` convoy table at the default seed
+/// must match the checked-in handover counts, conservation ledger, and
+/// PSNR-across-handover numbers. Regenerate with
+/// `cargo run --release -p poi360-bench --bin reproduce -- mobility --smoke`.
+#[test]
+fn mobility_smoke_matches_golden() {
+    use poi360_bench::mobility as mo;
+    use poi360_lte::scenario::MobilityScenario;
+    let ms = MobilityScenario::by_name("convoy").expect("preset exists");
+    let protocol = mo::run_protocol(&ms, &mo::MobilityScale::smoke(), 1);
+    assert_eq!(protocol.failures, 0, "smoke protocol must pass its own invariants");
+    assert_rows_match("mobility_smoke", &protocol.text, &golden("mobility_smoke"));
+}
