@@ -66,6 +66,27 @@ test -s bench_results/mobility_smoke.jsonl
 echo "== perf gate (per-layer medians vs pinned baseline + zero-alloc steady state) =="
 cargo run --release -p poi360-bench --bin reproduce -- perf --smoke --compare bench_results/perf_baseline.json
 
+echo "== study smoke (cc_matrix: 2 controllers x 3 scenarios x 3 seeds + report) =="
+cargo run --release -p poi360-bench --bin reproduce -- study cc_matrix --smoke >/dev/null
+test -s bench_results/study_cc_matrix_smoke.jsonl
+test -s bench_results/study_cc_matrix_smoke_trace.json
+
+echo "== study byte-identity across worker-pool widths =="
+# The width must come from the environment, not --threads: the RunMeta
+# stamp records argv, so differing flags would (correctly) differ in the
+# artifact bytes.
+mkdir -p target/ci
+POI360_THREADS=1 POI360_BENCH_DIR=target/ci/study_w1 \
+    cargo run --release -p poi360-bench --bin reproduce -- study cc_matrix --smoke >/dev/null
+POI360_THREADS=4 POI360_BENCH_DIR=target/ci/study_w4 \
+    cargo run --release -p poi360-bench --bin reproduce -- study cc_matrix --smoke >/dev/null
+cmp target/ci/study_w1/study_cc_matrix_smoke.jsonl target/ci/study_w4/study_cc_matrix_smoke.jsonl
+cmp target/ci/study_w1/study_cc_matrix_smoke.txt target/ci/study_w4/study_cc_matrix_smoke.txt
+echo "ok: study artifact byte-identical at widths 1 and 4"
+
+echo "== ingest sweep: every generated JSONL artifact re-parses =="
+cargo test -q --release -p poi360-analyse --test roundtrip
+
 echo "== cell-scale micro-benchmark =="
 cargo bench -p poi360-bench --bench cell_scale
 

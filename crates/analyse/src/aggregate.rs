@@ -1,0 +1,287 @@
+//! Pooling and reduction: many traces → per-probe distributions and
+//! per-source rollups.
+//!
+//! Aggregation semantics (pinned in DESIGN.md §12):
+//!
+//! * **Gauges and events** pool every finite sample value — a probe
+//!   that fires 6 000 times across 3 seeds contributes 18 000 samples
+//!   to its distribution.
+//! * **Counters** are increments, not levels; pooling raw increments
+//!   would only measure the emission granularity. Each *(segment,
+//!   source)* within each trace therefore contributes its total as one
+//!   sample — a
+//!   3-seed single-session group reduces to a 3-sample distribution of
+//!   run totals, and a concatenated suite artifact (one trace, one
+//!   source tag per case segment) pools to exactly the same samples as
+//!   the per-case traces it was concatenated from. That equivalence is
+//!   what makes `--baseline` comparisons apples-to-apples.
+//! * NaN samples (JSON `null`s) are dropped before reduction; the
+//!   percentile kernel rejects them.
+//!
+//! Everything here is order-deterministic: probes keep first-appearance
+//! order at pool level and reports sort by name, so identical inputs
+//! reduce to identical tables.
+
+use crate::ingest::RunTrace;
+use poi360_metrics::dist::percentile;
+use poi360_sim::trace::ProbeKind;
+
+/// Reduced distribution of one probe across a pool of traces.
+#[derive(Clone, Debug)]
+pub struct ProbeStats {
+    /// Probe name (`layer.signal`).
+    pub name: String,
+    /// Kind as first seen; a name never legitimately changes kind.
+    pub kind: ProbeKind,
+    /// Samples pooled (per-trace totals for counters).
+    pub samples: u64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Sample pool across any number of traces (typically the seeds of one
+/// `scenario × controller` study group).
+#[derive(Clone, Debug, Default)]
+pub struct Pool {
+    probes: Vec<(String, ProbeKind, Vec<f64>)>,
+    traces: u64,
+}
+
+impl Pool {
+    /// An empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    fn bucket(&mut self, name: &str, kind: ProbeKind) -> &mut Vec<f64> {
+        let idx = match self.probes.iter().position(|(n, _, _)| n == name) {
+            Some(idx) => idx,
+            None => {
+                self.probes.push((name.to_string(), kind, Vec::new()));
+                self.probes.len() - 1
+            }
+        };
+        &mut self.probes[idx].2
+    }
+
+    /// Fold one trace into the pool.
+    pub fn add(&mut self, trace: &RunTrace) {
+        self.traces += 1;
+        // Counter totals accumulate per (segment, source, name) within
+        // this trace, then land as one sample each.
+        let mut counter_totals: Vec<((u32, u32, u32), f64)> = Vec::new();
+        for rec in &trace.records {
+            if !rec.value.is_finite() {
+                continue;
+            }
+            match rec.kind {
+                ProbeKind::Counter => {
+                    let key = (rec.seg, rec.src, rec.name);
+                    match counter_totals.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, total)) => *total += rec.value,
+                        None => counter_totals.push((key, rec.value)),
+                    }
+                }
+                ProbeKind::Gauge | ProbeKind::Event => {
+                    self.bucket(trace.probes.name(rec.name), rec.kind).push(rec.value);
+                }
+            }
+        }
+        for ((_, _, id), total) in counter_totals {
+            self.bucket(trace.probes.name(id), ProbeKind::Counter).push(total);
+        }
+    }
+
+    /// Traces folded in so far.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+
+    /// Reduce to per-probe stats, sorted by probe name.
+    pub fn stats(&self) -> Vec<ProbeStats> {
+        let mut out: Vec<ProbeStats> = self
+            .probes
+            .iter()
+            .filter(|(_, _, samples)| !samples.is_empty())
+            .map(|(name, kind, samples)| ProbeStats {
+                name: name.clone(),
+                kind: *kind,
+                samples: samples.len() as u64,
+                median: percentile(samples, 0.50).unwrap(),
+                p95: percentile(samples, 0.95).unwrap(),
+                p99: percentile(samples, 0.99).unwrap(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+/// Per-source rollup: how much each cell / flow / session emitted.
+#[derive(Clone, Debug)]
+pub struct SrcStats {
+    /// Source tag as stamped by the recorder (`session`, `fg.00`, ...).
+    pub src: String,
+    /// Probe records from this source.
+    pub records: u64,
+    /// Distinct probe names this source emitted.
+    pub probes: u64,
+    /// First emission time, µs.
+    pub first_t_us: u64,
+    /// Last emission time, µs.
+    pub last_t_us: u64,
+}
+
+/// Roll up any number of traces by source tag, pooling same-named
+/// sources (across seeds the tags coincide by construction). Output is
+/// sorted by tag so reports are stable however the pool was filled.
+pub fn src_rollup<'a>(traces: impl IntoIterator<Item = &'a RunTrace>) -> Vec<SrcStats> {
+    // (tag, records, probe names seen, first, last)
+    let mut acc: Vec<(String, u64, Vec<String>, u64, u64)> = Vec::new();
+    for trace in traces {
+        for rec in &trace.records {
+            let tag = trace.srcs.name(rec.src);
+            let slot = match acc.iter().position(|(t, ..)| t == tag) {
+                Some(idx) => &mut acc[idx],
+                None => {
+                    acc.push((tag.to_string(), 0, Vec::new(), u64::MAX, 0));
+                    acc.last_mut().unwrap()
+                }
+            };
+            slot.1 += 1;
+            let probe = trace.probes.name(rec.name);
+            if !slot.2.iter().any(|p| p == probe) {
+                slot.2.push(probe.to_string());
+            }
+            slot.3 = slot.3.min(rec.t_us);
+            slot.4 = slot.4.max(rec.t_us);
+        }
+    }
+    acc.sort_by(|a, b| a.0.cmp(&b.0));
+    acc.into_iter()
+        .map(|(src, records, probes, first, last)| SrcStats {
+            src,
+            records,
+            probes: probes.len() as u64,
+            first_t_us: first,
+            last_t_us: last,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(lines: &[&str]) -> RunTrace {
+        RunTrace::parse_str(&lines.join("\n")).expect("test trace parses")
+    }
+
+    fn rec(t: u64, src: &str, name: &str, kind: &str, value: f64) -> String {
+        format!(r#"{{"t_us":{t},"src":"{src}","name":"{name}","kind":"{kind}","value":{value}}}"#)
+    }
+
+    #[test]
+    fn gauges_pool_samples_and_counters_pool_per_trace_totals() {
+        let a = trace(&[
+            &rec(1, "s", "pacer.rate_bps", "gauge", 1.0),
+            &rec(2, "s", "pacer.rate_bps", "gauge", 3.0),
+            &rec(2, "s", "video.frame_encoded", "counter", 1.0),
+            &rec(3, "s", "video.frame_encoded", "counter", 1.0),
+        ]);
+        let b = trace(&[
+            &rec(1, "s", "pacer.rate_bps", "gauge", 5.0),
+            &rec(2, "s", "video.frame_encoded", "counter", 1.0),
+        ]);
+        let mut pool = Pool::new();
+        pool.add(&a);
+        pool.add(&b);
+        assert_eq!(pool.traces(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "pacer.rate_bps", "stats sorted by name");
+        assert_eq!(stats[0].samples, 3, "every gauge sample pooled");
+        assert_eq!(stats[0].median, 3.0);
+        let frames = &stats[1];
+        assert_eq!(frames.name, "video.frame_encoded");
+        assert_eq!(frames.samples, 2, "one total per trace, not one per increment");
+        assert_eq!(frames.median, 1.5, "totals are 2 and 1");
+        assert_eq!(frames.kind, ProbeKind::Counter);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_pooled_distribution() {
+        let lines: Vec<String> =
+            (0..100).map(|i| rec(i + 1, "s", "x.y", "event", i as f64)).collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let mut pool = Pool::new();
+        pool.add(&trace(&refs));
+        let s = &pool.stats()[0];
+        assert_eq!(s.samples, 100);
+        assert!((s.median - 49.5).abs() < 1e-9);
+        assert!((s.p95 - 94.05).abs() < 1e-9);
+        assert!((s.p99 - 98.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped_before_reduction() {
+        let t = trace(&[
+            &rec(1, "s", "x.y", "gauge", 2.0),
+            r#"{"t_us":2,"src":"s","name":"x.y","kind":"gauge","value":null}"#,
+        ]);
+        let mut pool = Pool::new();
+        pool.add(&t);
+        let s = &pool.stats()[0];
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn concatenated_suite_pools_like_its_per_case_traces() {
+        let a_lines = [
+            rec(1, "rlf.FBCC.s1", "video.frame_encoded", "counter", 1.0),
+            rec(2, "rlf.FBCC.s1", "video.frame_encoded", "counter", 1.0),
+            rec(2, "rlf.FBCC.s1", "pacer.rate_bps", "gauge", 4.0),
+        ];
+        let b_lines = [
+            rec(1, "rlf.FBCC.s2", "video.frame_encoded", "counter", 1.0),
+            rec(2, "rlf.FBCC.s2", "pacer.rate_bps", "gauge", 8.0),
+        ];
+        let mut per_case = Pool::new();
+        per_case.add(&trace(&a_lines.iter().map(String::as_str).collect::<Vec<_>>()));
+        per_case.add(&trace(&b_lines.iter().map(String::as_str).collect::<Vec<_>>()));
+        let all: Vec<&str> = a_lines.iter().chain(&b_lines).map(String::as_str).collect();
+        let mut concatenated = Pool::new();
+        concatenated.add(&trace(&all));
+        let (p, c) = (per_case.stats(), concatenated.stats());
+        assert_eq!(p.len(), c.len());
+        for (x, y) in p.iter().zip(&c) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.samples, y.samples, "counter totals split per source tag: {}", x.name);
+            assert_eq!(x.median, y.median);
+            assert_eq!(x.p99, y.p99);
+        }
+    }
+
+    #[test]
+    fn src_rollup_pools_by_tag_and_sorts() {
+        let a = trace(&[
+            &rec(5, "fg.01", "x.y", "event", 1.0),
+            &rec(1, "cell", "cell.prb_grant", "event", 1.0),
+            &rec(2, "cell", "cell.load", "gauge", 0.5),
+        ]);
+        let b = trace(&[&rec(9, "cell", "cell.prb_grant", "event", 2.0)]);
+        let roll = src_rollup([&a, &b]);
+        assert_eq!(roll.len(), 2);
+        assert_eq!(roll[0].src, "cell");
+        assert_eq!(roll[0].records, 3, "same tag pools across traces");
+        assert_eq!(roll[0].probes, 2);
+        assert_eq!((roll[0].first_t_us, roll[0].last_t_us), (1, 9));
+        assert_eq!(roll[1].src, "fg.01");
+        assert_eq!(roll[1].records, 1);
+    }
+}

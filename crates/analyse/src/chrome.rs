@@ -1,0 +1,134 @@
+//! Chrome `trace_event` export: one probe trace → a JSON document that
+//! `chrome://tracing` / Perfetto load directly, for flame-style
+//! inspection of subframe timing.
+//!
+//! Mapping (the format reference is the trace_event spec's stable
+//! subset — `ph`, `ts` in µs, one `pid` per trace, one `tid` per
+//! probe source):
+//!
+//! * events whose name ends in `_ns` are duration measurements (the
+//!   perf plane's `perf.tick_ns` subframe timings) → complete events
+//!   (`"ph":"X"`) at `ts = t_us` with `dur = value / 1000` µs;
+//! * gauges and counters → counter events (`"ph":"C"`) so they render
+//!   as stacked time series;
+//! * every other event → an instant (`"ph":"i"`, thread scope).
+//!
+//! Sources are named via `"M"` thread-name metadata records, emitted
+//! first in source-id order. Everything is in stream order after that,
+//! so the export is byte-deterministic.
+
+use crate::ingest::RunTrace;
+use poi360_sim::json::JsonObject;
+use poi360_sim::trace::ProbeKind;
+
+fn push_event(out: &mut String, first: &mut bool, obj: String) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push_str(&obj);
+}
+
+/// Render the trace_event JSON document (`{"traceEvents":[...]}`).
+pub fn chrome_trace(trace: &RunTrace) -> String {
+    let mut out = String::with_capacity(64 + trace.records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (id, src) in trace.srcs.names().enumerate() {
+        let obj = JsonObject::new()
+            .field("ph", &"M")
+            .field("name", &"thread_name")
+            .field("pid", &1u64)
+            .field("tid", &(id as u64 + 1))
+            .field("args", &ThreadName(src))
+            .finish();
+        push_event(&mut out, &mut first, obj);
+    }
+    for rec in &trace.records {
+        let name = trace.probes.name(rec.name);
+        let tid = rec.src as u64 + 1;
+        let base = JsonObject::new()
+            .field("name", &name)
+            .field("cat", &"probe")
+            .field("pid", &1u64)
+            .field("tid", &tid)
+            .field("ts", &(rec.t_us as f64));
+        let obj = match rec.kind {
+            ProbeKind::Event if name.ends_with("_ns") => base
+                .field("ph", &"X")
+                .field("dur", &(rec.value / 1_000.0))
+                .field("args", &ValueArg(rec.value))
+                .finish(),
+            ProbeKind::Gauge | ProbeKind::Counter => {
+                base.field("ph", &"C").field("args", &ValueArg(rec.value)).finish()
+            }
+            ProbeKind::Event => {
+                base.field("ph", &"i").field("s", &"t").field("args", &ValueArg(rec.value)).finish()
+            }
+        };
+        push_event(&mut out, &mut first, obj);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+struct ThreadName<'a>(&'a str);
+
+impl poi360_sim::json::ToJson for ThreadName<'_> {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new().field("name", &self.0).write(out);
+    }
+}
+
+struct ValueArg(f64);
+
+impl poi360_sim::json::ToJson for ValueArg {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new().field("value", &self.0).write(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poi360_sim::json::parse_json;
+
+    #[test]
+    fn export_is_valid_json_with_the_right_phases() {
+        let jsonl = concat!(
+            r#"{"t_us":1000,"src":"perf.window","name":"perf.tick_ns","kind":"event","value":57000}"#,
+            "\n",
+            r#"{"t_us":1000,"src":"perf.window","name":"cell.load","kind":"gauge","value":0.7}"#,
+            "\n",
+            r#"{"t_us":2000,"src":"session","name":"video.mode_switch","kind":"event","value":3}"#,
+            "\n",
+        );
+        let trace = RunTrace::parse_str(jsonl).unwrap();
+        let doc = chrome_trace(&trace);
+        let v = parse_json(&doc).expect("chrome export is valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+        // 2 thread-name metadata records + 3 probe records.
+        assert_eq!(events.len(), 5);
+        let phase = |i: usize| events[i].get("ph").unwrap().as_str().unwrap();
+        assert_eq!(phase(0), "M");
+        assert_eq!(phase(1), "M");
+        assert_eq!(phase(2), "X", "_ns event becomes a complete event");
+        assert_eq!(events[2].get("dur").unwrap().as_f64(), Some(57.0), "ns -> µs");
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(phase(3), "C", "gauge becomes a counter track");
+        assert_eq!(phase(4), "i", "plain event becomes an instant");
+        let tid = |i: usize| events[i].get("tid").unwrap().as_f64().unwrap();
+        assert_eq!(tid(2), 1.0);
+        assert_eq!(tid(4), 2.0, "second source gets the next tid");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let jsonl =
+            r#"{"t_us":1,"src":"s","name":"a.b_ns","kind":"event","value":100}"#.to_string();
+        let t1 = RunTrace::parse_str(&jsonl).unwrap();
+        let t2 = RunTrace::parse_str(&jsonl).unwrap();
+        assert_eq!(chrome_trace(&t1), chrome_trace(&t2));
+    }
+}

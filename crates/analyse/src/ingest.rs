@@ -1,0 +1,298 @@
+//! JSONL ingest: probe trace artifacts → typed, indexed run records.
+//!
+//! A trace file is a sequence of JSON objects, one per line: zero or
+//! more [`RunMeta`] stamps (one per producing run — suite artifacts
+//! concatenate several runs) interleaved before each run's probe
+//! records `{t_us, src, name, kind, value}`. Parsing interns the `src`
+//! and `name` strings into dense ids in first-appearance order — the
+//! stream itself is deterministic, so the ids are too — and keeps the
+//! records in stream order so downstream consumers can rely on both.
+
+use poi360_sim::json::{parse_json, JsonValue};
+use poi360_sim::trace::{ProbeKind, RunMeta, TRACE_SCHEMA_VERSION};
+
+/// Dense string interner: ids are assigned in first-appearance order,
+/// which is stable because the probe stream itself is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Id for `name`, allocating the next id on first sight. The name
+    /// population is small (tens of probes, at most hundreds of
+    /// sources), so a linear scan beats hashing here.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(idx) => idx as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Id for `name` if it has been seen.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// The name behind an id (panics on a foreign id).
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+/// One probe record with its strings swapped for interned ids.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rec {
+    /// Simulation time, microseconds.
+    pub t_us: u64,
+    /// Run segment this record belongs to: 0 before any metadata stamp,
+    /// incremented at each stamp. Concatenated suite artifacts reuse
+    /// source tags (`fg.00`) across cases; the segment id is what keeps
+    /// their counter totals apart.
+    pub seg: u32,
+    /// Interned source tag (see [`RunTrace::srcs`]).
+    pub src: u32,
+    /// Interned probe name (see [`RunTrace::probes`]).
+    pub name: u32,
+    /// Counter, gauge, or event.
+    pub kind: ProbeKind,
+    /// Sample value; `null` in the JSONL (a non-finite float at write
+    /// time) comes back as NaN.
+    pub value: f64,
+}
+
+/// A parsed trace artifact: metadata stamps, interned name tables, and
+/// every probe record in stream order.
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    /// Provenance stamps, in stream order — one per run segment for
+    /// concatenated suite artifacts, possibly empty for pre-stamp files.
+    pub metas: Vec<RunMeta>,
+    /// Probe-name table (`cell.prb_grant`, ...).
+    pub probes: Interner,
+    /// Source-tag table (`session`, `rlf.FBCC`, `fg.00`, ...).
+    pub srcs: Interner,
+    /// Probe records in stream order.
+    pub records: Vec<Rec>,
+}
+
+fn parse_kind(s: &str) -> Option<ProbeKind> {
+    match s {
+        "counter" => Some(ProbeKind::Counter),
+        "gauge" => Some(ProbeKind::Gauge),
+        "event" => Some(ProbeKind::Event),
+        _ => None,
+    }
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        Some(x) => x.as_f64().ok_or_else(|| format!("non-numeric `{key}`")),
+        None => Err(format!("record without `{key}`")),
+    }
+}
+
+fn field_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key).and_then(|x| x.as_str()).ok_or_else(|| format!("record without a `{key}` string"))
+}
+
+impl RunTrace {
+    /// Parse a whole JSONL document. Errors carry 1-based line numbers.
+    pub fn parse_str(text: &str) -> Result<RunTrace, String> {
+        let mut out = RunTrace::default();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        }
+        Ok(out)
+    }
+
+    /// Parse from raw bytes (suite harnesses hand traces around as
+    /// `Vec<u8>` for byte-identity checks).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<RunTrace, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("not UTF-8: {e}"))?;
+        RunTrace::parse_str(text)
+    }
+
+    /// Parse a trace file from disk; errors are prefixed with the path.
+    pub fn parse_file(path: &std::path::Path) -> Result<RunTrace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        RunTrace::parse_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn push_line(&mut self, line: &str) -> Result<(), String> {
+        let v = parse_json(line)?;
+        if let Some(meta) = RunMeta::from_json(&v) {
+            self.metas.push(meta?);
+            return Ok(());
+        }
+        let seg = self.metas.len() as u32;
+        let t = field_f64(&v, "t_us")?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("non-finite or negative `t_us` {t}"));
+        }
+        let src = self.srcs.intern(field_str(&v, "src")?);
+        let name = self.probes.intern(field_str(&v, "name")?);
+        let kind_str = field_str(&v, "kind")?;
+        let kind =
+            parse_kind(kind_str).ok_or_else(|| format!("unknown probe kind {kind_str:?}"))?;
+        let value = field_f64(&v, "value")?;
+        self.records.push(Rec { t_us: t as u64, seg, src, name, kind, value });
+        Ok(())
+    }
+
+    /// Number of probe records (metadata stamps excluded).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace carries no probe records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one probe, in stream order.
+    pub fn records_of<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Rec> + 'a {
+        let id = self.probes.lookup(name);
+        self.records.iter().filter(move |r| Some(r.name) == id)
+    }
+
+    /// Finite sample values of one probe, in stream order.
+    pub fn values_of(&self, name: &str) -> Vec<f64> {
+        self.records_of(name).map(|r| r.value).filter(|v| v.is_finite()).collect()
+    }
+
+    /// Provenance sanity warnings: missing stamps, schema drift against
+    /// this build, disagreeing commits across the segments of one
+    /// artifact. Warnings, not errors — old artifacts stay readable.
+    pub fn meta_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.metas.is_empty() && !self.records.is_empty() {
+            out.push("trace carries no metadata stamp (written before the stamp existed?)".into());
+        }
+        let mut schemas: Vec<u64> = self.metas.iter().map(|m| m.schema).collect();
+        schemas.sort_unstable();
+        schemas.dedup();
+        for schema in schemas {
+            if schema != TRACE_SCHEMA_VERSION {
+                out.push(format!("trace schema v{schema} != this build's v{TRACE_SCHEMA_VERSION}"));
+            }
+        }
+        let mut commits: Vec<&str> = self.metas.iter().map(|m| m.commit.as_str()).collect();
+        commits.sort_unstable();
+        commits.dedup();
+        if commits.len() > 1 {
+            out.push(format!(
+                "trace segments come from {} different commits ({})",
+                commits.len(),
+                commits.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"meta":"poi360.trace","schema":1,"commit":"abc","argv":["reproduce"],"seed":7}"#,
+        "\n",
+        r#"{"t_us":1000,"src":"session","name":"pacer.rate_bps","kind":"gauge","value":2500000}"#,
+        "\n",
+        r#"{"t_us":2000,"src":"cell","name":"cell.prb_grant","kind":"event","value":40}"#,
+        "\n",
+        r#"{"t_us":2000,"src":"session","name":"video.frame_encoded","kind":"counter","value":1}"#,
+        "\n",
+        r#"{"t_us":3000,"src":"session","name":"pacer.rate_bps","kind":"gauge","value":null}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_records_metas_and_interns_in_first_seen_order() {
+        let tr = RunTrace::parse_str(SAMPLE).expect("sample parses");
+        assert_eq!(tr.metas.len(), 1);
+        assert_eq!(tr.metas[0].seed, 7);
+        assert_eq!(tr.len(), 4);
+        let srcs: Vec<&str> = tr.srcs.names().collect();
+        assert_eq!(srcs, ["session", "cell"], "ids in first-appearance order");
+        let probes: Vec<&str> = tr.probes.names().collect();
+        assert_eq!(probes, ["pacer.rate_bps", "cell.prb_grant", "video.frame_encoded"]);
+        assert_eq!(tr.records[0].kind, ProbeKind::Gauge);
+        assert_eq!(tr.records[1].kind, ProbeKind::Event);
+        assert_eq!(tr.records[2].kind, ProbeKind::Counter);
+        assert!(tr.records[3].value.is_nan(), "JSON null comes back as NaN");
+        assert_eq!(tr.values_of("pacer.rate_bps"), vec![2.5e6], "NaN filtered from values");
+        assert_eq!(tr.records_of("cell.prb_grant").count(), 1);
+        assert!(tr.records_of("never.fired").next().is_none());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = format!("{SAMPLE}{}", r#"{"t_us":4000,"src":"s","name":"x.y"}"#);
+        let err = RunTrace::parse_str(&bad).unwrap_err();
+        assert!(err.starts_with("line 6:"), "{err}");
+        assert!(err.contains("kind"), "{err}");
+        let bad_kind = r#"{"t_us":1,"src":"s","name":"x.y","kind":"histogram","value":1}"#;
+        let err = RunTrace::parse_str(bad_kind).unwrap_err();
+        assert!(err.contains("unknown probe kind"), "{err}");
+        let err = RunTrace::parse_str("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn meta_warnings_flag_missing_stamp_schema_and_commit_drift() {
+        let unstamped = SAMPLE.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let tr = RunTrace::parse_str(&unstamped).unwrap();
+        assert_eq!(tr.meta_warnings().len(), 1);
+        assert!(tr.meta_warnings()[0].contains("no metadata stamp"));
+
+        let drifted = format!(
+            "{}\n{}\n{SAMPLE}",
+            r#"{"meta":"poi360.trace","schema":99,"commit":"abc","argv":[],"seed":1}"#,
+            r#"{"meta":"poi360.trace","schema":1,"commit":"def","argv":[],"seed":2}"#,
+        );
+        let tr = RunTrace::parse_str(&drifted).unwrap();
+        let warnings = tr.meta_warnings();
+        assert!(warnings.iter().any(|w| w.contains("schema v99")), "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("2 different commits")), "{warnings:?}");
+
+        let clean = RunTrace::parse_str(SAMPLE).unwrap();
+        assert!(clean.meta_warnings().is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace() {
+        let tr = RunTrace::parse_str("\n  \n").unwrap();
+        assert!(tr.is_empty());
+        assert!(tr.metas.is_empty());
+        assert!(tr.meta_warnings().is_empty(), "an empty trace is not suspicious");
+    }
+}

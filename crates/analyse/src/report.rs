@@ -1,0 +1,421 @@
+//! Cross-run report rendering: the study tables, A-vs-B deltas, and
+//! the handover-gap tails, all through the shared
+//! [`poi360_metrics::table::Table`] renderer.
+//!
+//! The rendered text is a golden artifact (`tests/golden.rs` pins the
+//! `cc_matrix --smoke` report), so it deliberately contains nothing
+//! that varies across checkouts: no paths, and no commit hashes outside
+//! the explicitly requested `--baseline` section.
+
+use crate::aggregate::{src_rollup, Pool, ProbeStats};
+use crate::ingest::RunTrace;
+use crate::study::{StudyConfig, StudyFamily};
+use poi360_metrics::dist::percentile;
+use poi360_metrics::table::{fnum, pct, Table};
+use poi360_sim::trace::{ProbeKind, TRACE_SCHEMA_VERSION};
+
+/// One executed study case, parsed and ready to aggregate. Produced by
+/// `bench::study` (which owns the session-driving side).
+#[derive(Clone, Debug)]
+pub struct CaseTrace {
+    /// Scenario preset name.
+    pub scenario: String,
+    /// Controller label (`None` for mobility cases).
+    pub rc: Option<String>,
+    /// Seed the case ran at.
+    pub seed: u64,
+    /// The parsed probe stream.
+    pub trace: RunTrace,
+    /// Per-flow delivery gaps (ms) — mobility report data that lives in
+    /// `MultiGridReport`, not in probes; empty for fault cases.
+    pub gaps_ms: Vec<f64>,
+}
+
+/// A rendered study report.
+#[derive(Clone, Debug)]
+pub struct StudyReport {
+    /// The full report text (tables + warnings + gate line).
+    pub text: String,
+    /// Gate violations: baseline drift beyond the threshold, probes
+    /// that disappeared against the baseline. 0 = pass.
+    pub failures: usize,
+    /// Provenance warnings (also embedded in `text`).
+    pub warnings: Vec<String>,
+}
+
+/// Table-cell number format: 4-ish significant digits across the nine
+/// decades a probe value can span (bytes, bps, ratios).
+pub fn sig(v: f64) -> String {
+    if !v.is_finite() {
+        return "n/a".into();
+    }
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.3}e6", v / 1e6)
+    } else if a >= 1000.0 {
+        fnum(v, 0)
+    } else if a >= 1.0 {
+        fnum(v, 2)
+    } else if a == 0.0 {
+        "0".into()
+    } else {
+        fnum(v, 4)
+    }
+}
+
+/// One row of an A-vs-B comparison (medians compared).
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Probe name.
+    pub name: String,
+    /// Probe kind.
+    pub kind: ProbeKind,
+    /// Median on the A side (NaN = probe absent there).
+    pub a: f64,
+    /// Median on the B side (NaN = probe absent there).
+    pub b: f64,
+    /// Relative change `(b - a) / |a|` (NaN when a side is absent).
+    pub rel: f64,
+    /// True when the change exceeds the threshold (or a side is
+    /// missing, under `strict_missing`).
+    pub flagged: bool,
+}
+
+/// Compare two stat sets by probe name. `strict_missing` flags probes
+/// present on one side only — right for commit-vs-commit drift gates,
+/// wrong for controller comparisons (FBCC emits `fbcc.*` probes GCC
+/// never will).
+pub fn deltas(
+    a: &[ProbeStats],
+    b: &[ProbeStats],
+    threshold: f64,
+    strict_missing: bool,
+) -> Vec<Delta> {
+    let mut names: Vec<&str> =
+        a.iter().map(|s| s.name.as_str()).chain(b.iter().map(|s| s.name.as_str())).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let sa = a.iter().find(|s| s.name == name);
+            let sb = b.iter().find(|s| s.name == name);
+            let kind = sa.or(sb).unwrap().kind;
+            let (va, vb) = (sa.map_or(f64::NAN, |s| s.median), sb.map_or(f64::NAN, |s| s.median));
+            let (rel, flagged) = match (sa, sb) {
+                (Some(_), Some(_)) => {
+                    let rel = if va == vb {
+                        0.0
+                    } else if va.abs() > f64::EPSILON {
+                        (vb - va) / va.abs()
+                    } else {
+                        f64::INFINITY
+                    };
+                    (rel, rel.abs() > threshold)
+                }
+                _ => (f64::NAN, strict_missing),
+            };
+            Delta { name: name.to_string(), kind, a: va, b: vb, rel, flagged }
+        })
+        .collect()
+}
+
+fn delta_rows(t: &mut Table, rows: &[Delta], flag_word: &str) -> usize {
+    let mut flagged = 0;
+    for d in rows {
+        let rel_cell = if d.rel.is_nan() {
+            if d.a.is_nan() { "new" } else { "gone" }.to_string()
+        } else if d.rel.is_infinite() {
+            "from 0".to_string()
+        } else {
+            pct(d.rel)
+        };
+        let mark = if d.flagged {
+            flagged += 1;
+            flag_word.to_string()
+        } else {
+            String::new()
+        };
+        t.row(vec![d.name.clone(), d.kind.as_str().into(), sig(d.a), sig(d.b), rel_cell, mark]);
+    }
+    flagged
+}
+
+fn group_label(rc: &Option<String>) -> String {
+    rc.clone().unwrap_or_else(|| "-".into())
+}
+
+/// Render the full study report from the executed cases.
+///
+/// `baseline` is a previously written study JSONL artifact (the
+/// concatenated per-case streams): the report then appends a
+/// commit-vs-commit drift section whose flagged rows count as failures.
+pub fn study_report(
+    cfg: &StudyConfig,
+    cases: &[CaseTrace],
+    baseline: Option<&RunTrace>,
+) -> StudyReport {
+    let mut text = String::new();
+    let mut warnings: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+
+    let groups = cfg.groups();
+    text.push_str(&format!(
+        "Study `{}` — family {}, {} scenarios x {} controllers x {} seeds = {} cases, {}s each\n\n",
+        cfg.name,
+        cfg.family.as_str(),
+        cfg.scenarios.len(),
+        if cfg.family == StudyFamily::Fault { cfg.controllers.len() } else { 1 },
+        cfg.seeds,
+        cases.len(),
+        cfg.seconds,
+    ));
+
+    // Pool each scenario x controller group across its seeds.
+    type GroupPool<'a> = ((String, Option<String>), Pool, Vec<&'a CaseTrace>);
+    let mut group_pools: Vec<GroupPool> = groups
+        .iter()
+        .map(|(scenario, rc)| ((scenario.clone(), rc.clone()), Pool::new(), Vec::new()))
+        .collect();
+    for case in cases {
+        if let Some((_, pool, members)) =
+            group_pools.iter_mut().find(|((s, rc), _, _)| *s == case.scenario && *rc == case.rc)
+        {
+            pool.add(&case.trace);
+            members.push(case);
+        }
+    }
+
+    // Per-probe distribution table, one block of rows per group.
+    let mut probe_table = Table::new(
+        "Per-probe distributions (pooled across seeds)",
+        &["scenario", "ctl", "probe", "kind", "samples", "median", "p95", "p99"],
+    );
+    for ((scenario, rc), pool, _) in &group_pools {
+        for s in pool.stats() {
+            probe_table.row(vec![
+                scenario.clone(),
+                group_label(rc),
+                s.name.clone(),
+                s.kind.as_str().into(),
+                s.samples.to_string(),
+                sig(s.median),
+                sig(s.p95),
+                sig(s.p99),
+            ]);
+        }
+    }
+    text.push_str(&probe_table.render());
+    text.push('\n');
+
+    // Per-source rollup (cells, flows, sessions), pooled across seeds.
+    let mut rollup = Table::new(
+        "Per-source rollup (pooled across seeds)",
+        &["scenario", "ctl", "src", "records", "probes", "span_s"],
+    );
+    for ((scenario, rc), _, members) in &group_pools {
+        for s in src_rollup(members.iter().map(|c| &c.trace)) {
+            let span = (s.last_t_us.saturating_sub(s.first_t_us)) as f64 / 1e6;
+            rollup.row(vec![
+                scenario.clone(),
+                group_label(rc),
+                s.src,
+                s.records.to_string(),
+                s.probes.to_string(),
+                fnum(span, 1),
+            ]);
+        }
+    }
+    text.push_str(&rollup.render());
+    text.push('\n');
+
+    // Controller A-vs-B per scenario (informational: drift marks, no
+    // failures — the controllers are *supposed* to differ).
+    if cfg.family == StudyFamily::Fault && cfg.controllers.len() >= 2 {
+        let (a_rc, b_rc) = (&cfg.controllers[0], &cfg.controllers[1]);
+        for scenario in &cfg.scenarios {
+            let stats_of = |rc: &str| {
+                group_pools
+                    .iter()
+                    .find(|((s, r), _, _)| s == scenario && r.as_deref() == Some(rc))
+                    .map(|(_, pool, _)| pool.stats())
+                    .unwrap_or_default()
+            };
+            let rows = deltas(&stats_of(a_rc), &stats_of(b_rc), cfg.threshold, false);
+            let mut t = Table::new(
+                format!("{scenario}: {a_rc} vs {b_rc} (medians, drift > {})", pct(cfg.threshold)),
+                &["probe", "kind", a_rc.as_str(), b_rc.as_str(), "delta", ""],
+            );
+            delta_rows(&mut t, &rows, "drift");
+            text.push_str(&t.render());
+            text.push('\n');
+        }
+    }
+
+    // Handover-gap tails (mobility data carried outside the probes).
+    if cases.iter().any(|c| !c.gaps_ms.is_empty()) {
+        let mut t = Table::new(
+            "Delivery-gap tails across handovers (ms, pooled across seeds)",
+            &["scenario", "gaps", "p50", "p95", "p99", "max"],
+        );
+        for scenario in &cfg.scenarios {
+            let gaps: Vec<f64> = cases
+                .iter()
+                .filter(|c| c.scenario == *scenario)
+                .flat_map(|c| c.gaps_ms.iter().copied())
+                .filter(|g| g.is_finite())
+                .collect();
+            let q = |p: f64| percentile(&gaps, p).map_or("n/a".into(), |v| fnum(v, 1));
+            let max = gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            t.row(vec![
+                scenario.clone(),
+                gaps.len().to_string(),
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                if gaps.is_empty() { "n/a".into() } else { fnum(max, 1) },
+            ]);
+        }
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+
+    // Provenance warnings across the fresh cases.
+    for case in cases {
+        for w in case.trace.meta_warnings() {
+            warnings.push(format!("case {}: {w}", case_label(case)));
+        }
+    }
+    let mut commits: Vec<&str> =
+        cases.iter().flat_map(|c| c.trace.metas.iter()).map(|m| m.commit.as_str()).collect();
+    commits.sort_unstable();
+    commits.dedup();
+    if commits.len() > 1 {
+        warnings.push(format!("cases span {} different commits", commits.len()));
+    }
+
+    // Baseline drift gate.
+    if let Some(base) = baseline {
+        let mut current = Pool::new();
+        for case in cases {
+            current.add(&case.trace);
+        }
+        let mut base_pool = Pool::new();
+        base_pool.add(base);
+        let rows = deltas(&base_pool.stats(), &current.stats(), cfg.threshold, true);
+        let mut t = Table::new(
+            format!("Baseline drift gate (medians, threshold {})", pct(cfg.threshold)),
+            &["probe", "kind", "baseline", "current", "delta", ""],
+        );
+        let flagged = delta_rows(&mut t, &rows, "REGRESSION");
+        failures += flagged;
+        text.push_str(&t.render());
+        for w in base.meta_warnings() {
+            warnings.push(format!("baseline: {w}"));
+        }
+        match (base.metas.first(), commits.first()) {
+            (Some(bm), Some(cur)) if bm.commit == *cur => {
+                warnings.push("baseline was produced by the current commit".into());
+            }
+            (Some(bm), Some(cur)) => {
+                text.push_str(&format!("comparing commits: {} -> {}\n", bm.commit, cur));
+            }
+            _ => {}
+        }
+        if bm_schema_mismatch(base) {
+            warnings
+                .push(format!("baseline schema differs from this build's v{TRACE_SCHEMA_VERSION}"));
+        }
+        text.push('\n');
+    }
+
+    for w in &warnings {
+        text.push_str(&format!("warning: {w}\n"));
+    }
+    text.push_str(&format!("study gate: {failures} failure(s), {} warning(s)\n", warnings.len()));
+    StudyReport { text, failures, warnings }
+}
+
+fn case_label(case: &CaseTrace) -> String {
+    match &case.rc {
+        Some(rc) => format!("{}.{}.s{}", case.scenario, rc, case.seed),
+        None => format!("{}.s{}", case.scenario, case.seed),
+    }
+}
+
+fn bm_schema_mismatch(base: &RunTrace) -> bool {
+    base.metas.iter().any(|m| m.schema != TRACE_SCHEMA_VERSION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::by_name;
+
+    fn stats(rows: &[(&str, f64)]) -> Vec<ProbeStats> {
+        rows.iter()
+            .map(|(name, median)| ProbeStats {
+                name: name.to_string(),
+                kind: ProbeKind::Gauge,
+                samples: 10,
+                median: *median,
+                p95: *median,
+                p99: *median,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deltas_flag_beyond_threshold_and_handle_missing_sides() {
+        let a = stats(&[("x.same", 10.0), ("x.drift", 10.0), ("x.gone", 1.0)]);
+        let b = stats(&[("x.same", 11.0), ("x.drift", 20.0), ("x.new", 1.0)]);
+        let lax = deltas(&a, &b, 0.25, false);
+        let by = |rows: &[Delta], n: &str| rows.iter().find(|d| d.name == n).unwrap().clone();
+        assert!(!by(&lax, "x.same").flagged, "10%% is under a 25%% threshold");
+        assert!(by(&lax, "x.drift").flagged);
+        assert!((by(&lax, "x.drift").rel - 1.0).abs() < 1e-12);
+        assert!(!by(&lax, "x.gone").flagged, "missing side tolerated when lax");
+        assert!(!by(&lax, "x.new").flagged);
+        let strict = deltas(&a, &b, 0.25, true);
+        assert!(by(&strict, "x.gone").flagged, "disappearing probe fails a drift gate");
+        assert!(by(&strict, "x.new").flagged);
+        assert_eq!(strict.len(), 4, "union of names, deduped");
+    }
+
+    #[test]
+    fn report_counts_baseline_regressions_as_failures() {
+        let cfg = by_name("cc_matrix").unwrap();
+        let jsonl = |v: f64| {
+            format!(
+                r#"{{"t_us":1000,"src":"baseline.fbcc.s1","name":"pacer.rate_bps","kind":"gauge","value":{v}}}"#
+            )
+        };
+        let case = |v: f64| CaseTrace {
+            scenario: "baseline".into(),
+            rc: Some("fbcc".into()),
+            seed: 1,
+            trace: RunTrace::parse_str(&jsonl(v)).unwrap(),
+            gaps_ms: vec![],
+        };
+        let drifted_base = RunTrace::parse_str(&jsonl(100.0)).unwrap();
+        let rep = study_report(&cfg, &[case(200.0)], Some(&drifted_base));
+        assert!(rep.failures >= 1, "100%% drift beyond 25%% threshold fails");
+        assert!(rep.text.contains("REGRESSION"));
+        let same_base = RunTrace::parse_str(&jsonl(200.0)).unwrap();
+        let rep = study_report(&cfg, &[case(200.0)], Some(&same_base));
+        assert_eq!(rep.failures, 0);
+        let rep = study_report(&cfg, &[case(200.0)], None);
+        assert_eq!(rep.failures, 0, "no baseline, no gate");
+        assert!(rep.text.contains("study gate: 0 failure(s)"));
+    }
+
+    #[test]
+    fn sig_spans_the_value_decades() {
+        assert_eq!(sig(2_400_000.0), "2.400e6");
+        assert_eq!(sig(57_123.0), "57123");
+        assert_eq!(sig(3.17159), "3.17");
+        assert_eq!(sig(0.01234), "0.0123");
+        assert_eq!(sig(0.0), "0");
+        assert_eq!(sig(f64::NAN), "n/a");
+    }
+}

@@ -45,7 +45,18 @@
 //! allocations per iteration, asserts the busy-cell steady state
 //! allocates nothing, and with `--compare <baseline.json>` fails on a
 //! median regression beyond the threshold — the CI perf gate. Results in
-//! `bench_results/perf.json` / `perf_probes.jsonl`.
+//! `bench_results/perf.json` / `perf_probes.jsonl` (the full gated
+//! window) / `perf_trace.json` (Chrome trace of that window).
+//!
+//! `study` runs a declarative scenario × rate-controller × seed matrix
+//! (a checked-in preset like `cc_matrix` / `ho_tails`, or a `.study`
+//! config file) through the worker pool and renders the cross-run
+//! aggregation: per-probe median/p95/p99 tables, per-source rollups,
+//! controller A-vs-B deltas, handover-gap tails, and a Chrome trace of
+//! the first case. `--baseline <dir>` diffs the fresh medians against a
+//! previously written study artifact and fails on drift beyond the
+//! study's threshold. Artifacts: `bench_results/study_<name>[_smoke]
+//! .{txt,jsonl,trace.json}`.
 //!
 //! Every subcommand accepts `--threads N` to pin the worker-pool width
 //! (otherwise `POI360_THREADS`, otherwise all cores).
@@ -82,6 +93,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("faults", "fault-injection robustness suite, FBCC vs GCC (see --help text)"),
     ("mobility", "hex-grid A3 handover suite: conservation + gap invariants (see --help text)"),
     ("perf", "per-layer hot-path profile + allocation gate (see --help text)"),
+    ("study", "declarative scenario x controller x seed matrix + cross-run report"),
     ("all", "every figure and table above"),
     ("list", "print this subcommand list (also --list)"),
     ("smoke", "quick JSON bench + aggregate sanity run (also --smoke)"),
@@ -92,8 +104,13 @@ fn list() {
     for (name, what) in SUBCOMMANDS {
         println!("  {name:<10} {what}");
     }
-    println!("\nnamed presets (reproduce faults <name> / reproduce mobility <name>):");
-    for p in poi360_lte::scenario::preset_registry() {
+    println!(
+        "\nnamed presets (reproduce faults <name> / reproduce mobility <name> / reproduce study <name>):"
+    );
+    let presets = poi360_lte::scenario::preset_registry()
+        .into_iter()
+        .chain(poi360_analyse::study::registry());
+    for p in presets {
         println!("  {:<9} {:<12} {}", p.family, p.name, p.what);
     }
 }
@@ -112,6 +129,7 @@ fn usage() -> ! {
          \x20      reproduce faults [scenario] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce mobility [scenario] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce perf [--smoke] [--compare <baseline.json>]\n\
+         \x20      reproduce study <preset|config-file> [--smoke] [--baseline <dir>]\n\
          \x20      reproduce --list    (enumerate subcommands)\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)\n\
          \x20      any subcommand also accepts --threads N (worker-pool width;\n\
@@ -192,6 +210,7 @@ fn trace(args: &[String]) -> usize {
         eprintln!("cannot create {}: {e}", path.display());
         std::process::exit(1);
     })));
+    sink.borrow_mut().stamp(&poi360_sim::trace::RunMeta::current(seed));
     let handle: SinkHandle = sink.clone();
 
     let session_cfg = |net: Scenario| SessionConfig {
@@ -446,6 +465,103 @@ fn mobility(args: &[String]) -> usize {
     protocol.failures
 }
 
+/// `reproduce study <preset|config-file>` — run a declarative
+/// scenario × controller × seed matrix through the worker pool and
+/// render the cross-run aggregation. Returns the number of gate
+/// failures (baseline drift beyond the study's threshold).
+fn study(args: &[String]) -> usize {
+    use poi360_analyse::study::{by_name, unknown_study_error, StudyConfig};
+    use poi360_bench::study as st;
+    use poi360_sim::json::FromKv;
+
+    let mut smoke = false;
+    let mut baseline_dir: Option<std::path::PathBuf> = None;
+    let mut which: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--baseline" => {
+                baseline_dir = Some(std::path::PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            name if !name.starts_with('-') => which = Some(name.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let Some(which) = which else {
+        eprintln!("study needs a preset name or a .study config file");
+        usage();
+    };
+
+    // A registered preset first; otherwise a config file on disk.
+    let cfg = match by_name(&which) {
+        Some(cfg) => cfg,
+        None => {
+            let path = std::path::Path::new(&which);
+            if !path.is_file() {
+                eprintln!("{}", unknown_study_error(&which));
+                std::process::exit(2);
+            }
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            StudyConfig::from_kv_str(&text).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+    };
+
+    let stem =
+        if smoke { format!("study_{}_smoke", cfg.name) } else { format!("study_{}", cfg.name) };
+    let baseline_bytes = baseline_dir.map(|dir| {
+        let path = dir.join(format!("{stem}.jsonl"));
+        std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
+
+    eprintln!(
+        "# study `{}`: {} cases ({} family){}",
+        cfg.name,
+        cfg.cases().len(),
+        cfg.family.as_str(),
+        if smoke { ", smoke scale" } else { "" }
+    );
+    let protocol = st::run_protocol(&cfg, smoke, baseline_bytes.as_deref()).unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    });
+
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&jsonl_path, &protocol.jsonl).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", jsonl_path.display());
+        std::process::exit(1);
+    });
+    let chrome_path = dir.join(format!("{stem}_trace.json"));
+    std::fs::write(&chrome_path, &protocol.chrome).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", chrome_path.display());
+        std::process::exit(1);
+    });
+
+    // Like mobility: the .txt artifact is exactly the protocol text (the
+    // golden test pins the smoke variant), path lines go to stdout only.
+    println!("{}", protocol.text);
+    println!("{} JSONL bytes -> {}", protocol.jsonl.len(), jsonl_path.display());
+    println!("chrome trace -> {}", chrome_path.display());
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
+        let _ = f.write_all(protocol.text.as_bytes());
+    }
+    protocol.failures
+}
+
 /// `reproduce perf [--smoke] [--compare <baseline.json>]` — the
 /// profiling plane. Returns the number of gate failures.
 fn perf(args: &[String]) -> usize {
@@ -511,6 +627,12 @@ fn main() {
     }
     if what == "perf" {
         if perf(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if what == "study" {
+        if study(&args[1..]) > 0 {
             std::process::exit(1);
         }
         return;

@@ -17,7 +17,7 @@ use poi360_lte::scenario::{FaultScenario, FAULT_RUN_SECS};
 use poi360_sim::fault::{FaultKind, FaultPlan};
 use poi360_sim::series::TimeSeries;
 use poi360_sim::time::{SimDuration, SimTime};
-use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
+use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use poi360_sim::Recorder;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -232,6 +232,7 @@ pub fn run_suite(
     }
     let results = crate::runner::run_jobs(jobs, |(fs, rc)| {
         let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
+        sink.borrow_mut().stamp(&RunMeta::current(seed));
         let handle: SinkHandle = sink.clone();
         let src = format!("{}.{}", fs.name, rc.label());
         let recorder = Recorder::to_sink(Rc::clone(&handle), &src);

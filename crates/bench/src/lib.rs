@@ -9,6 +9,7 @@ pub mod faults;
 pub mod mobility;
 pub mod perf;
 pub mod runner;
+pub mod study;
 
 pub use experiments::*;
 pub use runner::{run_sessions, ExpConfig};

@@ -16,7 +16,7 @@ use poi360_core::multicell::{MultiGrid, MultiGridConfig, MultiGridReport};
 use poi360_lte::grid::MobilityKind;
 use poi360_lte::scenario::MobilityScenario;
 use poi360_sim::time::SimDuration;
-use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
+use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -185,6 +185,7 @@ pub fn run_case(
     seed: u64,
 ) -> (MobilityOutcome, Vec<u8>) {
     let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
+    sink.borrow_mut().stamp(&RunMeta::current(seed));
     let handle: SinkHandle = sink.clone();
     let report = MultiGrid::traced(grid_config(ms, scale, seed), handle).run();
     sink.borrow_mut().flush();

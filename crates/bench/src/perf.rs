@@ -6,9 +6,16 @@
 //! encoder, whole session step — each measured with the testkit [`Bench`]
 //! harness *and* the counting allocator (allocations per iteration), so a
 //! perf regression and an allocation regression are caught by the same
-//! run. Medians are also surfaced as `perf.*` trace-style gauge probes
-//! into `bench_results/perf_probes.jsonl`, and the suite JSON (stamped
-//! with commit + argv by the harness) lands in `bench_results/perf.json`.
+//! run. Medians are surfaced as `perf.*` trace-style gauge probes into
+//! `bench_results/perf_probes.jsonl` together with the **full gated
+//! window**: every tick of the steady-state loop (ticks
+//! [`WARM_TICKS`]`..`[`WARM_TICKS`]` + `[`GATE_TICKS`]) re-run traced,
+//! emitting per-tick `perf.tick_ns` wall-clock timings and
+//! `perf.buffer_bytes` occupancy — the drill-down data `poi360-analyse`
+//! aggregates and exports as a Chrome trace (`perf_trace.json`) when the
+//! `diff()` gate fails. A truncated window is a loud failure, not a
+//! 12-line artifact. The suite JSON (stamped with commit + argv by the
+//! harness) lands in `bench_results/perf.json`.
 //!
 //! Two gates ride on the output (wired into `ci.sh`):
 //!
@@ -31,7 +38,7 @@ use poi360_metrics::table::Table;
 use poi360_net::packet::{FrameTag, Packet};
 use poi360_net::pipe::{DelayPipe, PipeConfig};
 use poi360_sim::time::SimTime;
-use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
+use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use poi360_sim::Recorder;
 use poi360_testkit::alloc::{counting_is_active, AllocScope};
 use poi360_testkit::{bench, black_box, Bench};
@@ -293,11 +300,13 @@ pub fn run(opts: &PerfOptions) -> usize {
     let dir = poi360_testkit::results_dir();
     std::fs::create_dir_all(&dir).ok();
     let probe_path = dir.join("perf_probes.jsonl");
+    let summary_count = b.results().len() as u64;
     match JsonlSink::create(&probe_path) {
         Ok(sink) => {
             let sink = Rc::new(RefCell::new(sink));
+            sink.borrow_mut().stamp(&RunMeta::current(42));
             let handle: SinkHandle = sink.clone();
-            let rec = Recorder::to_sink(handle, "perf");
+            let rec = Recorder::to_sink(Rc::clone(&handle), "perf");
             for (k, r) in b.results().iter().enumerate() {
                 // One gauge per layer benchmark; strictly increasing
                 // timestamps keep the recorder's order check happy.
@@ -309,7 +318,47 @@ pub fn run(opts: &PerfOptions) -> usize {
                 );
             }
             drop(rec);
+            // The full gated window: the steady-state loop re-run with
+            // probes attached (a separate loop — JSONL writes allocate,
+            // so the zero-alloc gate itself must stay untraced). Every
+            // tick of the window lands in the artifact; truncation is a
+            // loud failure.
+            let window = Recorder::to_sink(handle, "perf.window");
+            let (mut cell, fg) = busy_cell(500);
+            let mut now = SimTime::ZERO;
+            for _ in 0..WARM_TICKS {
+                while cell.buffer_level(fg) < 20_000 {
+                    cell.enqueue(fg, Pkt, now);
+                }
+                now += poi360_sim::SUBFRAME;
+                let out = cell.subframe(now);
+                black_box(&out);
+                cell.recycle(out);
+            }
+            for _ in 0..GATE_TICKS {
+                while cell.buffer_level(fg) < 20_000 {
+                    cell.enqueue(fg, Pkt, now);
+                }
+                now += poi360_sim::SUBFRAME;
+                let t0 = std::time::Instant::now();
+                let out = cell.subframe(now);
+                let tick_ns = t0.elapsed().as_nanos() as f64;
+                black_box(&out);
+                cell.recycle(out);
+                window.event("perf.tick_ns", now, tick_ns);
+                window.gauge("perf.buffer_bytes", now, cell.buffer_level(fg) as f64);
+            }
+            drop(window);
             sink.borrow_mut().flush();
+            let expected = summary_count * 2 + GATE_TICKS * 2;
+            let written = sink.borrow().lines();
+            if written != expected {
+                eprintln!(
+                    "FAIL: perf probe window truncated: {written} of {expected} records in {}",
+                    probe_path.display()
+                );
+                failures += 1;
+            }
             if sink.borrow().had_io_error() {
                 eprintln!("FAIL: probe writes to {} failed", probe_path.display());
                 failures += 1;
@@ -317,6 +366,22 @@ pub fn run(opts: &PerfOptions) -> usize {
         }
         Err(e) => {
             eprintln!("FAIL: cannot create {}: {e}", probe_path.display());
+            failures += 1;
+        }
+    }
+
+    // Chrome trace_event export of the gated window, the flame-style
+    // drill-down for a failed perf gate (open in chrome://tracing).
+    match poi360_analyse::ingest::RunTrace::parse_file(&probe_path) {
+        Ok(trace) => {
+            let chrome = poi360_analyse::chrome::chrome_trace(&trace);
+            if std::fs::write(dir.join("perf_trace.json"), chrome).is_err() {
+                eprintln!("FAIL: cannot write perf_trace.json");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: fresh perf probe artifact does not ingest: {e}");
             failures += 1;
         }
     }

@@ -434,6 +434,14 @@ pub fn preset_registry() -> Vec<PresetInfo> {
 pub fn unknown_preset_error(family: &str, got: &str) -> String {
     let valid: Vec<&str> =
         preset_registry().into_iter().filter(|p| p.family == family).map(|p| p.name).collect();
+    unknown_scenario_error(family, got, &valid)
+}
+
+/// The shared wording for an unknown named scenario. Families whose
+/// presets live outside this crate (the study registry in
+/// `poi360-analyse`) format their errors through this so the phrasing
+/// never drifts between families.
+pub fn unknown_scenario_error(family: &str, got: &str, valid: &[&str]) -> String {
     format!("unknown {family} scenario \"{got}\" (expected one of: {})", valid.join(", "))
 }
 

@@ -39,13 +39,109 @@
 //! decision; swapping sinks (or removing the recorder entirely) must leave
 //! simulation output byte-identical. The determinism suite pins this.
 
-use crate::json::JsonObject;
+use crate::json::{JsonObject, JsonValue};
 use crate::series::TimeSeries;
 use crate::time::SimTime;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::rc::Rc;
+
+/// Version of the JSONL trace format. Bump when the record or metadata
+/// shape changes; `poi360-analyse` warns when it aggregates across
+/// mismatched versions.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// The git commit of the working tree, or `"unknown"` outside one.
+/// Shared by the bench harness (suite JSON) and the trace plane (JSONL
+/// metadata records) so every artifact is attributable to a revision.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Provenance metadata stamped as the leading record of a JSONL trace
+/// artifact — the trace plane's counterpart of what `testkit::bench`
+/// stamps into bench suite JSON. A metadata line is distinguished from
+/// probe records by its `"meta"` field; [`RunMeta::from_json`] is the
+/// inverse used by `poi360-analyse`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunMeta {
+    /// Trace format version ([`TRACE_SCHEMA_VERSION`] at write time).
+    pub schema: u64,
+    /// Git commit of the producing tree (`"unknown"` outside one).
+    pub commit: String,
+    /// Command line of the producing process.
+    pub argv: Vec<String>,
+    /// Seed of the traced run.
+    pub seed: u64,
+}
+
+impl RunMeta {
+    /// Metadata for the current process at the current schema version.
+    pub fn current(seed: u64) -> RunMeta {
+        RunMeta {
+            schema: TRACE_SCHEMA_VERSION,
+            commit: git_commit(),
+            argv: std::env::args().collect(),
+            seed,
+        }
+    }
+
+    /// Render the metadata JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        JsonObject::new()
+            .field("meta", &"poi360.trace")
+            .field("schema", &self.schema)
+            .field("commit", &self.commit)
+            .field("argv", &self.argv)
+            .field("seed", &self.seed)
+            .finish()
+    }
+
+    /// True when a parsed JSONL line is a metadata record.
+    pub fn is_meta(v: &JsonValue) -> bool {
+        v.get("meta").and_then(|m| m.as_str()) == Some("poi360.trace")
+    }
+
+    /// Parse a metadata record back out of a JSONL line. `None` when the
+    /// line is not a metadata record at all; `Some(Err)` when it claims
+    /// to be one but is malformed.
+    pub fn from_json(v: &JsonValue) -> Option<Result<RunMeta, String>> {
+        if !RunMeta::is_meta(v) {
+            return None;
+        }
+        let parse = || -> Result<RunMeta, &'static str> {
+            let schema = v
+                .get("schema")
+                .and_then(|s| s.as_f64())
+                .ok_or("meta record without a numeric `schema`")?;
+            let commit = v
+                .get("commit")
+                .and_then(|c| c.as_str())
+                .ok_or("meta record without a `commit` string")?
+                .to_string();
+            let argv = v
+                .get("argv")
+                .and_then(|a| a.as_array())
+                .ok_or("meta record without an `argv` array")?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or("non-string argv entry"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let seed =
+                v.get("seed").and_then(|s| s.as_f64()).ok_or("meta record without a `seed`")?;
+            Ok(RunMeta { schema: schema as u64, commit, argv, seed: seed as u64 })
+        };
+        Some(parse().map_err(|e: &str| e.to_string()))
+    }
+}
 
 /// What kind of measurement a [`TraceRecord`] carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +275,7 @@ impl TraceSink for RingSink {
 pub struct JsonlSink<W: Write> {
     out: W,
     lines: u64,
+    meta_lines: u64,
     counts: Vec<(&'static str, u64)>,
     io_error: bool,
 }
@@ -193,12 +290,31 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonlSink<W> {
     /// Stream records into an arbitrary writer.
     pub fn to_writer(out: W) -> Self {
-        JsonlSink { out, lines: 0, counts: Vec::new(), io_error: false }
+        JsonlSink { out, lines: 0, meta_lines: 0, counts: Vec::new(), io_error: false }
     }
 
-    /// Lines written so far.
+    /// Write a leading [`RunMeta`] record. Call immediately after
+    /// creating the sink, before any probe records; metadata lines are
+    /// counted separately from probe records ([`JsonlSink::lines`]).
+    pub fn stamp(&mut self, meta: &RunMeta) {
+        if self.io_error {
+            return;
+        }
+        if writeln!(self.out, "{}", meta.to_jsonl()).is_err() {
+            self.io_error = true;
+            return;
+        }
+        self.meta_lines += 1;
+    }
+
+    /// Probe-record lines written so far (metadata lines not included).
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    /// Metadata lines written so far via [`JsonlSink::stamp`].
+    pub fn meta_lines(&self) -> u64 {
+        self.meta_lines
     }
 
     /// True if any write failed; the sink keeps counting but stops writing.
@@ -514,6 +630,50 @@ mod tests {
             }
             other => panic!("expected object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_meta_round_trips_and_is_distinguished_from_records() {
+        let meta = RunMeta {
+            schema: TRACE_SCHEMA_VERSION,
+            commit: "0123456789abcdef0123456789abcdef01234567".into(),
+            argv: vec!["reproduce".into(), "study".into(), "cc_matrix".into()],
+            seed: 77,
+        };
+        let line = meta.to_jsonl();
+        let v = parse_json(&line).expect("meta line is valid JSON");
+        assert!(RunMeta::is_meta(&v));
+        let back = RunMeta::from_json(&v).expect("is a meta record").expect("parses");
+        assert_eq!(back, meta);
+        // A probe record is not a metadata record.
+        let rec = TraceRecord { at: t(1), name: "a.b", kind: ProbeKind::Gauge, value: 1.0 };
+        let rec_v = parse_json(&rec.to_jsonl("s")).unwrap();
+        assert!(!RunMeta::is_meta(&rec_v));
+        assert!(RunMeta::from_json(&rec_v).is_none());
+    }
+
+    #[test]
+    fn run_meta_rejects_malformed_meta_lines() {
+        let v = parse_json(r#"{"meta":"poi360.trace","schema":"one"}"#).unwrap();
+        let err = RunMeta::from_json(&v).expect("claims to be meta").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn sink_stamp_writes_leading_meta_line() {
+        let mut sink = JsonlSink::to_writer(Vec::new());
+        sink.stamp(&RunMeta::current(9));
+        let r = TraceRecord { at: t(1), name: "a.b", kind: ProbeKind::Gauge, value: 2.0 };
+        sink.record("s", &r);
+        assert_eq!(sink.meta_lines(), 1);
+        assert_eq!(sink.lines(), 1, "meta lines are not probe records");
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse_json(lines[0]).unwrap();
+        assert!(RunMeta::is_meta(&first));
+        assert_eq!(RunMeta::from_json(&first).unwrap().unwrap().seed, 9);
+        assert!(!RunMeta::is_meta(&parse_json(lines[1]).unwrap()));
     }
 
     #[test]

@@ -38,17 +38,10 @@ pub fn results_dir() -> PathBuf {
 
 /// The git commit the bench binary was run against, or `"unknown"`
 /// outside a work tree. Queried once per suite at `finish` time so bench
-/// JSON is attributable to a revision when comparing runs.
+/// JSON is attributable to a revision when comparing runs. The same
+/// stamp goes onto JSONL trace artifacts via `poi360_sim::trace::RunMeta`.
 fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    poi360_sim::trace::git_commit()
 }
 
 /// The invoking command line, for reproducing a recorded suite verbatim.

@@ -68,6 +68,18 @@ fn fig6_matches_golden() {
     assert_rows_match("fig6", &fresh, &golden("fig6"));
 }
 
+/// The `reproduce study cc_matrix --smoke` report (2 controllers × 3
+/// scenarios × 3 seeds at CI scale) must match the checked-in per-probe
+/// distribution tables, rollups, and controller deltas. Regenerate with
+/// `cargo run --release -p poi360-bench --bin reproduce -- study cc_matrix --smoke`.
+#[test]
+fn study_cc_matrix_smoke_matches_golden() {
+    let cfg = poi360_analyse::study::by_name("cc_matrix").expect("preset exists");
+    let protocol = poi360_bench::study::run_protocol(&cfg, true, None).expect("study runs");
+    assert_eq!(protocol.failures, 0, "smoke study must pass without a baseline");
+    assert_rows_match("study_cc_matrix_smoke", &protocol.text, &golden("study_cc_matrix_smoke"));
+}
+
 /// The `reproduce mobility --smoke` convoy table at the default seed
 /// must match the checked-in handover counts, conservation ledger, and
 /// PSNR-across-handover numbers. Regenerate with
