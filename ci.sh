@@ -84,6 +84,19 @@ cmp target/ci/study_w1/study_cc_matrix_smoke.jsonl target/ci/study_w4/study_cc_m
 cmp target/ci/study_w1/study_cc_matrix_smoke.txt target/ci/study_w4/study_cc_matrix_smoke.txt
 echo "ok: study artifact byte-identical at widths 1 and 4"
 
+echo "== mobility byte-identity across shard widths =="
+# Same env-not-flags rule as the study gate. POI360_THREADS drives both
+# the worker pool *and* the grid's epoch-lockstep shard width (they share
+# one resolution in bench::runner), so this is the end-to-end proof that
+# sharded cell stepping cannot reach the artifact bytes.
+POI360_THREADS=1 POI360_BENCH_DIR=target/ci/mobility_w1 \
+    cargo run --release -p poi360-bench --bin reproduce -- mobility --smoke >/dev/null
+POI360_THREADS=4 POI360_BENCH_DIR=target/ci/mobility_w4 \
+    cargo run --release -p poi360-bench --bin reproduce -- mobility --smoke >/dev/null
+cmp target/ci/mobility_w1/mobility_smoke.jsonl target/ci/mobility_w4/mobility_smoke.jsonl
+cmp target/ci/mobility_w1/mobility_smoke.txt target/ci/mobility_w4/mobility_smoke.txt
+echo "ok: mobility artifact byte-identical at shard widths 1 and 4"
+
 echo "== ingest sweep: every generated JSONL artifact re-parses =="
 cargo test -q --release -p poi360-analyse --test roundtrip
 

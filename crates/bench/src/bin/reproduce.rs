@@ -41,12 +41,13 @@
 //! scenario registry (`convoy` by default; `--list` shows the rest).
 //!
 //! `perf` profiles one layer of the subframe pipeline at a time (cell,
-//! uplink, transport, video, session), prints medians plus heap
-//! allocations per iteration, asserts the busy-cell steady state
-//! allocates nothing, and with `--compare <baseline.json>` fails on a
-//! median regression beyond the threshold — the CI perf gate. Results in
-//! `bench_results/perf.json` / `perf_probes.jsonl` (the full gated
-//! window) / `perf_trace.json` (Chrome trace of that window).
+//! uplink, transport, video, session, plus the sharded-grid `grid_scale`
+//! matrix at 19/61/127 cells × shard widths 1/2/4/8), prints medians
+//! plus heap allocations per iteration, asserts the busy-cell steady
+//! state allocates nothing, and with `--compare <baseline.json>` fails
+//! on a median regression beyond the threshold — the CI perf gate.
+//! Results in `bench_results/perf.json` / `perf_probes.jsonl` (the full
+//! gated window) / `perf_trace.json` (Chrome trace of that window).
 //!
 //! `study` runs a declarative scenario × rate-controller × seed matrix
 //! (a checked-in preset like `cc_matrix` / `ho_tails`, or a `.study`
@@ -173,8 +174,7 @@ fn trace(args: &[String]) -> usize {
     use poi360_sim::time::SimDuration;
     use poi360_sim::trace::{JsonlSink, SinkHandle, TraceSink};
     use poi360_sim::Recorder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     let mut scenario = String::from("busy");
     let mut seconds: u64 = 30;
@@ -206,11 +206,11 @@ fn trace(args: &[String]) -> usize {
     std::fs::create_dir_all(&dir).ok();
     let stem = if smoke { "trace_smoke".to_string() } else { format!("trace_{scenario}") };
     let path = dir.join(format!("{stem}.jsonl"));
-    let sink = Rc::new(RefCell::new(JsonlSink::create(&path).unwrap_or_else(|e| {
+    let sink = Arc::new(Mutex::new(JsonlSink::create(&path).unwrap_or_else(|e| {
         eprintln!("cannot create {}: {e}", path.display());
         std::process::exit(1);
     })));
-    sink.borrow_mut().stamp(&poi360_sim::trace::RunMeta::current(seed));
+    sink.lock().unwrap().stamp(&poi360_sim::trace::RunMeta::current(seed));
     let handle: SinkHandle = sink.clone();
 
     let session_cfg = |net: Scenario| SessionConfig {
@@ -270,8 +270,8 @@ fn trace(args: &[String]) -> usize {
         }
     }
 
-    sink.borrow_mut().flush();
-    let sink = sink.borrow();
+    sink.lock().unwrap().flush();
+    let sink = sink.lock().unwrap();
     let mut failures = 0;
     if sink.had_io_error() {
         eprintln!("FAIL: some trace writes to {} failed", path.display());

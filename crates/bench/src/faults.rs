@@ -19,8 +19,7 @@ use poi360_sim::series::TimeSeries;
 use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use poi360_sim::Recorder;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Recovery-invariant verdicts for one `scenario x rate-control` run.
 ///
@@ -231,16 +230,16 @@ pub fn run_suite(
         }
     }
     let results = crate::runner::run_jobs(jobs, |(fs, rc)| {
-        let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
-        sink.borrow_mut().stamp(&RunMeta::current(seed));
+        let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
+        sink.lock().unwrap().stamp(&RunMeta::current(seed));
         let handle: SinkHandle = sink.clone();
         let src = format!("{}.{}", fs.name, rc.label());
-        let recorder = Recorder::to_sink(Rc::clone(&handle), &src);
+        let recorder = Recorder::to_sink(Arc::clone(&handle), &src);
         let outcome = run_case(&fs, rc, seconds, seed, recorder);
         drop(handle);
-        sink.borrow_mut().flush();
-        let Ok(sink) = Rc::try_unwrap(sink) else { panic!("all trace handles dropped") };
-        (outcome, sink.into_inner().into_inner())
+        sink.lock().unwrap().flush();
+        let Ok(sink) = Arc::try_unwrap(sink) else { panic!("all trace handles dropped") };
+        (outcome, sink.into_inner().unwrap().into_inner())
     });
     let mut outcomes = Vec::with_capacity(results.len());
     let mut bytes = Vec::new();

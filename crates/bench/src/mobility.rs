@@ -8,17 +8,17 @@
 //! flows and load UEs alike), first-transmission video must never
 //! reorder or duplicate, the delivery gap around each handover must stay
 //! bounded, and the probe plane must never see an out-of-order sample.
-//! A run is a pure function of its seed — the driver is single threaded
-//! and interference is published one subframe late — so the JSONL stream
-//! is asserted byte-identical across reruns and worker-pool widths.
+//! A run is a pure function of its seed — interference is published one
+//! subframe late and the sharded driver merges everything at fixed epoch
+//! barriers — so the JSONL stream is asserted byte-identical across
+//! reruns and shard/worker-pool widths.
 
 use poi360_core::multicell::{MultiGrid, MultiGridConfig, MultiGridReport};
 use poi360_lte::grid::MobilityKind;
 use poi360_lte::scenario::MobilityScenario;
 use poi360_sim::time::SimDuration;
 use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Recommended run length for the named mobility scenarios: a 500 m
 /// inter-site convoy at 20 m/s crosses its first cell boundary by
@@ -77,6 +77,11 @@ pub fn grid_config(ms: &MobilityScenario, scale: &MobilityScale, seed: u64) -> M
         load_ues: scale.load_ues,
         duration: SimDuration::from_secs(scale.seconds),
         seed,
+        // Shard width rides the worker-pool resolution (`--threads` /
+        // `POI360_THREADS`), so the same knob that fans independent jobs
+        // out also shards a single grid — and the thread-invariance
+        // checks below double as shard-width-invariance checks.
+        shards: crate::runner::worker_threads(),
         ..Default::default()
     }
 }
@@ -184,13 +189,13 @@ pub fn run_case(
     scale: &MobilityScale,
     seed: u64,
 ) -> (MobilityOutcome, Vec<u8>) {
-    let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
-    sink.borrow_mut().stamp(&RunMeta::current(seed));
+    let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
+    sink.lock().unwrap().stamp(&RunMeta::current(seed));
     let handle: SinkHandle = sink.clone();
     let report = MultiGrid::traced(grid_config(ms, scale, seed), handle).run();
-    sink.borrow_mut().flush();
-    let Ok(sink) = Rc::try_unwrap(sink) else { panic!("all trace handles dropped") };
-    let bytes = sink.into_inner().into_inner();
+    sink.lock().unwrap().flush();
+    let Ok(sink) = Arc::try_unwrap(sink) else { panic!("all trace handles dropped") };
+    let bytes = sink.into_inner().unwrap().into_inner();
     let verdict = judge(ms, &report);
     (MobilityOutcome { scenario: ms.name, what: ms.what, report, verdict }, bytes)
 }

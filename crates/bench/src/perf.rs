@@ -29,6 +29,7 @@
 //!   when it is absent the check reports `n/a` instead of vacuously
 //!   passing.
 
+use poi360_core::multicell::{FlowSpec, MultiGrid, MultiGridConfig};
 use poi360_lte::buffer::PacketLike;
 use poi360_lte::cell::{Cell, CellConfig, UeId};
 use poi360_lte::channel::ChannelConfig;
@@ -37,10 +38,10 @@ use poi360_lte::uplink::{CellUplink, UplinkConfig};
 use poi360_metrics::table::Table;
 use poi360_net::packet::{FrameTag, Packet};
 use poi360_net::pipe::{DelayPipe, PipeConfig};
-use poi360_sim::time::SimTime;
+use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use poi360_sim::Recorder;
-use poi360_testkit::alloc::{counting_is_active, AllocScope};
+use poi360_testkit::alloc::{counting_is_active, AllocScope, GlobalAllocScope};
 use poi360_testkit::{bench, black_box, Bench};
 use poi360_transport::pacer::Pacer;
 use poi360_video::compression::CompressionMode;
@@ -48,8 +49,7 @@ use poi360_video::content::ContentModel;
 use poi360_video::encoder::{Encoder, EncoderConfig};
 use poi360_video::frame::{TileGrid, TilePos};
 use poi360_video::roi::Roi;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Default relative-median regression threshold for `--compare`:
 /// generous enough to absorb machine noise on a 5-sample median, tight
@@ -100,7 +100,7 @@ fn busy_cell(ues: usize) -> (Cell<Pkt>, UeId) {
 /// One measured layer: timing result plus allocations per iteration.
 struct LayerRow {
     layer: &'static str,
-    what: &'static str,
+    what: String,
     median_ns: f64,
     allocs_per_iter: f64,
     bytes_per_iter: f64,
@@ -125,7 +125,7 @@ fn layer(
     let stats = scope.exit();
     rows.push(LayerRow {
         layer,
-        what,
+        what: what.to_string(),
         median_ns,
         allocs_per_iter: stats.allocs as f64 / alloc_iters as f64,
         bytes_per_iter: stats.bytes as f64 / alloc_iters as f64,
@@ -134,8 +134,11 @@ fn layer(
 
 /// The steady-state zero-alloc gate: a busy 500-UE cell loop, allocation
 /// count taken over ticks [`WARM_TICKS`]`..`[`WARM_TICKS`]` + `
-/// [`GATE_TICKS`]. Returns `None` when the counting allocator is not
-/// installed in this binary.
+/// [`GATE_TICKS`]. Counted with the shard-aware [`GlobalAllocScope`], so
+/// the gate stays honest for hot loops that fan out to worker threads
+/// (the loop here is serial today, but the gate must not silently go
+/// blind the day it isn't). Returns `None` when the counting allocator
+/// is not installed in this binary.
 pub fn steady_state_allocs() -> Option<u64> {
     if !counting_is_active() {
         return None;
@@ -154,11 +157,31 @@ pub fn steady_state_allocs() -> Option<u64> {
     for _ in 0..WARM_TICKS {
         tick(&mut cell, &mut now);
     }
-    let scope = AllocScope::enter();
+    let scope = GlobalAllocScope::enter();
     for _ in 0..GATE_TICKS {
         tick(&mut cell, &mut now);
     }
     Some(scope.exit().allocs)
+}
+
+/// A short grid run for the `grid_scale` scaling benchmarks: `rings` hex
+/// rings (2/4/6 → 19/61/127 cells) advanced for 0.2 s of simulated time
+/// at the given shard width. Per-cell populations are kept small so the
+/// *cell count* — the scaling axis under test — dominates the cost, not
+/// per-cell scheduler load.
+fn grid_scale_config(rings: usize, shards: usize) -> MultiGridConfig {
+    MultiGridConfig {
+        rings,
+        isd_m: 300.0,
+        speed_mps: 30.0,
+        flows: vec![FlowSpec::default(); 2],
+        load_ues: 16,
+        static_bg_per_cell: 2,
+        duration: SimDuration::from_secs_f64(0.2),
+        seed: 9,
+        shards,
+        ..Default::default()
+    }
 }
 
 /// Run the whole per-layer suite. Returns the number of gate failures
@@ -294,6 +317,38 @@ pub fn run(opts: &PerfOptions) -> usize {
         },
     );
 
+    // --- grid: the sharded epoch-lockstep executor, whole runs ---
+    // Whole-run timing (construction + epochs + report) is the honest
+    // unit: shard workers live for exactly one run, so their spawn cost
+    // belongs inside the measured body. Benchmarked directly rather than
+    // through `layer()` — 256 alloc-measurement grid runs would dwarf
+    // the rest of the suite, and one extra run already gives the
+    // per-iteration allocation figure at this scale. Counted with the
+    // shard-aware [`GlobalAllocScope`]: most of these allocations happen
+    // on worker threads a thread-local scope would never see.
+    for &rings in &[2usize, 4, 6] {
+        let cells = 1 + 3 * rings * (rings + 1);
+        for &shards in &[1usize, 2, 4, 8] {
+            let cfg = grid_scale_config(rings, shards);
+            let name = format!("perf/grid_scale_{cells}c_w{shards}");
+            let median_ns = b
+                .bench(&name, &mut || {
+                    black_box(MultiGrid::new(cfg.clone()).run());
+                })
+                .median_ns;
+            let scope = GlobalAllocScope::enter();
+            black_box(MultiGrid::new(cfg.clone()).run());
+            let stats = scope.exit();
+            rows.push(LayerRow {
+                layer: "grid",
+                what: format!("{cells}-cell grid, shard width {shards}, 0.2 s"),
+                median_ns,
+                allocs_per_iter: stats.allocs as f64,
+                bytes_per_iter: stats.bytes as f64,
+            });
+        }
+    }
+
     let mut failures = 0;
 
     // Surface the medians as trace-style probes alongside the table.
@@ -303,10 +358,10 @@ pub fn run(opts: &PerfOptions) -> usize {
     let summary_count = b.results().len() as u64;
     match JsonlSink::create(&probe_path) {
         Ok(sink) => {
-            let sink = Rc::new(RefCell::new(sink));
-            sink.borrow_mut().stamp(&RunMeta::current(42));
+            let sink = Arc::new(Mutex::new(sink));
+            sink.lock().unwrap().stamp(&RunMeta::current(42));
             let handle: SinkHandle = sink.clone();
-            let rec = Recorder::to_sink(Rc::clone(&handle), "perf");
+            let rec = Recorder::to_sink(Arc::clone(&handle), "perf");
             for (k, r) in b.results().iter().enumerate() {
                 // One gauge per layer benchmark; strictly increasing
                 // timestamps keep the recorder's order check happy.
@@ -349,9 +404,9 @@ pub fn run(opts: &PerfOptions) -> usize {
                 window.gauge("perf.buffer_bytes", now, cell.buffer_level(fg) as f64);
             }
             drop(window);
-            sink.borrow_mut().flush();
+            sink.lock().unwrap().flush();
             let expected = summary_count * 2 + GATE_TICKS * 2;
-            let written = sink.borrow().lines();
+            let written = sink.lock().unwrap().lines();
             if written != expected {
                 eprintln!(
                     "FAIL: perf probe window truncated: {written} of {expected} records in {}",
@@ -359,7 +414,7 @@ pub fn run(opts: &PerfOptions) -> usize {
                 );
                 failures += 1;
             }
-            if sink.borrow().had_io_error() {
+            if sink.lock().unwrap().had_io_error() {
                 eprintln!("FAIL: probe writes to {} failed", probe_path.display());
                 failures += 1;
             }
@@ -400,13 +455,28 @@ pub fn run(opts: &PerfOptions) -> usize {
         };
         t.row(vec![
             r.layer.to_string(),
-            r.what.to_string(),
+            r.what.clone(),
             format!("{:.2}", r.median_ns / 1e3),
             allocs,
             bytes,
         ]);
     }
     let mut out = t.render();
+
+    // Shard-scaling headline: how much the epoch-lockstep executor buys
+    // at the largest grid. On a single-core host the widths tie (the
+    // workers serialize); the number is honest either way.
+    let grid_median = |name: &str| b.results().iter().find(|r| r.name == name).map(|r| r.median_ns);
+    if let (Some(w1), Some(w4)) =
+        (grid_median("perf/grid_scale_127c_w1"), grid_median("perf/grid_scale_127c_w4"))
+    {
+        out.push_str(&format!(
+            "grid_scale 127 cells: w1 {:.2} ms, w4 {:.2} ms — speedup {:.2}x\n",
+            w1 / 1e6,
+            w4 / 1e6,
+            w1 / w4.max(1.0),
+        ));
+    }
 
     // The steady-state zero-alloc gate.
     match steady_state_allocs() {

@@ -78,9 +78,12 @@ pub fn set_worker_threads(threads: usize) {
     THREAD_OVERRIDE.store(threads, std::sync::atomic::Ordering::Relaxed);
 }
 
-/// Worker-pool width for [`run_jobs`]: the [`set_worker_threads`]
+/// Worker-pool width for [`run_jobs`] — and shard width for the
+/// `MultiGrid` epoch-lockstep executor, which must reuse this resolution
+/// rather than re-reading the environment: the [`set_worker_threads`]
 /// override if set, else the `POI360_THREADS` environment variable, else
-/// `available_parallelism` (min 1 in every case).
+/// `available_parallelism` (min 1 in every case). An unparsable env
+/// value warns exactly once per process, however many resolutions run.
 pub fn worker_threads() -> usize {
     let pinned = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
     if pinned > 0 {
@@ -92,7 +95,10 @@ pub fn worker_threads() -> usize {
                 return n;
             }
         }
-        eprintln!("warning: ignoring unparsable POI360_THREADS={env:?}");
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!("warning: ignoring unparsable POI360_THREADS={env:?}");
+        });
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
@@ -160,9 +166,8 @@ pub fn run_parallel(jobs: Vec<SessionConfig>) -> Vec<SessionReport> {
 }
 
 /// Run a batch of independent shared-cell ensembles across the worker
-/// pool. Each [`MultiCell`] holds non-`Send` session state, so the
-/// ensemble is *constructed* inside its worker thread; only the plain-data
-/// configs cross threads. Result order matches input order.
+/// pool. Each ensemble is constructed inside its worker thread from the
+/// plain-data config. Result order matches input order.
 pub fn run_multicells(configs: Vec<MultiCellConfig>) -> Vec<MultiCellReport> {
     run_jobs(configs, |cfg| MultiCell::new(cfg).run())
 }

@@ -24,8 +24,7 @@ use poi360_lte::scenario::{FaultScenario, MobilityScenario, Scenario};
 use poi360_sim::fault::FaultPlan;
 use poi360_sim::trace::{JsonlSink, RunMeta, SinkHandle, TraceSink};
 use poi360_sim::Recorder;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Map a study controller label onto the typed rate-control kind. The
 /// labels were validated at config parse, so this is total.
@@ -78,16 +77,16 @@ pub struct ExecutedCase {
     pub gaps_ms: Vec<f64>,
 }
 
-fn stamped_sink(seed: u64) -> Rc<RefCell<JsonlSink<Vec<u8>>>> {
-    let sink = Rc::new(RefCell::new(JsonlSink::to_writer(Vec::new())));
-    sink.borrow_mut().stamp(&RunMeta::current(seed));
+fn stamped_sink(seed: u64) -> Arc<Mutex<JsonlSink<Vec<u8>>>> {
+    let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
+    sink.lock().unwrap().stamp(&RunMeta::current(seed));
     sink
 }
 
-fn finish_sink(sink: Rc<RefCell<JsonlSink<Vec<u8>>>>) -> Vec<u8> {
-    sink.borrow_mut().flush();
-    let Ok(sink) = Rc::try_unwrap(sink) else { panic!("all trace handles dropped") };
-    sink.into_inner().into_inner()
+fn finish_sink(sink: Arc<Mutex<JsonlSink<Vec<u8>>>>) -> Vec<u8> {
+    sink.lock().unwrap().flush();
+    let Ok(sink) = Arc::try_unwrap(sink) else { panic!("all trace handles dropped") };
+    sink.into_inner().unwrap().into_inner()
 }
 
 /// Run every case of the (already smoke-adjusted) config through the
@@ -108,7 +107,7 @@ pub fn run_cases(cfg: &StudyConfig, smoke: bool) -> Vec<ExecutedCase> {
             crate::runner::run_jobs(jobs, move |(case, fs, rc)| {
                 let sink = stamped_sink(case.seed);
                 let handle: SinkHandle = sink.clone();
-                let recorder = Recorder::to_sink(Rc::clone(&handle), &case.label);
+                let recorder = Recorder::to_sink(Arc::clone(&handle), &case.label);
                 crate::faults::run_case(&fs, rc, seconds, case.seed, recorder);
                 drop(handle);
                 ExecutedCase { case, bytes: finish_sink(sink), gaps_ms: Vec::new() }

@@ -12,8 +12,15 @@ use poi360_testkit::black_box;
 #[global_allocator]
 static ALLOC: poi360_testkit::CountingAlloc = poi360_testkit::CountingAlloc;
 
+/// The zero-alloc gate counts with the shard-aware *global* scope, so a
+/// concurrent test allocating on another thread would show up in its
+/// delta. Every test in this binary takes the lock; the gate gets the
+/// process to itself.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn counting_allocator_actually_counts() {
+    let _guard = SERIAL.lock().unwrap();
     assert!(counting_is_active(), "this binary installs CountingAlloc");
     let ((), stats) = count_allocs(|| {
         let v: Vec<u64> = Vec::with_capacity(32);
@@ -25,6 +32,7 @@ fn counting_allocator_actually_counts() {
 
 #[test]
 fn steady_state_subframes_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
     let allocs = poi360_bench::perf::steady_state_allocs()
         .expect("counting allocator is installed in this binary");
     assert_eq!(allocs, 0, "ticks 1000.. of a busy 500-UE cell must not touch the heap");
@@ -32,6 +40,7 @@ fn steady_state_subframes_do_not_allocate() {
 
 #[test]
 fn session_steady_state_has_bounded_allocation_rate() {
+    let _guard = SERIAL.lock().unwrap();
     // The full session keeps ordered maps on purpose (reassembly,
     // feedback bookkeeping), so it is not zero-alloc — but the hot-path
     // work should hold it to a handful of allocations per subframe, not

@@ -18,7 +18,13 @@
 //! across cells on handover, and then lets every cell run its own PF
 //! allocation. Interference couples cells through the *previous*
 //! subframe's published PRB activity, so cells can be stepped in any
-//! order (and the run stays byte-identical regardless of threading).
+//! order — including in parallel. The grid driver exploits exactly that:
+//! every cell's per-subframe work is bundled into a `Send` [`CellWork`]
+//! arena entry, and `MultiGridConfig::shards` worker threads advance the
+//! bundles between fixed epoch barriers, with all cross-cell effects
+//! (handover migrations, interference publication, trace merging)
+//! confined to the serial barrier in fixed cell-id order. Output is
+//! byte-identical at any shard width.
 
 use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use crate::report::SessionReport;
@@ -36,11 +42,11 @@ use poi360_sim::fault::FaultPlan;
 use poi360_sim::json::{JsonObject, ToJson};
 use poi360_sim::rng::SimRng;
 use poi360_sim::time::{SimDuration, SimTime};
-use poi360_sim::trace::SinkHandle;
+use poi360_sim::trace::{BufferSink, SinkHandle};
 use poi360_sim::Recorder;
+use poi360_video::roi::Roi;
 use poi360_viewport::motion::UserArchetype;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One foreground session's knobs within a shared cell.
 #[derive(Clone, Copy, Debug)]
@@ -135,14 +141,15 @@ impl ToJson for MultiCellReport {
     }
 }
 
-/// The driver itself.
+/// The driver itself. Owns the cell directly (no shared handles): each
+/// subframe it lends the cell mutably into every session's driver hooks.
 pub struct MultiCell {
     cfg: MultiCellConfig,
-    cell: Rc<RefCell<Cell<Packet>>>,
+    cell: Cell<Packet>,
     sessions: Vec<Session>,
     now: SimTime,
     /// Per-step ROI staging, reused across subframes.
-    rois: Vec<poi360_video::roi::Roi>,
+    rois: Vec<Roi>,
 }
 
 impl MultiCell {
@@ -162,18 +169,18 @@ impl MultiCell {
     fn build(cfg: MultiCellConfig, sink: Option<SinkHandle>) -> Self {
         assert!(!cfg.flows.is_empty(), "a MultiCell needs at least one flow");
         let cell_seed = SimRng::stream(cfg.seed, "multicell.cell").next_u64();
-        let cell = Rc::new(RefCell::new(Cell::new(cfg.cell, cell_seed)));
+        let mut cell = Cell::new(cfg.cell, cell_seed);
         if let Some(sink) = &sink {
-            let rec = Recorder::to_sink(Rc::clone(sink), "cell");
-            cell.borrow_mut().set_recorder(&rec);
+            let rec = Recorder::to_sink(Arc::clone(sink), "cell");
+            cell.set_recorder(&rec);
         }
         if !cfg.faults.is_empty() {
-            cell.borrow_mut().set_fault_plan(cfg.faults.clone());
+            cell.set_fault_plan(cfg.faults.clone());
         }
         let mut sessions = Vec::with_capacity(cfg.flows.len());
         for (k, flow) in cfg.flows.iter().enumerate() {
             let label = format!("fg.{k:02}");
-            let ue = cell.borrow_mut().attach_foreground(&label, cfg.channel);
+            let ue = cell.attach_foreground(&label, cfg.channel);
             debug_assert_eq!(ue, UeId(k));
             let flow_seed = SimRng::stream(cfg.seed, &format!("multicell.flow.{k}")).next_u64();
             let session_cfg = SessionConfig {
@@ -187,11 +194,10 @@ impl MultiCell {
                 ..Default::default()
             };
             let recorder = match &sink {
-                Some(sink) => Recorder::to_sink(Rc::clone(sink), &label),
+                Some(sink) => Recorder::to_sink(Arc::clone(sink), &label),
                 None => Recorder::null(),
             };
-            let mut session =
-                Session::with_shared_cell_traced(session_cfg, Rc::clone(&cell), ue, recorder);
+            let mut session = Session::with_shared_cell_traced(session_cfg, ue, recorder);
             if !cfg.faults.is_empty() {
                 // Only the path slice applies here; the cell owns the
                 // access slice for all its UEs at once.
@@ -199,7 +205,7 @@ impl MultiCell {
             }
             sessions.push(session);
         }
-        cell.borrow_mut().attach_background_population(cfg.background_ues);
+        cell.attach_background_population(cfg.background_ues);
         MultiCell { cfg, cell, sessions, now: SimTime::ZERO, rois: Vec::new() }
     }
 
@@ -213,19 +219,19 @@ impl MultiCell {
         let now = self.now;
         self.rois.clear();
         for s in &mut self.sessions {
-            let roi = s.multi_begin();
+            let roi = s.multi_begin(&mut self.cell);
             self.rois.push(roi);
         }
-        let mut out = self.cell.borrow_mut().subframe(now);
+        let mut out = self.cell.subframe(now);
         for ((session, outcome), roi) in
             self.sessions.iter_mut().zip(out.per_ue.drain(..)).zip(self.rois.iter())
         {
-            session.multi_complete(outcome, roi);
+            session.multi_complete(outcome, roi, &mut self.cell);
         }
         // The outcomes went to the sessions (which recycle their departed
         // vectors and diag reports themselves); hand the emptied shells
         // back to the cell.
-        self.cell.borrow_mut().recycle(out);
+        self.cell.recycle(out);
         self.now += poi360_sim::SUBFRAME;
     }
 
@@ -235,7 +241,10 @@ impl MultiCell {
         while self.now < end {
             self.step();
         }
-        let mean_utilization = self.cell.borrow().mean_utilization();
+        let mean_utilization = self.cell.mean_utilization();
+        for (k, session) in self.sessions.iter_mut().enumerate() {
+            session.set_shared_dropped(self.cell.dropped(UeId(k)));
+        }
         MultiCellReport {
             flows: self.sessions.into_iter().map(Session::into_report).collect(),
             mean_utilization,
@@ -283,6 +292,11 @@ pub struct MultiGridConfig {
     pub seed: u64,
     /// Initial encoding bitrate for every flow, bps.
     pub start_rate_bps: f64,
+    /// Worker shards for the epoch-lockstep executor: cells are advanced
+    /// by this many threads between subframe barriers. `1` (the default)
+    /// runs fully serial on the caller's thread. Output is byte-identical
+    /// at every width — shards only change wall-clock time.
+    pub shards: usize,
 }
 
 impl Default for MultiGridConfig {
@@ -302,6 +316,7 @@ impl Default for MultiGridConfig {
             duration: SimDuration::from_secs(30),
             seed: 1,
             start_rate_bps: 1.0e6,
+            shards: 1,
         }
     }
 }
@@ -413,7 +428,7 @@ enum SlotOwner {
     Vacant,
 }
 
-/// Mobility + handover state of one grid UE (flow or load).
+/// Mobility/handover state of one grid UE (flow or load).
 struct MobileUe {
     motion: GroundMotion,
     radio: RadioUe,
@@ -446,32 +461,177 @@ struct FlowTally {
     pending_gap_from: Option<SimTime>,
 }
 
+/// A session riding a cell for one epoch: the flow index, the session
+/// itself, and the driver's delivery tally (which travels with it so the
+/// shard can update both without touching driver state).
+struct FlowSlot {
+    k: usize,
+    session: Session,
+    tally: FlowTally,
+}
+
+/// A load UE's traffic source riding a cell for one epoch.
+struct LoadSlot {
+    j: usize,
+    slot: UeId,
+    source: LoadSource,
+}
+
+/// One cell's arena entry: the cell plus everything needed to advance it
+/// one subframe without touching any other cell. Entirely owned data, so
+/// a bundle can be shipped to a worker thread and back (`CellWork` is
+/// `Send`). The serial barrier moves sessions/loads in and out between
+/// epochs as UEs hand over.
+struct CellWork {
+    id: usize,
+    cell: Cell<Packet>,
+    /// Slot-owner map, indexed like the cell's `per_ue`.
+    owners: Vec<SlotOwner>,
+    /// Sessions served by this cell this epoch, ascending flow index.
+    flows: Vec<FlowSlot>,
+    /// Load sources served by this cell this epoch, ascending load index.
+    loads: Vec<LoadSlot>,
+    /// Per-epoch ROI staging, index-aligned with `flows`.
+    rois: Vec<Roi>,
+    /// This subframe's PRB utilization, published at the barrier.
+    activity: f64,
+}
+
+impl CellWork {
+    /// Phases 2+3 for this cell: sources enqueue, one PF allocation,
+    /// outcomes route back to their owners. Pure function of the bundle's
+    /// own state — runs on any thread.
+    fn run(&mut self, now: SimTime, total_prbs: f64) {
+        // Phase 2: sources. Sessions run their sender pipeline (enqueue
+        // into this cell); load UEs turn accrued bytes into cross packets.
+        self.rois.clear();
+        for f in &mut self.flows {
+            self.rois.push(f.session.multi_begin(&mut self.cell));
+        }
+        for l in &mut self.loads {
+            l.source.carry_bytes += l.source.traffic.subframe();
+            while l.source.carry_bytes >= LOAD_PACKET_BYTES {
+                l.source.carry_bytes -= LOAD_PACKET_BYTES;
+                let pkt = Packet::cross(l.source.next_seq, LOAD_PACKET_BYTES as u32, now);
+                l.source.next_seq += 1;
+                self.cell.enqueue(l.slot, pkt, now);
+            }
+        }
+
+        // Phase 3: one PF allocation; outcomes route back to their
+        // owners; utilization is staged for the barrier to publish as the
+        // next subframe's interference activity.
+        let mut out = self.cell.subframe(now);
+        self.activity = out.prbs_granted as f64 / total_prbs;
+        for (slot_idx, outcome) in out.per_ue.drain(..).enumerate() {
+            match self.owners[slot_idx] {
+                SlotOwner::FlowUe(k) => {
+                    let fi = self
+                        .flows
+                        .iter()
+                        .position(|f| f.k == k)
+                        .expect("flow rides its serving cell");
+                    let f = &mut self.flows[fi];
+                    for (pkt, _) in &outcome.departed {
+                        f.tally.delivered += 1;
+                        if pkt.flow == FlowKind::Video && !pkt.retransmit {
+                            if let Some(prev) = f.tally.last_video_seq {
+                                if pkt.seq <= prev {
+                                    f.tally.seq_violations += 1;
+                                }
+                            }
+                            f.tally.last_video_seq =
+                                Some(f.tally.last_video_seq.map_or(pkt.seq, |p| p.max(pkt.seq)));
+                        }
+                    }
+                    if !outcome.departed.is_empty() {
+                        if let Some(from) = f.tally.pending_gap_from.take() {
+                            f.tally.gaps_ms.push(now.saturating_since(from).as_secs_f64() * 1e3);
+                        }
+                    }
+                    f.session.multi_complete(outcome, &self.rois[fi], &mut self.cell);
+                }
+                SlotOwner::LoadUe(j) => {
+                    let l = self
+                        .loads
+                        .iter_mut()
+                        .find(|l| l.j == j)
+                        .expect("load rides its serving cell");
+                    l.source.delivered += outcome.departed.len() as u64;
+                    self.cell.recycle_departed(outcome.departed);
+                    if let Some(report) = outcome.diag {
+                        self.cell.recycle_diag(UeId(slot_idx), report);
+                    }
+                }
+                SlotOwner::Vacant => {
+                    self.cell.recycle_departed(outcome.departed);
+                    if let Some(report) = outcome.diag {
+                        self.cell.recycle_diag(UeId(slot_idx), report);
+                    }
+                }
+            }
+        }
+        self.cell.recycle(out);
+    }
+}
+
+/// Per-emitter staging buffers for a traced grid run. Every recorder in
+/// the grid writes into its own [`BufferSink`] (never the real sink), and
+/// the serial barrier drains them into the real sink in canonical order —
+/// cells ascending, then flows ascending, then the grid driver — so the
+/// JSONL byte stream is identical at every shard width.
+struct GridBuffers {
+    sink: SinkHandle,
+    cells: Vec<(String, Arc<Mutex<BufferSink>>)>,
+    flows: Vec<(String, Arc<Mutex<BufferSink>>)>,
+    grid: Arc<Mutex<BufferSink>>,
+}
+
+impl GridBuffers {
+    fn drain(&self) {
+        let mut sink = self.sink.lock().unwrap();
+        for (src, buf) in &self.cells {
+            buf.lock().unwrap().drain_into(src, &mut *sink);
+        }
+        for (src, buf) in &self.flows {
+            buf.lock().unwrap().drain_into(src, &mut *sink);
+        }
+        self.grid.lock().unwrap().drain_into("grid", &mut *sink);
+    }
+}
+
 /// Lockstep driver for telephony sessions moving across a hex grid of
 /// cells: per-subframe mobility → radio map → A3/RLF decisions →
-/// firmware-buffer migration → one PF allocation per cell. Single
-/// threaded and a pure function of the master seed (interference uses
-/// the previous subframe's published activity, and every stochastic
-/// track is keyed by UE name), so runs are byte-identical regardless of
-/// worker-thread settings.
+/// firmware-buffer migration → one PF allocation per cell. A pure
+/// function of the master seed: interference uses the previous subframe's
+/// published activity and every stochastic track is keyed by UE name, so
+/// per-cell subframes are schedule-independent. With
+/// [`MultiGridConfig::shards`] > 1 the per-cell work runs on a persistent
+/// worker pool between epoch barriers; runs are byte-identical at every
+/// shard width.
 pub struct MultiGrid {
     cfg: MultiGridConfig,
     radio: RadioMap,
-    cells: Vec<Rc<RefCell<Cell<Packet>>>>,
-    /// Slot-owner map per cell, indexed like the cell's `per_ue`.
-    owners: Vec<Vec<SlotOwner>>,
-    sessions: Vec<Session>,
+    /// Cell arena, indexed by cell id. Entries are taken out while a
+    /// worker advances them and always restored at the barrier.
+    works: Vec<Option<CellWork>>,
+    /// Home storage for sessions between epochs, indexed by flow.
+    sessions: Vec<Option<Session>>,
+    /// Home storage for delivery tallies between epochs, indexed by flow.
+    tallies: Vec<FlowTally>,
+    /// Home storage for load sources between epochs, indexed by load UE.
+    loads: Vec<Option<LoadSource>>,
     flow_recorders: Vec<Recorder>,
     grid_recorder: Recorder,
     flow_ues: Vec<MobileUe>,
     load_ues: Vec<MobileUe>,
-    loads: Vec<LoadSource>,
-    tallies: Vec<FlowTally>,
     /// Previous-subframe PRB utilization per cell (interference input).
     activity: Vec<f64>,
     /// This subframe's utilization, staged then swapped into `activity`.
     next_activity: Vec<f64>,
     now: SimTime,
-    rois: Vec<poi360_video::roi::Roi>,
+    /// Trace staging (traced runs only).
+    buffers: Option<GridBuffers>,
 }
 
 impl MultiGrid {
@@ -493,22 +653,41 @@ impl MultiGrid {
         let grid = HexGrid::new(cfg.rings, cfg.isd_m);
         let n_cells = grid.len();
         let mut radio = RadioMap::new(cfg.radio, grid);
+        let mut buffers = sink.map(|sink| GridBuffers {
+            sink,
+            cells: Vec::with_capacity(n_cells),
+            flows: Vec::with_capacity(cfg.flows.len()),
+            grid: BufferSink::shared(),
+        });
 
-        let mut cells = Vec::with_capacity(n_cells);
-        let mut owners = Vec::with_capacity(n_cells);
+        let mut works = Vec::with_capacity(n_cells);
         for c in 0..n_cells {
             let cell_seed = SimRng::stream(cfg.seed, &format!("grid.cell.{c:02}")).next_u64();
-            let cell = Rc::new(RefCell::new(Cell::new(cfg.cell, cell_seed)));
-            if let Some(sink) = &sink {
-                let rec = Recorder::to_sink(Rc::clone(sink), &format!("cell.{c:02}"));
-                cell.borrow_mut().set_recorder(&rec);
+            let mut cell = Cell::new(cfg.cell, cell_seed);
+            if let Some(b) = &mut buffers {
+                let src = format!("cell.{c:02}");
+                let buf = BufferSink::shared();
+                let handle: SinkHandle = buf.clone();
+                let rec = Recorder::to_sink(handle, &src);
+                cell.set_recorder(&rec);
+                b.cells.push((src, buf));
             }
-            cell.borrow_mut().attach_background_population(cfg.static_bg_per_cell);
-            cells.push(cell);
-            owners.push(Vec::new());
+            cell.attach_background_population(cfg.static_bg_per_cell);
+            works.push(CellWork {
+                id: c,
+                cell,
+                owners: Vec::new(),
+                flows: Vec::new(),
+                loads: Vec::new(),
+                rois: Vec::new(),
+                activity: 0.0,
+            });
         }
-        let grid_recorder = match &sink {
-            Some(sink) => Recorder::to_sink(Rc::clone(sink), "grid"),
+        let grid_recorder = match &buffers {
+            Some(b) => {
+                let handle: SinkHandle = b.grid.clone();
+                Recorder::to_sink(handle, "grid")
+            }
             None => Recorder::null(),
         };
 
@@ -527,11 +706,10 @@ impl MultiGrid {
         load_stagger.truncate(cfg.load_ues);
 
         let attach_mobile = |radio: &mut RadioMap,
-                             cells: &[Rc<RefCell<Cell<Packet>>>],
-                             owners: &mut [Vec<SlotOwner>],
+                             works: &mut [CellWork],
                              name: &str,
                              stagger: usize,
-                             owner_of: &dyn Fn() -> SlotOwner|
+                             owner: SlotOwner|
          -> MobileUe {
             let motion = GroundMotion::new(
                 cfg.mobility,
@@ -544,13 +722,13 @@ impl MultiGrid {
             );
             let (x, y) = motion.position();
             let serving = radio.grid().serving_cell(x, y);
-            let slot = cells[serving.0].borrow_mut().attach_foreground(name, cfg.channel);
+            let w = &mut works[serving.0];
+            let slot = w.cell.attach_foreground(name, cfg.channel);
             let track = radio.register_ue(cfg.seed, name);
-            let owner = owner_of();
-            if slot.0 == owners[serving.0].len() {
-                owners[serving.0].push(owner);
+            if slot.0 == w.owners.len() {
+                w.owners.push(owner);
             } else {
-                owners[serving.0][slot.0] = owner;
+                w.owners[slot.0] = owner;
             }
             MobileUe {
                 motion,
@@ -569,10 +747,9 @@ impl MultiGrid {
         let mut flow_ues = Vec::with_capacity(n_flows);
         for (k, flow) in cfg.flows.iter().enumerate() {
             let label = format!("fg.{k:02}");
-            let m =
-                attach_mobile(&mut radio, &cells, &mut owners, &label, flow_stagger[k], &|| {
-                    SlotOwner::FlowUe(k)
-                });
+            let m = attach_mobile(&mut radio, &mut works, &label, flow_stagger[k], {
+                SlotOwner::FlowUe(k)
+            });
             let flow_seed = SimRng::stream(cfg.seed, &format!("grid.flow.{k}")).next_u64();
             let session_cfg = SessionConfig {
                 scheme: flow.scheme,
@@ -584,17 +761,17 @@ impl MultiGrid {
                 start_rate_bps: cfg.start_rate_bps,
                 ..Default::default()
             };
-            let recorder = match &sink {
-                Some(sink) => Recorder::to_sink(Rc::clone(sink), &label),
+            let recorder = match &mut buffers {
+                Some(b) => {
+                    let buf = BufferSink::shared();
+                    let handle: SinkHandle = buf.clone();
+                    b.flows.push((label.clone(), buf));
+                    Recorder::to_sink(handle, &label)
+                }
                 None => Recorder::null(),
             };
             flow_recorders.push(recorder.clone());
-            sessions.push(Session::with_shared_cell_traced(
-                session_cfg,
-                Rc::clone(&cells[m.serving.0]),
-                m.slot,
-                recorder,
-            ));
+            sessions.push(Some(Session::with_shared_cell_traced(session_cfg, m.slot, recorder)));
             flow_ues.push(m);
         }
 
@@ -602,9 +779,7 @@ impl MultiGrid {
         let mut loads = Vec::with_capacity(cfg.load_ues);
         for (j, &stagger) in load_stagger.iter().enumerate() {
             let name = format!("ld.{j:03}");
-            let m = attach_mobile(&mut radio, &cells, &mut owners, &name, stagger, &|| {
-                SlotOwner::LoadUe(j)
-            });
+            let m = attach_mobile(&mut radio, &mut works, &name, stagger, SlotOwner::LoadUe(j));
             load_ues.push(m);
             // Lighter profile than the in-cell background UEs: with
             // hundreds of mobiles sharing a handful of cells, commuter
@@ -617,31 +792,30 @@ impl MultiGrid {
                 ..Default::default()
             };
             let traffic_seed = profile.next_u64();
-            loads.push(LoadSource {
+            loads.push(Some(LoadSource {
                 traffic: BackgroundTraffic::new(traffic_cfg, traffic_seed),
                 carry_bytes: 0,
                 next_seq: 0,
                 delivered: 0,
-            });
+            }));
         }
 
         let tallies = (0..n_flows).map(|_| FlowTally::default()).collect();
         MultiGrid {
             cfg,
             radio,
-            cells,
-            owners,
+            works: works.into_iter().map(Some).collect(),
             sessions,
+            tallies,
+            loads,
             flow_recorders,
             grid_recorder,
             flow_ues,
             load_ues,
-            loads,
-            tallies,
             activity: vec![0.0; n_cells],
             next_activity: vec![0.0; n_cells],
             now: SimTime::ZERO,
-            rois: Vec::new(),
+            buffers,
         }
     }
 
@@ -652,18 +826,19 @@ impl MultiGrid {
 
     /// Detach `m` from its serving cell, carry the firmware buffer to
     /// `target`, and re-attach. `rlf` selects the failure flavor: flush
-    /// + re-establishment instead of head-restart + clean interruption.
+    /// and re-establishment instead of head-restart and clean
+    /// interruption. Serial-phase only: both arena entries must be home.
     fn migrate(
         cfg: &MultiGridConfig,
-        cells: &[Rc<RefCell<Cell<Packet>>>],
-        owners: &mut [Vec<SlotOwner>],
+        works: &mut [Option<CellWork>],
         m: &mut MobileUe,
         target: CellId,
         rlf: bool,
         now: SimTime,
     ) -> u64 {
-        let mut mu = cells[m.serving.0].borrow_mut().detach_foreground(m.slot);
-        let owner = std::mem::replace(&mut owners[m.serving.0][m.slot.0], SlotOwner::Vacant);
+        let src = works[m.serving.0].as_mut().expect("cell home at the barrier");
+        let mut mu = src.cell.detach_foreground(m.slot);
+        let owner = std::mem::replace(&mut src.owners[m.slot.0], SlotOwner::Vacant);
         let flushed = if rlf {
             m.rlfs += 1;
             mu.flush()
@@ -674,11 +849,12 @@ impl MultiGrid {
             mu.restart_head();
             0
         };
-        let slot = cells[target.0].borrow_mut().attach_migrated(mu, cfg.channel);
-        if slot.0 == owners[target.0].len() {
-            owners[target.0].push(owner);
+        let tgt = works[target.0].as_mut().expect("cell home at the barrier");
+        let slot = tgt.cell.attach_migrated(mu, cfg.channel);
+        if slot.0 == tgt.owners.len() {
+            tgt.owners.push(owner);
         } else {
-            owners[target.0][slot.0] = owner;
+            tgt.owners[slot.0] = owner;
         }
         m.serving = target;
         m.slot = slot;
@@ -686,14 +862,11 @@ impl MultiGrid {
         flushed
     }
 
-    /// Advance the whole grid by exactly one subframe.
-    pub fn step(&mut self) {
-        let now = self.now;
+    /// Phase 1 (serial): mobility, measurements, handover decisions,
+    /// radio overrides. Flows first, then loads — a fixed order, and
+    /// every UE only touches its own named streams.
+    fn phase1(&mut self, now: SimTime) {
         let dt = poi360_sim::SUBFRAME;
-
-        // Phase 1: mobility, measurements, handover decisions, radio
-        // overrides. Flows first, then loads — a fixed order, and every
-        // UE only touches its own named streams.
         for k in 0..self.flow_ues.len() {
             let m = &mut self.flow_ues[k];
             let (x, y) = m.motion.step(dt);
@@ -708,24 +881,16 @@ impl MultiGrid {
             match decision {
                 HoDecision::Stay => {}
                 HoDecision::Handover(t) => {
-                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, false, now);
-                    self.sessions[k].rehome_shared_cell(Rc::clone(&self.cells[t.0]), m.slot);
+                    MultiGrid::migrate(&self.cfg, &mut self.works, m, t, false, now);
+                    self.sessions[k].as_mut().expect("session home").rehome_shared_cell(m.slot);
                     self.flow_recorders[k].event("ho.exec", now, t.0 as f64);
                     self.grid_recorder.count("grid.handover", now, 1);
                     self.tallies[k].ho_at.push(now);
                     self.tallies[k].pending_gap_from.get_or_insert(now);
                 }
                 HoDecision::Rlf(t) => {
-                    let flushed = MultiGrid::migrate(
-                        &self.cfg,
-                        &self.cells,
-                        &mut self.owners,
-                        m,
-                        t,
-                        true,
-                        now,
-                    );
-                    self.sessions[k].rehome_shared_cell(Rc::clone(&self.cells[t.0]), m.slot);
+                    let flushed = MultiGrid::migrate(&self.cfg, &mut self.works, m, t, true, now);
+                    self.sessions[k].as_mut().expect("session home").rehome_shared_cell(m.slot);
                     self.flow_recorders[k].event("ho.rlf", now, flushed as f64);
                     self.grid_recorder.count("grid.rlf", now, 1);
                     self.tallies[k].ho_at.push(now);
@@ -734,7 +899,8 @@ impl MultiGrid {
             }
             let forced = now < m.outage_until;
             let state = obs.channel_state(self.radio.config(), forced);
-            self.cells[m.serving.0].borrow_mut().set_foreground_radio(m.slot, state);
+            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            w.cell.set_foreground_radio(m.slot, state);
             if now.as_millis().is_multiple_of(100) {
                 self.flow_recorders[k].gauge("grid.serving_cell", now, m.serving.0 as f64);
             }
@@ -753,104 +919,145 @@ impl MultiGrid {
             match decision {
                 HoDecision::Stay => {}
                 HoDecision::Handover(t) => {
-                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, false, now);
+                    MultiGrid::migrate(&self.cfg, &mut self.works, m, t, false, now);
                     self.grid_recorder.count("grid.handover", now, 1);
                 }
                 HoDecision::Rlf(t) => {
-                    MultiGrid::migrate(&self.cfg, &self.cells, &mut self.owners, m, t, true, now);
+                    MultiGrid::migrate(&self.cfg, &mut self.works, m, t, true, now);
                     self.grid_recorder.count("grid.rlf", now, 1);
                 }
             }
             let forced = now < m.outage_until;
             let state = obs.channel_state(self.radio.config(), forced);
-            self.cells[m.serving.0].borrow_mut().set_foreground_radio(m.slot, state);
+            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            w.cell.set_foreground_radio(m.slot, state);
         }
+    }
 
-        // Phase 2: sources. Sessions run their sender pipeline (enqueue
-        // into their current serving cell); load UEs turn accrued bytes
-        // into cross packets.
-        self.rois.clear();
-        for s in &mut self.sessions {
-            let roi = s.multi_begin();
-            self.rois.push(roi);
+    /// Move every session and load source into its serving cell's arena
+    /// bundle, in ascending flow / load order (which fixes the per-cell
+    /// enqueue order independent of handover history).
+    fn assemble(&mut self) {
+        for (k, m) in self.flow_ues.iter().enumerate() {
+            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            w.flows.push(FlowSlot {
+                k,
+                session: self.sessions[k].take().expect("session home"),
+                tally: std::mem::take(&mut self.tallies[k]),
+            });
         }
-        for (j, load) in self.loads.iter_mut().enumerate() {
-            load.carry_bytes += load.traffic.subframe();
-            if load.carry_bytes >= LOAD_PACKET_BYTES {
-                let m = &self.load_ues[j];
-                let mut cell = self.cells[m.serving.0].borrow_mut();
-                while load.carry_bytes >= LOAD_PACKET_BYTES {
-                    load.carry_bytes -= LOAD_PACKET_BYTES;
-                    let pkt = Packet::cross(load.next_seq, LOAD_PACKET_BYTES as u32, now);
-                    load.next_seq += 1;
-                    cell.enqueue(m.slot, pkt, now);
-                }
+        for (j, m) in self.load_ues.iter().enumerate() {
+            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            w.loads.push(LoadSlot {
+                j,
+                slot: m.slot,
+                source: self.loads[j].take().expect("load home"),
+            });
+        }
+    }
+
+    /// Return sessions/loads to home storage and stage each cell's
+    /// published activity.
+    fn disassemble(&mut self) {
+        for w in self.works.iter_mut() {
+            let w = w.as_mut().expect("cell returned to the arena");
+            self.next_activity[w.id] = w.activity;
+            for f in w.flows.drain(..) {
+                self.sessions[f.k] = Some(f.session);
+                self.tallies[f.k] = f.tally;
+            }
+            for l in w.loads.drain(..) {
+                self.loads[l.j] = Some(l.source);
             }
         }
+    }
 
-        // Phase 3: every cell runs one PF allocation; outcomes route back
-        // to their owners; this subframe's utilization becomes the next
-        // subframe's interference activity.
-        for c in 0..self.cells.len() {
-            let mut out = self.cells[c].borrow_mut().subframe(now);
-            self.next_activity[c] =
-                out.prbs_granted as f64 / self.cfg.cell.total_prbs.max(1) as f64;
-            for (slot_idx, outcome) in out.per_ue.drain(..).enumerate() {
-                match self.owners[c][slot_idx] {
-                    SlotOwner::FlowUe(k) => {
-                        let tally = &mut self.tallies[k];
-                        for (pkt, _) in &outcome.departed {
-                            tally.delivered += 1;
-                            if pkt.flow == FlowKind::Video && !pkt.retransmit {
-                                if let Some(prev) = tally.last_video_seq {
-                                    if pkt.seq <= prev {
-                                        tally.seq_violations += 1;
-                                    }
-                                }
-                                tally.last_video_seq =
-                                    Some(tally.last_video_seq.map_or(pkt.seq, |p| p.max(pkt.seq)));
-                            }
-                        }
-                        if !outcome.departed.is_empty() {
-                            if let Some(from) = tally.pending_gap_from.take() {
-                                tally.gaps_ms.push(now.saturating_since(from).as_secs_f64() * 1e3);
-                            }
-                        }
-                        self.sessions[k].multi_complete(outcome, &self.rois[k]);
-                    }
-                    SlotOwner::LoadUe(j) => {
-                        self.loads[j].delivered += outcome.departed.len() as u64;
-                        let mut cell = self.cells[c].borrow_mut();
-                        cell.recycle_departed(outcome.departed);
-                        if let Some(report) = outcome.diag {
-                            cell.recycle_diag(UeId(slot_idx), report);
-                        }
-                    }
-                    SlotOwner::Vacant => {
-                        let mut cell = self.cells[c].borrow_mut();
-                        cell.recycle_departed(outcome.departed);
-                        if let Some(report) = outcome.diag {
-                            cell.recycle_diag(UeId(slot_idx), report);
-                        }
-                    }
-                }
-            }
-            self.cells[c].borrow_mut().recycle(out);
-        }
+    /// Epoch barrier: publish this subframe's activity as the next
+    /// subframe's interference input, emit driver gauges, merge trace
+    /// staging in canonical order, and advance time.
+    fn barrier(&mut self, now: SimTime) {
+        self.disassemble();
         std::mem::swap(&mut self.activity, &mut self.next_activity);
-
         if now.as_millis().is_multiple_of(100) {
             let mean = self.activity.iter().sum::<f64>() / self.activity.len() as f64;
             self.grid_recorder.gauge("grid.mean_activity", now, mean);
         }
-        self.now = now + dt;
+        if let Some(buffers) = &self.buffers {
+            buffers.drain();
+        }
+        self.now = now + poi360_sim::SUBFRAME;
+    }
+
+    /// Advance the whole grid by exactly one subframe (serial path).
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.phase1(now);
+        self.assemble();
+        let total_prbs = self.cfg.cell.total_prbs.max(1) as f64;
+        for w in &mut self.works {
+            w.as_mut().expect("assembled").run(now, total_prbs);
+        }
+        self.barrier(now);
+    }
+
+    /// Sharded epoch loop: a persistent pool of `shards` workers pulls
+    /// [`CellWork`] bundles from a shared queue each subframe; the driver
+    /// thread runs the serial phases and the barrier. Bundles are
+    /// re-slotted by cell id, so completion order is irrelevant to the
+    /// output.
+    fn run_sharded(&mut self, shards: usize, end: SimTime) {
+        let total_prbs = self.cfg.cell.total_prbs.max(1) as f64;
+        let n_cells = self.works.len();
+        let (work_tx, work_rx) = std::sync::mpsc::channel::<(CellWork, SimTime)>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<CellWork>();
+        std::thread::scope(|scope| {
+            for _ in 0..shards {
+                let work_rx = Arc::clone(&work_rx);
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    let job = { work_rx.lock().unwrap().recv() };
+                    match job {
+                        Ok((mut w, now)) => {
+                            w.run(now, total_prbs);
+                            if done_tx.send(w).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                });
+            }
+            drop(done_tx);
+            while self.now < end {
+                let now = self.now;
+                self.phase1(now);
+                self.assemble();
+                for w in &mut self.works {
+                    let w = w.take().expect("assembled");
+                    work_tx.send((w, now)).expect("worker pool alive");
+                }
+                for _ in 0..n_cells {
+                    let w = done_rx.recv().expect("worker returns its cell");
+                    let id = w.id;
+                    self.works[id] = Some(w);
+                }
+                self.barrier(now);
+            }
+            drop(work_tx);
+        });
     }
 
     /// Run to completion and assemble the report.
     pub fn run(mut self) -> MultiGridReport {
         let end = SimTime::ZERO + self.cfg.duration;
-        while self.now < end {
-            self.step();
+        let shards = self.cfg.shards.clamp(1, self.works.len().max(1));
+        if shards <= 1 {
+            while self.now < end {
+                self.step();
+            }
+        } else {
+            self.run_sharded(shards, end);
         }
 
         // Per-flow stats. ROI-quality-across-handover windows come from
@@ -860,8 +1067,10 @@ impl MultiGrid {
         for (k, m) in self.flow_ues.iter().enumerate() {
             let tally = &self.tallies[k];
             let fw = {
-                let cell = self.cells[m.serving.0].borrow();
+                let cell = &self.works[m.serving.0].as_ref().expect("cell home").cell;
                 let fw = cell.firmware(m.slot);
+                let dropped = cell.dropped(m.slot);
+                self.sessions[k].as_mut().expect("session home").set_shared_dropped(dropped);
                 (fw.total_enqueued(), fw.flushed(), fw.len() as u64)
             };
             let psnr = self.flow_recorders[k].gauge_series("video.roi_psnr_db");
@@ -899,23 +1108,35 @@ impl MultiGrid {
         for (j, m) in self.load_ues.iter().enumerate() {
             load_handovers += m.handovers;
             load_rlfs += m.rlfs;
-            let cell = self.cells[m.serving.0].borrow();
+            let cell = &self.works[m.serving.0].as_ref().expect("cell home").cell;
             let fw = cell.firmware(m.slot);
-            if fw.total_enqueued() != self.loads[j].delivered + fw.flushed() + fw.len() as u64 {
+            let delivered = self.loads[j].as_ref().expect("load home").delivered;
+            if fw.total_enqueued() != delivered + fw.flushed() + fw.len() as u64 {
                 load_conservation_violations += 1;
             }
         }
 
-        let mean_utilization =
-            self.cells.iter().map(|c| c.borrow().mean_utilization()).sum::<f64>()
-                / self.cells.len() as f64;
+        let mean_utilization = self
+            .works
+            .iter()
+            .map(|w| w.as_ref().expect("cell home").cell.mean_utilization())
+            .sum::<f64>()
+            / self.works.len() as f64;
         let probe_drops = self.grid_recorder.out_of_order_drops()
             + self.flow_recorders.iter().map(Recorder::out_of_order_drops).sum::<u64>();
+        if let Some(buffers) = &self.buffers {
+            buffers.drain();
+            buffers.sink.lock().unwrap().flush();
+        }
         self.grid_recorder.flush();
         MultiGridReport {
-            flows: self.sessions.into_iter().map(Session::into_report).collect(),
+            flows: self
+                .sessions
+                .into_iter()
+                .map(|s| s.expect("session home").into_report())
+                .collect(),
             flow_stats,
-            cells: self.cells.len(),
+            cells: self.works.len(),
             load_ues: self.load_ues.len(),
             load_handovers,
             load_rlfs,
@@ -941,6 +1162,12 @@ mod tests {
             seed,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn cell_work_bundles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CellWork>();
     }
 
     #[test]
@@ -972,7 +1199,7 @@ mod tests {
         let sink = poi360_sim::trace::RingSink::shared(200_000);
         let report = MultiCell::traced(tiny(vec![FlowSpec::default(); 2], 42), sink.clone()).run();
         assert_eq!(report.flows.len(), 2);
-        let ring = sink.borrow();
+        let ring = sink.lock().unwrap();
         assert!(ring.count_of("cell.prb_grant") > 0, "scheduler grants traced");
         assert!(ring.count_of("video.frame_encoded") > 0, "flow probes traced");
         let srcs: std::collections::BTreeSet<_> =
@@ -1061,11 +1288,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_grid_matches_serial_report() {
+        let serial = MultiGrid::new(grid_tiny(2, 11)).run();
+        let mut cfg = grid_tiny(2, 11);
+        cfg.shards = 2;
+        let sharded = MultiGrid::new(cfg).run();
+        let (mut ja, mut jb) = (String::new(), String::new());
+        serial.write_json(&mut ja);
+        sharded.write_json(&mut jb);
+        assert_eq!(ja, jb, "shard width must not change the report");
+    }
+
+    #[test]
     fn traced_grid_run_emits_handover_probes() {
         let sink = poi360_sim::trace::RingSink::shared(400_000);
         let report = MultiGrid::traced(grid_tiny(2, 11), sink.clone()).run();
         assert!(report.flow_stats.iter().any(|f| f.handovers + f.rlfs >= 1));
-        let ring = sink.borrow();
+        let ring = sink.lock().unwrap();
         assert!(ring.count_of("ho.exec") + ring.count_of("ho.rlf") > 0, "handover events traced");
         assert!(ring.count_of("grid.serving_cell") > 0, "serving-cell gauge traced");
         assert!(ring.count_of("grid.mean_activity") > 0, "activity gauge traced");

@@ -12,7 +12,7 @@ use poi360_video::frame::TileGrid;
 use poi360_video::roi::Roi;
 
 /// A spatial compression policy.
-pub trait CompressionPolicy {
+pub trait CompressionPolicy: Send {
     /// Short name for reports ("POI360", "Conduit", "Pyramid").
     fn name(&self) -> &'static str;
 

@@ -19,7 +19,7 @@ use poi360_sim::Recorder;
 use poi360_transport::gcc::{GccSender, Remb};
 
 /// The sender-side rate-control interface.
-pub trait RateController {
+pub trait RateController: Send {
     /// Short name for reports ("GCC", "FBCC").
     fn name(&self) -> &'static str;
 

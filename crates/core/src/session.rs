@@ -54,9 +54,7 @@ use poi360_video::encoder::{EncodedFrame, Encoder};
 use poi360_video::rd::RdModel;
 use poi360_video::roi::Roi;
 use poi360_viewport::motion::{HeadMotion, MotionConfig};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// PSNR assigned to a frame that never displays (stale content freezes on
 /// screen).
@@ -97,11 +95,13 @@ enum FeedbackMsg {
 enum Access {
     Cellular(CellUplink<Packet>),
     Wireline(WirelineLink<Packet>),
-    /// A handle into a shared multi-UE cell; the cell is stepped once per
-    /// subframe by the [`crate::multicell::MultiCell`] driver, not by the
-    /// session itself.
+    /// A UE slot inside a shared multi-UE cell. The session holds no
+    /// handle to the cell — the driver ([`crate::multicell::MultiCell`] /
+    /// [`crate::multicell::MultiGrid`]) owns the cells outright and lends
+    /// `&mut Cell` into [`Session::multi_begin`] /
+    /// [`Session::multi_complete`], which keeps the whole session `Send`
+    /// so a shard can carry it to a worker thread.
     SharedCell {
-        cell: Rc<RefCell<Cell<Packet>>>,
         ue: UeId,
     },
 }
@@ -157,6 +157,10 @@ pub struct Session {
     /// Probe handle every layer reports through; the report's series are
     /// derived from its channels in [`Session::finish`].
     recorder: Recorder,
+    /// Shared-cell sessions cannot reach into the driver-owned cell at
+    /// report time, so the driver injects the UE's access-drop total here
+    /// before calling [`Session::into_report`].
+    shared_dropped: u64,
     report: SessionReport,
     rx_bytes_this_second: u64,
     current_second: u64,
@@ -194,24 +198,20 @@ impl Session {
 
     /// Build a session whose uplink is a foreground UE inside a shared
     /// multi-UE [`Cell`]. The caller (normally
-    /// [`crate::multicell::MultiCell`]) must have attached `ue` already,
-    /// and must drive the session through [`Session::multi_begin`] /
-    /// [`Session::multi_complete`] so the cell is stepped exactly once per
+    /// [`crate::multicell::MultiCell`]) owns the cell, must have attached
+    /// `ue` already, and must drive the session through
+    /// [`Session::multi_begin`] / [`Session::multi_complete`] (lending the
+    /// cell mutably each subframe) so the cell is stepped exactly once per
     /// subframe for all its sessions.
-    pub fn with_shared_cell(cfg: SessionConfig, cell: Rc<RefCell<Cell<Packet>>>, ue: UeId) -> Self {
-        Session::with_shared_cell_traced(cfg, cell, ue, Recorder::null())
+    pub fn with_shared_cell(cfg: SessionConfig, ue: UeId) -> Self {
+        Session::with_shared_cell_traced(cfg, ue, Recorder::null())
     }
 
     /// [`Session::with_shared_cell`] with an explicit probe recorder.
-    pub fn with_shared_cell_traced(
-        cfg: SessionConfig,
-        cell: Rc<RefCell<Cell<Packet>>>,
-        ue: UeId,
-        recorder: Recorder,
-    ) -> Self {
+    pub fn with_shared_cell_traced(cfg: SessionConfig, ue: UeId, recorder: Recorder) -> Self {
         Session::assemble(
             cfg,
-            Access::SharedCell { cell, ue },
+            Access::SharedCell { ue },
             PipeConfig::cellular_downstream(),
             PipeConfig::cellular_feedback(),
             recorder,
@@ -281,6 +281,7 @@ impl Session {
             arrivals: Vec::new(),
             fb_arrivals: Vec::new(),
             recorder,
+            shared_dropped: 0,
             report: SessionReport { label, ..Default::default() },
             rx_bytes_this_second: 0,
             current_second: 0,
@@ -337,7 +338,7 @@ impl Session {
     /// access networks; shared-cell sessions are stepped by their
     /// [`crate::multicell::MultiCell`] driver.
     pub fn step(&mut self) {
-        let client_roi = self.step_ingress();
+        let client_roi = self.step_ingress(None);
 
         // 5. Access link service.
         let now = self.now;
@@ -354,7 +355,7 @@ impl Session {
             }
         };
         if let Some(out) = outcome {
-            self.absorb_uplink(out);
+            self.absorb_uplink(out, None);
         }
 
         self.step_egress(&client_roi);
@@ -363,7 +364,9 @@ impl Session {
     /// Phases 1–4: head motion, feedback intake, encode, pacing into the
     /// access queue. Returns the client ROI sampled this subframe, which
     /// [`Session::step_egress`] needs after the uplink has been served.
-    fn step_ingress(&mut self) -> Roi {
+    /// `shared` is the driver-lent cell for shared-cell sessions (`None`
+    /// on standalone access networks).
+    fn step_ingress(&mut self, mut shared: Option<&mut Cell<Packet>>) -> Roi {
         let now = self.now;
 
         // 1. Client head motion (sensor rate = subframe rate).
@@ -409,8 +412,9 @@ impl Session {
                 Access::Wireline(link) => {
                     link.enqueue(pkt, now);
                 }
-                Access::SharedCell { cell, ue } => {
-                    cell.borrow_mut().enqueue(*ue, pkt, now);
+                Access::SharedCell { ue } => {
+                    let cell = shared.as_deref_mut().expect("driver lends the shared cell");
+                    cell.enqueue(*ue, pkt, now);
                 }
             }
         }
@@ -422,8 +426,12 @@ impl Session {
     /// Feed one uplink subframe outcome into the session: departed packets
     /// enter the downstream path, and a closed diag epoch reaches the rate
     /// controller. Shared between the standalone cellular path and the
-    /// shared-cell driver.
-    fn absorb_uplink(&mut self, out: SubframeOutcome<Packet>) {
+    /// shared-cell driver (`shared` is the driver-lent cell).
+    fn absorb_uplink(
+        &mut self,
+        out: SubframeOutcome<Packet>,
+        mut shared: Option<&mut Cell<Packet>>,
+    ) {
         let now = self.now;
         let mut departed = out.departed;
         for (pkt, _) in departed.drain(..) {
@@ -433,7 +441,10 @@ impl Session {
         // subframe serves into it instead of allocating.
         match &mut self.access {
             Access::Cellular(ul) => ul.recycle_departed(departed),
-            Access::SharedCell { cell, .. } => cell.borrow_mut().recycle_departed(departed),
+            Access::SharedCell { .. } => shared
+                .as_deref_mut()
+                .expect("driver lends the shared cell")
+                .recycle_departed(departed),
             Access::Wireline(_) => {}
         }
         if let Some(diag) = out.diag {
@@ -442,7 +453,9 @@ impl Session {
             self.rate.on_diag(&diag, now);
             match &mut self.access {
                 Access::Cellular(ul) => ul.recycle_diag(diag),
-                Access::SharedCell { cell, ue } => cell.borrow_mut().recycle_diag(*ue, diag),
+                Access::SharedCell { ue } => {
+                    shared.expect("driver lends the shared cell").recycle_diag(*ue, diag)
+                }
                 Access::Wireline(_) => {}
             }
         }
@@ -468,32 +481,43 @@ impl Session {
     }
 
     /// Shared-cell driver hook: run phases 1–4 (up to and including
-    /// enqueueing into the cell) and hand back the sampled client ROI.
-    pub(crate) fn multi_begin(&mut self) -> Roi {
+    /// enqueueing into the lent `cell`) and hand back the sampled client
+    /// ROI.
+    pub(crate) fn multi_begin(&mut self, cell: &mut Cell<Packet>) -> Roi {
         debug_assert!(matches!(self.access, Access::SharedCell { .. }));
-        self.step_ingress()
+        self.step_ingress(Some(cell))
     }
 
     /// Shared-cell driver hook: absorb this session's slice of the cell
     /// subframe and finish the subframe (phases 6–7).
-    pub(crate) fn multi_complete(&mut self, out: SubframeOutcome<Packet>, client_roi: &Roi) {
-        self.absorb_uplink(out);
+    pub(crate) fn multi_complete(
+        &mut self,
+        out: SubframeOutcome<Packet>,
+        client_roi: &Roi,
+        cell: &mut Cell<Packet>,
+    ) {
+        self.absorb_uplink(out, Some(cell));
         self.step_egress(client_roi);
     }
 
-    /// Handover: repoint this shared-cell session at its UE's new serving
-    /// cell. The grid driver has already moved the firmware buffer via
-    /// [`poi360_lte::cell::Cell::detach_foreground`] /
-    /// [`poi360_lte::cell::Cell::attach_migrated`]; from here on the
-    /// session enqueues into (and recycles through) the target cell.
-    pub(crate) fn rehome_shared_cell(&mut self, new_cell: Rc<RefCell<Cell<Packet>>>, new_ue: UeId) {
+    /// Handover: repoint this shared-cell session at its UE slot in the
+    /// new serving cell. The grid driver has already moved the firmware
+    /// buffer via [`poi360_lte::cell::Cell::detach_foreground`] /
+    /// [`poi360_lte::cell::Cell::attach_migrated`] and will lend the new
+    /// cell into the driver hooks from here on.
+    pub(crate) fn rehome_shared_cell(&mut self, new_ue: UeId) {
         match &mut self.access {
-            Access::SharedCell { cell, ue } => {
-                *cell = new_cell;
-                *ue = new_ue;
-            }
+            Access::SharedCell { ue } => *ue = new_ue,
             _ => panic!("rehome_shared_cell on a non-shared-cell session"),
         }
+    }
+
+    /// Shared-cell driver hook: inject the UE's access-drop total (read
+    /// from the driver-owned serving cell) so [`Session::into_report`] can
+    /// account dropped packets without a cell handle.
+    pub(crate) fn set_shared_dropped(&mut self, dropped: u64) {
+        debug_assert!(matches!(self.access, Access::SharedCell { .. }));
+        self.shared_dropped = dropped;
     }
 
     /// Consume the session and produce its report (shared-cell driver
@@ -687,7 +711,9 @@ impl Session {
         self.report.packets_dropped = match &self.access {
             Access::Cellular(ul) => ul.dropped() + self.downstream.lost(),
             Access::Wireline(link) => link.dropped() + self.downstream.lost(),
-            Access::SharedCell { cell, ue } => cell.borrow().dropped(*ue) + self.downstream.lost(),
+            // Injected by the driver via `set_shared_dropped` before
+            // `into_report`; the session holds no cell handle.
+            Access::SharedCell { .. } => self.shared_dropped + self.downstream.lost(),
         };
         self.recorder.flush();
         self.report
@@ -719,6 +745,14 @@ mod tests {
 
     fn cellular() -> NetworkKind {
         NetworkKind::Cellular(Scenario::baseline())
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The sharded grid driver ships whole sessions to worker threads;
+        // this assertion is the compile-time contract that keeps it legal.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
     }
 
     #[test]

@@ -495,7 +495,7 @@ mod tests {
         for ms in 0..30 {
             tl.advance(t(ms), &rec);
         }
-        let sink = ring.borrow();
+        let sink = ring.lock().unwrap();
         assert_eq!(sink.count_of("fault.radio_link_failure"), 2, "one onset + one recovery");
         let values: Vec<f64> = sink
             .records()
@@ -513,6 +513,6 @@ mod tests {
         for ms in 0..10 {
             assert!(!tl.advance(t(ms), &rec).any());
         }
-        assert!(ring.borrow().is_empty());
+        assert!(ring.lock().unwrap().is_empty());
     }
 }

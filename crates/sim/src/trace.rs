@@ -29,10 +29,14 @@
 //!   in-repo writer for offline analysis.
 //! * **Recorders** are per-session handles threaded through construction.
 //!   Each [`Recorder`] owns its gauge/counter channels (so parallel sessions
-//!   never share state) and optionally forwards to a sink shared only within
-//!   one session's thread (`Rc`, deliberately not `Send`). Cloning a
-//!   recorder shares its channels — that is how one session hands the same
-//!   registry to its pacer, encoder, and rate controller.
+//!   never share state) and optionally forwards to a sink. Handles are
+//!   `Arc<Mutex<…>>`, so a session — recorder, channels, sink handle and
+//!   all — is `Send` and may be shipped to a worker shard; the sharded
+//!   grid driver gives each entity its own [`BufferSink`] and merges the
+//!   buffers into the real sink in fixed entity order at each subframe
+//!   barrier, so the merged stream is identical at any shard width.
+//!   Cloning a recorder shares its channels — that is how one session
+//!   hands the same registry to its pacer, encoder, and rate controller.
 //!
 //! Determinism contract: probes observe, they never influence. A recorder
 //! draws no randomness, schedules no events, and never changes a control
@@ -42,10 +46,9 @@
 use crate::json::{JsonObject, JsonValue};
 use crate::series::TimeSeries;
 use crate::time::SimTime;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Version of the JSONL trace format. Bump when the record or metadata
 /// shape changes; `poi360-analyse` warns when it aggregates across
@@ -194,12 +197,15 @@ impl TraceRecord {
 
 /// Receiver of probe emissions.
 ///
-/// Contract: a sink is a pure observer. It must not panic on any record,
-/// must tolerate interleaved sources (`src` distinguishes them), and must
-/// not be shared across threads (the handle type is `Rc`-based, which the
-/// compiler enforces). Sinks may buffer; [`TraceSink::flush`] is called when
-/// a driver wants bytes on disk.
-pub trait TraceSink {
+/// Contract: a sink is a pure observer. It must not panic on any record and
+/// must tolerate interleaved sources (`src` distinguishes them). The handle
+/// type is `Arc<Mutex<…>>`, so a sink may be shared across shard threads —
+/// but deterministic artifacts require deterministic *record order*, which
+/// concurrent emission does not give; parallel drivers must emit into
+/// per-entity [`BufferSink`]s and merge them in fixed entity order at a
+/// barrier instead of writing to a shared sink mid-epoch. Sinks may buffer;
+/// [`TraceSink::flush`] is called when a driver wants bytes on disk.
+pub trait TraceSink: Send {
     /// Accept one record from source `src`.
     fn record(&mut self, src: &str, rec: &TraceRecord);
 
@@ -207,8 +213,8 @@ pub trait TraceSink {
     fn flush(&mut self) {}
 }
 
-/// Shared handle to a sink, cloneable across the recorders of one thread.
-pub type SinkHandle = Rc<RefCell<dyn TraceSink>>;
+/// Shared handle to a sink, cloneable across recorders (and shards).
+pub type SinkHandle = Arc<Mutex<dyn TraceSink>>;
 
 /// A sink that drops everything. [`Recorder::null`] avoids even the virtual
 /// call, so this type exists mainly to document the bottom of the lattice
@@ -235,8 +241,8 @@ impl RingSink {
     }
 
     /// Wrap in the shared-handle type recorders expect.
-    pub fn shared(cap: usize) -> Rc<RefCell<RingSink>> {
-        Rc::new(RefCell::new(RingSink::new(cap)))
+    pub fn shared(cap: usize) -> Arc<Mutex<RingSink>> {
+        Arc::new(Mutex::new(RingSink::new(cap)))
     }
 
     /// The retained `(src, record)` pairs, oldest first.
@@ -266,6 +272,64 @@ impl TraceSink for RingSink {
             self.records.pop_front();
         }
         self.records.push_back((src.to_string(), *rec));
+    }
+}
+
+/// Per-entity staging sink for sharded drivers.
+///
+/// A parallel driver cannot let shard threads write to the real sink
+/// directly — interleaving would depend on the schedule. Instead each
+/// entity (cell, flow, grid) records into its own `BufferSink`, and at the
+/// epoch barrier the driver drains the buffers into the real sink in fixed
+/// entity order. Within one entity, records keep emission order; across
+/// entities, the drain order is the canonical order — so the merged stream
+/// is byte-identical at any shard width, including width 1.
+///
+/// `TraceRecord` carries no source string, so the buffer stores only the
+/// records; [`BufferSink::drain_into`] stamps the entity's `src` when it
+/// replays them. A recorder's own `src` is therefore ignored while staged
+/// records sit in the buffer — give each entity its own buffer and pass the
+/// matching `src` at drain time.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    records: Vec<TraceRecord>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// Wrap in the shared-handle type recorders expect.
+    pub fn shared() -> Arc<Mutex<BufferSink>> {
+        Arc::new(Mutex::new(BufferSink::new()))
+    }
+
+    /// Number of staged records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Replay every staged record into `sink` under source `src`, in
+    /// emission order, and clear the buffer (capacity is retained so the
+    /// steady state stays allocation-free).
+    pub fn drain_into(&mut self, src: &str, sink: &mut dyn TraceSink) {
+        for rec in &self.records {
+            sink.record(src, rec);
+        }
+        self.records.clear();
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, _src: &str, rec: &TraceRecord) {
+        self.records.push(*rec);
     }
 }
 
@@ -336,7 +400,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> TraceSink for JsonlSink<W> {
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, src: &str, rec: &TraceRecord) {
         match self.counts.iter_mut().find(|(n, _)| std::ptr::eq(*n, rec.name) || *n == rec.name) {
             Some((_, c)) => *c += 1,
@@ -401,17 +465,18 @@ impl Channels {
 
 /// A per-session probe handle.
 ///
-/// Cheap to clone (two `Rc` bumps); clones share the gauge/counter channels
+/// Cheap to clone (two `Arc` bumps); clones share the gauge/counter channels
 /// and the sink, which is how one session distributes the same recorder to
 /// its pacer, encoder, uplink, and rate controller. Distinct sessions must
-/// construct distinct recorders — the parallel experiment runner builds each
-/// session (and therefore each recorder) inside its own worker thread, so
-/// sharing is impossible by construction (`Recorder` is not `Send`).
+/// construct distinct recorders so channels are never contended; the
+/// recorder is `Send`, so a whole session can be shipped to a worker shard,
+/// but a correct driver still serializes the *emission order* it wants
+/// (per-entity [`BufferSink`]s merged at a barrier).
 #[derive(Clone)]
 pub struct Recorder {
-    channels: Rc<RefCell<Channels>>,
+    channels: Arc<Mutex<Channels>>,
     sink: Option<SinkHandle>,
-    src: Rc<str>,
+    src: Arc<str>,
 }
 
 impl Default for Recorder {
@@ -435,9 +500,9 @@ impl Recorder {
     /// derivation, `event()` compiles down to a branch on a `None`.
     pub fn null() -> Self {
         Recorder {
-            channels: Rc::new(RefCell::new(Channels::default())),
+            channels: Arc::new(Mutex::new(Channels::default())),
             sink: None,
-            src: Rc::from("session"),
+            src: Arc::from("session"),
         }
     }
 
@@ -445,9 +510,9 @@ impl Recorder {
     /// from `src` ("session", "cell", "fg.00", ...).
     pub fn to_sink(sink: SinkHandle, src: &str) -> Self {
         Recorder {
-            channels: Rc::new(RefCell::new(Channels::default())),
+            channels: Arc::new(Mutex::new(Channels::default())),
             sink: Some(sink),
-            src: Rc::from(src),
+            src: Arc::from(src),
         }
     }
 
@@ -468,7 +533,7 @@ impl Recorder {
     /// windowed reductions; see [`Recorder::out_of_order_drops`].
     pub fn gauge(&self, name: &'static str, at: SimTime, value: f64) {
         {
-            let mut ch = self.channels.borrow_mut();
+            let mut ch = self.channels.lock().unwrap();
             if ch.gauge_mut(name).try_push(at, value).is_err() {
                 ch.out_of_order_drops += 1;
                 debug_assert!(false, "out-of-order gauge sample on {name}");
@@ -480,7 +545,7 @@ impl Recorder {
 
     /// Increment the named counter by `n` and forward the increment.
     pub fn count(&self, name: &'static str, at: SimTime, n: u64) {
-        *self.channels.borrow_mut().counter_mut(name) += n;
+        *self.channels.lock().unwrap().counter_mut(name) += n;
         self.emit(name, at, ProbeKind::Counter, n as f64);
     }
 
@@ -495,20 +560,26 @@ impl Recorder {
 
     fn emit(&self, name: &'static str, at: SimTime, kind: ProbeKind, value: f64) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(&self.src, &TraceRecord { at, name, kind, value });
+            sink.lock().unwrap().record(&self.src, &TraceRecord { at, name, kind, value });
         }
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.channels.borrow().counters.iter().find(|&&(n, _)| n == name).map_or(0, |&(_, v)| v)
+        self.channels
+            .lock()
+            .unwrap()
+            .counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
     }
 
     /// Move the named gauge channel out of the recorder (empty series if the
     /// probe never fired). Reports call this once at the end of a run so the
     /// samples transfer without a copy.
     pub fn take_gauge(&self, name: &str) -> TimeSeries {
-        let mut ch = self.channels.borrow_mut();
+        let mut ch = self.channels.lock().unwrap();
         match ch.gauges.iter().position(|&(n, _)| n == name) {
             Some(idx) => std::mem::take(&mut ch.gauges[idx].1),
             None => TimeSeries::new(),
@@ -518,7 +589,8 @@ impl Recorder {
     /// Snapshot of a gauge channel without consuming it.
     pub fn gauge_series(&self, name: &str) -> TimeSeries {
         self.channels
-            .borrow()
+            .lock()
+            .unwrap()
             .gauges
             .iter()
             .find(|&&(n, _)| n == name)
@@ -527,13 +599,13 @@ impl Recorder {
 
     /// Gauge samples rejected for arriving out of chronological order.
     pub fn out_of_order_drops(&self) -> u64 {
-        self.channels.borrow().out_of_order_drops
+        self.channels.lock().unwrap().out_of_order_drops
     }
 
     /// Flush the attached sink, if any.
     pub fn flush(&self) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().flush();
+            sink.lock().unwrap().flush();
         }
     }
 }
@@ -580,7 +652,7 @@ mod tests {
         rec.count("a.one", t(1), 1);
         rec.gauge("a.two", t(2), 2.0);
         rec.event("a.three", t(3), 3.0);
-        let sink = ring.borrow();
+        let sink = ring.lock().unwrap();
         assert_eq!(sink.len(), 2, "capacity 2 evicts the oldest");
         assert_eq!(sink.count_of("a.one"), 0);
         assert_eq!(sink.count_of("a.two"), 1);
@@ -674,6 +746,39 @@ mod tests {
         assert!(RunMeta::is_meta(&first));
         assert_eq!(RunMeta::from_json(&first).unwrap().unwrap().seed, 9);
         assert!(!RunMeta::is_meta(&parse_json(lines[1]).unwrap()));
+    }
+
+    #[test]
+    fn recorder_and_sink_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Recorder>();
+        assert_send::<SinkHandle>();
+        assert_send::<BufferSink>();
+    }
+
+    #[test]
+    fn buffer_sink_replays_in_order_under_drain_src() {
+        let buf = BufferSink::shared();
+        let rec = Recorder::to_sink(buf.clone(), "ignored-while-staged");
+        rec.gauge("a.one", t(1), 1.0);
+        rec.count("a.two", t(2), 3);
+        rec.event("a.three", t(3), 4.0);
+        assert_eq!(buf.lock().unwrap().len(), 3);
+
+        let mut ring = RingSink::new(8);
+        buf.lock().unwrap().drain_into("cell.07", &mut ring);
+        assert!(buf.lock().unwrap().is_empty(), "drain clears the buffer");
+        let got: Vec<(String, &'static str)> =
+            ring.records().map(|(src, r)| (src.clone(), r.name)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("cell.07".to_string(), "a.one"),
+                ("cell.07".to_string(), "a.two"),
+                ("cell.07".to_string(), "a.three"),
+            ],
+            "emission order kept, drain src stamped"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn ring_sink_keeps_fault_transitions_ordered() {
         now += poi360_sim::SUBFRAME;
     }
 
-    let sink = ring.borrow();
+    let sink = ring.lock().unwrap();
     assert!(!sink.is_empty(), "transitions were recorded");
     let records: Vec<_> = sink.records().collect();
     for pair in records.windows(2) {
@@ -77,7 +77,7 @@ fn overlapping_starvation_steps_are_traced() {
     for ms in 0..500 {
         tl.advance(t(ms), &rec);
     }
-    let sink = ring.borrow();
+    let sink = ring.lock().unwrap();
     let values: Vec<f64> = sink
         .records()
         .filter(|(_, r)| r.name == "fault.grant_starvation")
@@ -103,7 +103,7 @@ fn ring_sink_evicts_oldest_under_pressure() {
         tl.advance(now, &rec);
         now += poi360_sim::SUBFRAME;
     }
-    let sink = ring.borrow();
+    let sink = ring.lock().unwrap();
     assert_eq!(sink.len(), 8, "ring holds exactly its capacity");
     // 32 windows x 2 edges = 64 transitions; the retained 8 are the last 8.
     let first_retained = sink.records().next().expect("non-empty ring").1.at;

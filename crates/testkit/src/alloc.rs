@@ -16,9 +16,15 @@
 //! assert_eq!(stats.allocs, 0, "steady state must not allocate");
 //! ```
 //!
-//! The counters are thread-local `Cell<u64>`s with const initializers, so
-//! reading or bumping them never allocates (a lazily-initialized TLS slot
-//! would recurse into the allocator on first touch). Installing the
+//! The counters come in two flavors. The thread-local `Cell<u64>`s (with
+//! const initializers, so reading or bumping them never allocates — a
+//! lazily-initialized TLS slot would recurse into the allocator on first
+//! touch) feed [`AllocScope`], which sees only the current thread.
+//! Process-global relaxed atomics, bumped alongside the thread-locals,
+//! feed [`GlobalAllocScope`], which sees **every** thread — the scope the
+//! zero-alloc gate uses now that the grid's hot loop can run on shard
+//! worker threads (a thread-local scope around a sharded loop would
+//! vacuously pass while the workers allocate freely). Installing the
 //! allocator is the *binary's* choice — a `#[global_allocator]` item in
 //! the bench/test binary — so library crates and ordinary test binaries
 //! keep the plain system allocator. When the counting allocator is not
@@ -29,10 +35,25 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
     static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide totals across all threads (relaxed: the gate only reads
+/// them outside the measured region, after the workers have joined or
+/// gone idle at a barrier, so no ordering is required — only counts).
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn bump(bytes: u64) {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+    BYTES.with(|c| c.set(c.get() + bytes));
+    GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    GLOBAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
 }
 
 /// A `#[global_allocator]` shim that counts allocations per thread.
@@ -46,8 +67,7 @@ pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        bump(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -56,16 +76,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        bump(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc acquires heap (growth) or at least exercises the
         // allocator; either way the hot loop must not do it.
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        bump(new_size as u64);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -109,6 +127,38 @@ pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
     let scope = AllocScope::enter();
     let r = f();
     (r, scope.exit())
+}
+
+/// Snapshot-based measurement of allocations across **all** threads.
+///
+/// This is the shard-aware scope: a region whose hot loop fans out to
+/// worker threads (the sharded grid driver) must be measured here, not
+/// with [`AllocScope`], or worker-side allocations escape the count.
+/// Because the totals are process-wide, concurrent unrelated activity
+/// (another test, a background thread) also lands in the delta — callers
+/// that need an exact number must serialize such activity themselves.
+#[derive(Debug)]
+pub struct GlobalAllocScope {
+    allocs_at_enter: u64,
+    bytes_at_enter: u64,
+}
+
+impl GlobalAllocScope {
+    /// Start counting from the process-wide totals.
+    pub fn enter() -> Self {
+        GlobalAllocScope {
+            allocs_at_enter: GLOBAL_ALLOCS.load(Ordering::Relaxed),
+            bytes_at_enter: GLOBAL_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocations on any thread since [`GlobalAllocScope::enter`].
+    pub fn exit(self) -> AllocStats {
+        AllocStats {
+            allocs: GLOBAL_ALLOCS.load(Ordering::Relaxed) - self.allocs_at_enter,
+            bytes: GLOBAL_BYTES.load(Ordering::Relaxed) - self.bytes_at_enter,
+        }
+    }
 }
 
 /// Whether the counting allocator is actually installed in this binary.
