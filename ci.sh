@@ -84,6 +84,23 @@ cmp target/ci/study_w1/study_cc_matrix_smoke.jsonl target/ci/study_w4/study_cc_m
 cmp target/ci/study_w1/study_cc_matrix_smoke.txt target/ci/study_w4/study_cc_matrix_smoke.txt
 echo "ok: study artifact byte-identical at widths 1 and 4"
 
+echo "== arena smoke (3 controllers x 3 tilings: quality scores + fault verdicts) =="
+# Exits nonzero if any cell violates a fault-suite recovery invariant.
+cargo run --release -p poi360-bench --bin reproduce -- arena --smoke >/dev/null
+test -s bench_results/arena_smoke.jsonl
+test -s bench_results/arena_smoke.txt
+
+echo "== arena byte-identity across worker-pool widths =="
+# Same env-not-flags rule as the study gate: the RunMeta stamp records
+# argv, so the width must come from POI360_THREADS.
+POI360_THREADS=1 POI360_BENCH_DIR=target/ci/arena_w1 \
+    cargo run --release -p poi360-bench --bin reproduce -- arena --smoke >/dev/null
+POI360_THREADS=4 POI360_BENCH_DIR=target/ci/arena_w4 \
+    cargo run --release -p poi360-bench --bin reproduce -- arena --smoke >/dev/null
+cmp target/ci/arena_w1/arena_smoke.jsonl target/ci/arena_w4/arena_smoke.jsonl
+cmp target/ci/arena_w1/arena_smoke.txt target/ci/arena_w4/arena_smoke.txt
+echo "ok: arena artifact byte-identical at widths 1 and 4"
+
 echo "== mobility byte-identity across shard widths =="
 # Same env-not-flags rule as the study gate. POI360_THREADS drives both
 # the worker pool *and* the grid's epoch-lockstep shard width (they share

@@ -31,5 +31,6 @@
 pub mod aggregate;
 pub mod chrome;
 pub mod ingest;
+pub mod league;
 pub mod report;
 pub mod study;

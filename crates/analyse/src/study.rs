@@ -49,7 +49,7 @@ impl StudyFamily {
 
 /// The rate controllers a fault-family study may race. Label vocabulary
 /// only — `bench::study` maps these onto `RateControlKind`.
-pub const CONTROLLERS: [&str; 2] = ["fbcc", "gcc"];
+pub const CONTROLLERS: [&str; 3] = ["fbcc", "gcc", "occ"];
 
 /// The synthetic no-fault scenario every fault study may include: a
 /// quiet cell with an empty fault plan (byte-identical to an untraced

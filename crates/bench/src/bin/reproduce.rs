@@ -95,6 +95,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("mobility", "hex-grid A3 handover suite: conservation + gap invariants (see --help text)"),
     ("perf", "per-layer hot-path profile + allocation gate (see --help text)"),
     ("study", "declarative scenario x controller x seed matrix + cross-run report"),
+    ("arena", "controller x tiling tournament: quality scores + fault verdicts + league table"),
     ("all", "every figure and table above"),
     ("list", "print this subcommand list (also --list)"),
     ("smoke", "quick JSON bench + aggregate sanity run (also --smoke)"),
@@ -106,11 +107,12 @@ fn list() {
         println!("  {name:<10} {what}");
     }
     println!(
-        "\nnamed presets (reproduce faults <name> / reproduce mobility <name> / reproduce study <name>):"
+        "\nnamed presets (reproduce faults|mobility|study <name>; arena --controllers/--policies):"
     );
     let presets = poi360_lte::scenario::preset_registry()
         .into_iter()
-        .chain(poi360_analyse::study::registry());
+        .chain(poi360_analyse::study::registry())
+        .chain(poi360_bench::arena::registry());
     for p in presets {
         println!("  {:<9} {:<12} {}", p.family, p.name, p.what);
     }
@@ -131,6 +133,7 @@ fn usage() -> ! {
          \x20      reproduce mobility [scenario] [--seconds N] [--seed N] [--smoke]\n\
          \x20      reproduce perf [--smoke] [--compare <baseline.json>]\n\
          \x20      reproduce study <preset|config-file> [--smoke] [--baseline <dir>]\n\
+         \x20      reproduce arena [--smoke] [--seconds N] [--seed N] [--controllers a+b] [--policies x+y]\n\
          \x20      reproduce --list    (enumerate subcommands)\n\
          \x20      reproduce --smoke   (quick JSON bench + aggregate sanity run)\n\
          \x20      any subcommand also accepts --threads N (worker-pool width;\n\
@@ -562,6 +565,90 @@ fn study(args: &[String]) -> usize {
     protocol.failures
 }
 
+/// `reproduce arena [--smoke] [--seconds N] [--seed N]
+/// [--controllers a+b] [--policies x+y]` — the controller × tiling
+/// tournament. Returns the number of violated fault invariants.
+fn arena(args: &[String]) -> usize {
+    use poi360_bench::arena as ar;
+
+    let mut cfg = ar::ArenaConfig::full();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                // CI entry point: full 3x3 matrix, compressed legs.
+                let seed = cfg.seed;
+                cfg = ar::ArenaConfig { seed, ..ar::ArenaConfig::smoke() };
+                smoke = true;
+            }
+            "--seconds" => {
+                cfg.seconds =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                cfg.seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--controllers" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cfg.controllers = spec
+                    .split('+')
+                    .map(|name| {
+                        ar::controller_by_name(name).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--policies" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cfg.policies = spec
+                    .split('+')
+                    .map(|name| {
+                        ar::policy_by_name(name).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "# arena: {} controllers x {} policies, {}s legs, {} fault presets, seed {}",
+        cfg.controllers.len(),
+        cfg.policies.len(),
+        cfg.seconds,
+        cfg.fault_scenarios.len(),
+        cfg.seed
+    );
+    let protocol = ar::run_protocol(&cfg);
+
+    let dir = poi360_testkit::results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let stem = if smoke { "arena_smoke" } else { "arena" };
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&jsonl_path, &protocol.jsonl).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", jsonl_path.display());
+        std::process::exit(1);
+    });
+
+    // Like study: the .txt artifact is exactly the protocol text (the
+    // golden test pins the smoke variant), path lines go to stdout only.
+    println!("{}", protocol.text);
+    println!("{} JSONL bytes -> {}", protocol.jsonl.len(), jsonl_path.display());
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{stem}.txt"))) {
+        let _ = f.write_all(protocol.text.as_bytes());
+    }
+    protocol.failures
+}
+
 /// `reproduce perf [--smoke] [--compare <baseline.json>]` — the
 /// profiling plane. Returns the number of gate failures.
 fn perf(args: &[String]) -> usize {
@@ -633,6 +720,12 @@ fn main() {
     }
     if what == "study" {
         if study(&args[1..]) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if what == "arena" {
+        if arena(&args[1..]) > 0 {
             std::process::exit(1);
         }
         return;

@@ -10,7 +10,7 @@
 //! suite run is a pure function of its seed, so the JSONL byte stream it
 //! produces is asserted byte-identical across reruns.
 
-use poi360_core::config::{NetworkKind, RateControlKind, SessionConfig};
+use poi360_core::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use poi360_core::report::SessionReport;
 use poi360_core::session::Session;
 use poi360_lte::scenario::{FaultScenario, FAULT_RUN_SECS};
@@ -94,14 +94,28 @@ pub fn scaled_plan(fs: &FaultScenario, seconds: u64) -> FaultPlan {
     fs.plan.time_scaled(seconds, FAULT_RUN_SECS)
 }
 
-/// The session configuration for one fault case.
+/// The session configuration for one fault case (default tiling scheme).
 pub fn session_config(
     fs: &FaultScenario,
     rc: RateControlKind,
     seconds: u64,
     seed: u64,
 ) -> SessionConfig {
+    session_config_with_scheme(fs, CompressionScheme::Poi360, rc, seconds, seed)
+}
+
+/// The session configuration for one fault case under an explicit tiling
+/// scheme — the arena races controllers *and* tile policies through the
+/// same invariants.
+pub fn session_config_with_scheme(
+    fs: &FaultScenario,
+    scheme: CompressionScheme,
+    rc: RateControlKind,
+    seconds: u64,
+    seed: u64,
+) -> SessionConfig {
     SessionConfig {
+        scheme,
         rate_control: rc,
         network: NetworkKind::Cellular(fs.scenario),
         duration: SimDuration::from_secs(seconds),
@@ -199,15 +213,31 @@ pub fn run_case(
     seed: u64,
     recorder: Recorder,
 ) -> FaultOutcome {
+    run_case_with_scheme(fs, CompressionScheme::Poi360, rc, seconds, seed, recorder)
+}
+
+/// [`run_case`] under an explicit tiling scheme.
+pub fn run_case_with_scheme(
+    fs: &FaultScenario,
+    scheme: CompressionScheme,
+    rc: RateControlKind,
+    seconds: u64,
+    seed: u64,
+    recorder: Recorder,
+) -> FaultOutcome {
     let plan = scaled_plan(fs, seconds);
     let keep = recorder.clone();
-    let report =
-        Session::faulted_traced(session_config(fs, rc, seconds, seed), &plan, recorder).run();
+    let report = Session::faulted_traced(
+        session_config_with_scheme(fs, scheme, rc, seconds, seed),
+        &plan,
+        recorder,
+    )
+    .run();
     let verdict = judge(&report, &plan, seconds, keep.out_of_order_drops());
     FaultOutcome { scenario: fs.name, what: fs.what, rc, report, verdict }
 }
 
-/// Run every given preset under both FBCC and GCC, tracing into one
+/// Run every given preset under FBCC, GCC, and OCC, tracing into one
 /// logical JSONL stream (per-run src `"<scenario>.<rc>"`). Returns the
 /// outcomes plus the raw JSONL bytes — byte-identical across calls with
 /// the same arguments, which is exactly what callers assert.
@@ -225,7 +255,7 @@ pub fn run_suite(
 ) -> (Vec<FaultOutcome>, Vec<u8>) {
     let mut jobs = Vec::new();
     for fs in scenarios {
-        for rc in [RateControlKind::Fbcc, RateControlKind::Gcc] {
+        for rc in [RateControlKind::Fbcc, RateControlKind::Gcc, RateControlKind::Occ] {
             jobs.push((fs.clone(), rc));
         }
     }
@@ -259,10 +289,10 @@ mod tests {
         let rlf = FaultScenario::by_name("rlf").expect("preset exists");
         let (a_out, a_bytes) = run_suite(std::slice::from_ref(&rlf), 6, 3);
         let (b_out, b_bytes) = run_suite(std::slice::from_ref(&rlf), 6, 3);
-        assert_eq!(a_out.len(), 2, "FBCC and GCC");
+        assert_eq!(a_out.len(), 3, "FBCC, GCC, and OCC");
         assert!(!a_bytes.is_empty(), "trace stream captured");
         assert_eq!(a_bytes, b_bytes, "fault suite reruns must be byte-identical");
-        assert_eq!(b_out.len(), 2);
+        assert_eq!(b_out.len(), 3);
     }
 
     #[test]

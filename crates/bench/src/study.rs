@@ -32,6 +32,7 @@ pub fn rate_control(label: &str) -> RateControlKind {
     match label {
         "fbcc" => RateControlKind::Fbcc,
         "gcc" => RateControlKind::Gcc,
+        "occ" => RateControlKind::Occ,
         other => unreachable!("StudyConfig::validate admitted controller {other:?}"),
     }
 }
@@ -77,13 +78,13 @@ pub struct ExecutedCase {
     pub gaps_ms: Vec<f64>,
 }
 
-fn stamped_sink(seed: u64) -> Arc<Mutex<JsonlSink<Vec<u8>>>> {
+pub(crate) fn stamped_sink(seed: u64) -> Arc<Mutex<JsonlSink<Vec<u8>>>> {
     let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
     sink.lock().unwrap().stamp(&RunMeta::current(seed));
     sink
 }
 
-fn finish_sink(sink: Arc<Mutex<JsonlSink<Vec<u8>>>>) -> Vec<u8> {
+pub(crate) fn finish_sink(sink: Arc<Mutex<JsonlSink<Vec<u8>>>>) -> Vec<u8> {
     sink.lock().unwrap().flush();
     let Ok(sink) = Arc::try_unwrap(sink) else { panic!("all trace handles dropped") };
     sink.into_inner().unwrap().into_inner()

@@ -19,6 +19,12 @@ pub enum CompressionScheme {
     /// Ablation: POI360 pinned to one of its eight modes (1 = most
     /// aggressive, 8 = most conservative), adaptation disabled.
     FixedMode(u8),
+    /// Related work: POI360's mode selector modulated by Pano-style
+    /// per-tile quality-sensitivity weights (`video::perceptual`).
+    Pano,
+    /// Related work: Ghosh-style per-tile bitrate optimization over the
+    /// mode selector's budget (`video::perceptual`).
+    Ghosh,
 }
 
 impl CompressionScheme {
@@ -37,6 +43,8 @@ impl CompressionScheme {
             CompressionScheme::FixedMode(6) => "F6(C=1.3)",
             CompressionScheme::FixedMode(7) => "F7(C=1.2)",
             CompressionScheme::FixedMode(_) => "F8(C=1.1)",
+            CompressionScheme::Pano => "Pano",
+            CompressionScheme::Ghosh => "Ghosh",
         }
     }
 
@@ -53,6 +61,9 @@ pub enum RateControlKind {
     Gcc,
     /// POI360's firmware-buffer-aware control on top of GCC.
     Fbcc,
+    /// Related work: OCC-style PHY-assisted control driven entirely by
+    /// the diag plane's grant/backlog observables.
+    Occ,
 }
 
 impl RateControlKind {
@@ -61,6 +72,7 @@ impl RateControlKind {
         match self {
             RateControlKind::Gcc => "GCC",
             RateControlKind::Fbcc => "FBCC",
+            RateControlKind::Occ => "OCC",
         }
     }
 }

@@ -30,11 +30,13 @@ pub mod baselines;
 pub mod config;
 pub mod fbcc;
 pub mod multicell;
+pub mod occ;
 pub mod policy;
 pub mod predictive;
 pub mod rate;
 pub mod report;
 pub mod session;
+pub mod tiling;
 
 pub use adaptive::{AdaptiveCompression, RoiMismatchMonitor};
 pub use baselines::{ConduitCompression, PyramidCompression};
@@ -44,8 +46,10 @@ pub use multicell::{
     FlowGridStats, FlowSpec, MultiCell, MultiCellConfig, MultiCellReport, MultiGrid,
     MultiGridConfig, MultiGridReport,
 };
+pub use occ::{Occ, OccConfig};
 pub use policy::CompressionPolicy;
 pub use predictive::PredictiveCompression;
 pub use rate::RateController;
 pub use report::SessionReport;
 pub use session::Session;
+pub use tiling::{GhoshCompression, PanoCompression};

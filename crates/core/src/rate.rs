@@ -11,8 +11,12 @@
 //!   congestion elsewhere, Eq. 6's second arm), but uplink congestion is
 //!   detected locally from the firmware buffer and `R_rtp` is steered to
 //!   the sweet spot.
+//! * [`OccRate`] — PHY-assisted related work: the rate comes straight
+//!   from a capacity estimate over the granted TBS stream (`core::occ`);
+//!   GCC runs only for RTT bookkeeping on the RTCP path.
 
 use crate::fbcc::{Fbcc, FbccConfig};
+use crate::occ::{Occ, OccConfig};
 use poi360_lte::diag::DiagReport;
 use poi360_sim::time::{SimDuration, SimTime};
 use poi360_sim::Recorder;
@@ -152,6 +156,64 @@ impl RateController for FbccRate {
 
     fn uplink_detections(&self) -> u64 {
         self.fbcc.detections()
+    }
+}
+
+/// OCC-style PHY-assisted rate control (`core::occ`).
+pub struct OccRate {
+    gcc: GccSender,
+    occ: Occ,
+}
+
+impl OccRate {
+    /// Create with a start rate.
+    pub fn new(start_rate_bps: f64, cfg: OccConfig) -> Self {
+        OccRate { gcc: GccSender::new(start_rate_bps), occ: Occ::new(start_rate_bps, cfg) }
+    }
+
+    /// Access the OCC engine (diagnostics).
+    pub fn occ(&self) -> &Occ {
+        &self.occ
+    }
+}
+
+impl RateController for OccRate {
+    fn name(&self) -> &'static str {
+        "OCC"
+    }
+
+    fn set_recorder(&mut self, rec: &Recorder) {
+        // GCC keeps the RTCP/RTT plumbing but its target never reaches the
+        // encoder, so only OCC's probes are worth recording.
+        self.occ.set_recorder(rec);
+    }
+
+    fn on_diag(&mut self, report: &DiagReport, now: SimTime) {
+        self.occ.on_diag(report, now);
+    }
+
+    fn on_remb(&mut self, remb: Remb) {
+        self.gcc.on_remb(remb);
+    }
+
+    fn on_receiver_report(&mut self, loss_fraction: f64, rtt_sample: SimDuration) {
+        self.gcc.on_receiver_report(loss_fraction, rtt_sample);
+    }
+
+    fn video_rate_bps(&self, _now: SimTime) -> f64 {
+        self.occ.video_rate_bps()
+    }
+
+    fn rtp_rate_bps(&self, _now: SimTime) -> f64 {
+        self.occ.rtp_rate_bps()
+    }
+
+    fn rtt(&self) -> SimDuration {
+        self.gcc.rtt()
+    }
+
+    fn uplink_detections(&self) -> u64 {
+        self.occ.detections()
     }
 }
 

@@ -32,10 +32,12 @@ use crate::adaptive::{AdaptiveCompression, RoiMismatchMonitor};
 use crate::baselines::{ConduitCompression, PyramidCompression};
 use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use crate::fbcc::FbccConfig;
+use crate::occ::OccConfig;
 use crate::policy::CompressionPolicy;
 use crate::predictive::PredictiveCompression;
-use crate::rate::{FbccRate, GccRate, RateController};
+use crate::rate::{FbccRate, GccRate, OccRate, RateController};
 use crate::report::SessionReport;
+use crate::tiling::{GhoshCompression, PanoCompression};
 use poi360_lte::cell::{Cell, UeId};
 use poi360_lte::uplink::{CellUplink, SubframeOutcome};
 use poi360_net::packet::Packet;
@@ -232,11 +234,16 @@ impl Session {
             CompressionScheme::Pyramid => Box::new(PyramidCompression::new()),
             CompressionScheme::Poi360Predictive => Box::new(PredictiveCompression::default()),
             CompressionScheme::FixedMode(k) => Box::new(AdaptiveCompression::fixed_mode(k)),
+            CompressionScheme::Pano => Box::new(PanoCompression::new()),
+            CompressionScheme::Ghosh => Box::new(GhoshCompression::new()),
         };
         let mut rate: Box<dyn RateController> = match cfg.rate_control {
             RateControlKind::Gcc => Box::new(GccRate::new(cfg.start_rate_bps)),
             RateControlKind::Fbcc => {
                 Box::new(FbccRate::new(cfg.start_rate_bps, FbccConfig::default()))
+            }
+            RateControlKind::Occ => {
+                Box::new(OccRate::new(cfg.start_rate_bps, OccConfig::default()))
             }
         };
         // Distribute the recorder to every instrumented component. Clones

@@ -157,6 +157,14 @@ impl CompressionMatrix {
         }
     }
 
+    /// Crate-internal constructor from explicit row-major levels; the
+    /// public surface only builds matrices through modes and modulations
+    /// so `levels` stays consistent with `grid`.
+    pub(crate) fn from_levels(grid: TileGrid, roi_center: TilePos, levels: Vec<f64>) -> Self {
+        assert_eq!(levels.len(), grid.tile_count());
+        CompressionMatrix { grid, roi_center, levels }
+    }
+
     /// Compression level at a tile.
     pub fn level(&self, pos: TilePos) -> f64 {
         self.levels[self.grid.index(pos)]

@@ -12,6 +12,9 @@
 //!   the compression matrix, and the K pre-defined compression modes.
 //! * [`content`] — synthetic per-tile texture complexity evolving over time;
 //!   this substitutes for the paper's real camera feed.
+//! * [`perceptual`] — related-work tile policies: Pano-style
+//!   quality-sensitivity weighting and Ghosh-style tile-rate allocation,
+//!   both expressed as modulations of a base compression matrix.
 //! * [`rd`] — the rate–distortion model translating per-tile bits and
 //!   compression level into MSE/PSNR.
 //! * [`encoder`] — the frame-level encoder: allocates a bitrate budget
@@ -31,6 +34,7 @@ pub mod compression;
 pub mod content;
 pub mod encoder;
 pub mod frame;
+pub mod perceptual;
 pub mod rd;
 pub mod roi;
 pub mod timestamp;
@@ -39,5 +43,6 @@ pub use compression::{CompressionMatrix, CompressionMode};
 pub use content::ContentModel;
 pub use encoder::{EncodedFrame, Encoder, EncoderConfig};
 pub use frame::{FrameGeometry, TileGrid, TilePos};
+pub use perceptual::SensitivityMap;
 pub use rd::RdModel;
 pub use roi::Roi;

@@ -1,0 +1,285 @@
+//! Perceptual tile weighting and tile-budget allocation (related work).
+//!
+//! Two alternatives to the paper's pure distance-based compression matrix,
+//! both expressed as *modulations of a base matrix* so they plug into the
+//! existing `CompressionPolicy` seam without touching the encoder:
+//!
+//! * **Pano-style sensitivity weighting** ([`SensitivityMap`] +
+//!   [`weighted_matrix`]): each tile carries a quality-sensitivity score
+//!   `s_t` (how much a quality change there is actually perceived). The
+//!   base matrix's level at tile `t` is divided by the *normalized* weight
+//!   `m_t = s_t / mean(s)`, so high-sensitivity tiles get finer quality
+//!   and low-sensitivity tiles coarser, at an unchanged overall budget to
+//!   first order. A uniform sensitivity map has `m_t = 1` everywhere and
+//!   reproduces the base matrix bit for bit.
+//! * **Ghosh-style tile-rate optimization** ([`ghosh_matrix`] +
+//!   [`allocate_bits`]): treat the base matrix's per-tile payload shares
+//!   `p_t ∝ 1/l_t` as a bit budget, re-split that budget in proportion to
+//!   `p_t · s_t` (the water-filling optimum for log-concave per-tile
+//!   utility weighted by sensitivity), and convert the new shares back to
+//!   levels. [`allocate_bits`] is the discrete form: a largest-remainder
+//!   split that conserves the bit budget *exactly* — the property the
+//!   tests pin.
+//!
+//! Everything here is a pure function of its inputs: sensitivity maps are
+//! indexed by tile, never accumulated in iteration order, so construction
+//! order cannot leak into the weights.
+
+use crate::compression::{CompressionMatrix, L_MIN};
+use crate::frame::{TileGrid, TilePos};
+
+/// Per-tile quality-sensitivity scores over a grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensitivityMap {
+    grid: TileGrid,
+    /// Row-major scores, `sens[grid.index(pos)]`, all > 0.
+    sens: Vec<f64>,
+}
+
+impl SensitivityMap {
+    /// Uniform sensitivity: every tile equally important. Both policies
+    /// reduce to their base matrix under this map.
+    pub fn uniform(grid: &TileGrid) -> Self {
+        SensitivityMap { grid: *grid, sens: vec![1.0; grid.tile_count()] }
+    }
+
+    /// Pano-style viewing-probability falloff around the ROI center:
+    /// `s_t = 1 / (1 + a·d_t)` with `d_t` the cyclic tile distance. Tiles
+    /// under the viewer's gaze are most sensitive; the far side of the
+    /// panorama barely registers.
+    pub fn pano(grid: &TileGrid, roi_center: TilePos) -> Self {
+        const A: f64 = 0.25;
+        let mut sens = vec![0.0; grid.tile_count()];
+        for pos in grid.iter() {
+            let d = grid.distance(pos, roi_center) as f64;
+            sens[grid.index(pos)] = 1.0 / (1.0 + A * d);
+        }
+        SensitivityMap { grid: *grid, sens }
+    }
+
+    /// Build from explicit per-tile scores in *any* order. Scores are
+    /// written by tile index, so permuting `pairs` cannot change the map;
+    /// the order-invariance property test pins this. Tiles not named keep
+    /// sensitivity 1; scores must be positive.
+    pub fn from_tiles(grid: &TileGrid, pairs: &[(TilePos, f64)]) -> Self {
+        let mut sens = vec![1.0; grid.tile_count()];
+        for &(pos, s) in pairs {
+            assert!(s > 0.0, "sensitivity must be positive ({s})");
+            sens[grid.index(pos)] = s;
+        }
+        SensitivityMap { grid: *grid, sens }
+    }
+
+    /// The grid this map is defined over.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Raw sensitivity at a tile.
+    pub fn sensitivity(&self, pos: TilePos) -> f64 {
+        self.sens[self.grid.index(pos)]
+    }
+
+    /// Mean sensitivity, computed in fixed row-major order.
+    pub fn mean(&self) -> f64 {
+        self.sens.iter().sum::<f64>() / self.sens.len() as f64
+    }
+
+    /// Normalized Pano weight `m_t = s_t / mean(s)`: > 1 where quality is
+    /// noticed, < 1 where it is not, exactly 1 under a uniform map.
+    pub fn weight(&self, pos: TilePos) -> f64 {
+        self.sensitivity(pos) / self.mean()
+    }
+}
+
+/// Pano-style modulation: divide each base level by the tile's normalized
+/// weight (finer quality where sensitivity is high), floored at [`L_MIN`].
+/// A uniform map reproduces `base` exactly.
+pub fn weighted_matrix(base: &CompressionMatrix, sens: &SensitivityMap) -> CompressionMatrix {
+    assert_eq!(base.grid, *sens.grid());
+    let mean = sens.mean();
+    let levels: Vec<f64> = base
+        .grid
+        .iter()
+        .map(|pos| {
+            let m = sens.sensitivity(pos) / mean;
+            (base.level(pos) / m).max(L_MIN)
+        })
+        .collect();
+    CompressionMatrix::from_levels(base.grid, base.roi_center, levels)
+}
+
+/// Ghosh-style tile-rate optimization: re-split the base matrix's payload
+/// budget `Q = Σ 1/l_t` in proportion to `(1/l_t)·s_t`, and convert the new
+/// shares back to levels `l'_t = 1/(w_t·Q)`, floored at [`L_MIN`]. A
+/// uniform map reproduces `base` to floating-point epsilon.
+pub fn ghosh_matrix(base: &CompressionMatrix, sens: &SensitivityMap) -> CompressionMatrix {
+    assert_eq!(base.grid, *sens.grid());
+    let shares: Vec<f64> = base.levels().iter().map(|&l| 1.0 / l).collect();
+    let q: f64 = shares.iter().sum();
+    let weighted: Vec<f64> =
+        base.grid.iter().map(|pos| shares[base.grid.index(pos)] * sens.sensitivity(pos)).collect();
+    let total: f64 = weighted.iter().sum();
+    let levels: Vec<f64> = weighted.iter().map(|&w| (total / (w * q)).max(L_MIN)).collect();
+    CompressionMatrix::from_levels(base.grid, base.roi_center, levels)
+}
+
+/// Split an integer bit budget across tiles in proportion to `weights`,
+/// conserving the budget *exactly* (largest-remainder method). Every tile
+/// is first guaranteed `floor_bits` (scaled down uniformly if the budget
+/// cannot cover it); the remainder is split proportionally, fractional
+/// bits going to the largest remainders with index order breaking ties.
+/// Non-finite or negative weights count as zero; an all-zero weight vector
+/// degrades to an equal split.
+pub fn allocate_bits(weights: &[f64], budget_bits: u64, floor_bits: u64) -> Vec<u64> {
+    let n = weights.len() as u64;
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = floor_bits.min(budget_bits / n);
+    let spread = budget_bits - base * n;
+    let clean: Vec<f64> =
+        weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
+    let total: f64 = clean.iter().sum();
+    let frac: Vec<f64> = if total > 0.0 {
+        clean.iter().map(|&w| w / total).collect()
+    } else {
+        vec![1.0 / n as f64; weights.len()]
+    };
+    let mut out: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut rem: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut given: u64 = 0;
+    for (t, &f) in frac.iter().enumerate() {
+        let ideal = spread as f64 * f;
+        let whole = (ideal.floor() as u64).min(spread);
+        given += whole;
+        out.push(base + whole);
+        rem.push((t, ideal - whole as f64));
+    }
+    // Largest remainders first; tie on lower tile index. fp drift can
+    // leave up to `n` leftover bits, so cycle until they are all placed.
+    rem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut leftover = spread - given;
+    while leftover > 0 {
+        for &(t, _) in &rem {
+            if leftover == 0 {
+                break;
+            }
+            out[t] += 1;
+            leftover -= 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression::CompressionMode;
+
+    fn base() -> CompressionMatrix {
+        CompressionMode::protected_geometric(1.5, 1, 1)
+            .matrix(&TileGrid::POI360, TilePos::new(6, 4))
+    }
+
+    #[test]
+    fn uniform_sensitivity_reproduces_base_exactly() {
+        let b = base();
+        let s = SensitivityMap::uniform(&TileGrid::POI360);
+        let w = weighted_matrix(&b, &s);
+        assert_eq!(w.levels(), b.levels(), "Pano under uniform s must be bitwise identical");
+        let g = ghosh_matrix(&b, &s);
+        for pos in TileGrid::POI360.iter() {
+            let (a, e) = (g.level(pos), b.level(pos));
+            assert!((a - e).abs() <= 1e-9 * e.max(1.0), "{pos:?}: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn pano_map_peaks_at_the_roi() {
+        let g = TileGrid::POI360;
+        let center = TilePos::new(3, 3);
+        let s = SensitivityMap::pano(&g, center);
+        assert!(s.weight(center) > 1.0, "gaze tile must weigh above mean");
+        assert!(s.weight(TilePos::new(9, 7)) < 1.0, "far tile must weigh below mean");
+        // Sensitivity is a pure function of distance.
+        for a in g.iter() {
+            for b in g.iter() {
+                if g.distance(a, center) == g.distance(b, center) {
+                    assert_eq!(s.sensitivity(a), s.sensitivity(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighting_refines_sensitive_tiles_and_coarsens_the_rest() {
+        let b = base();
+        let s = SensitivityMap::pano(&TileGrid::POI360, b.roi_center);
+        let w = weighted_matrix(&b, &s);
+        // A mid-distance tile (base level > L_MIN, weight > 1) is refined.
+        let near = TilePos::new(8, 4);
+        assert!(s.weight(near) > 1.0 && b.level(near) > L_MIN);
+        assert!(w.level(near) < b.level(near));
+        // The far side (weight < 1) is coarsened.
+        let far = TilePos::new(0, 7);
+        assert!(s.weight(far) < 1.0);
+        assert!(w.level(far) > b.level(far));
+        // Levels never dip below the identity level.
+        assert!(w.levels().iter().all(|&l| l >= L_MIN));
+    }
+
+    #[test]
+    fn ghosh_shifts_share_toward_sensitive_tiles() {
+        let b = base();
+        let s = SensitivityMap::pano(&TileGrid::POI360, b.roi_center);
+        let g = ghosh_matrix(&b, &s);
+        let near = TilePos::new(8, 4);
+        let far = TilePos::new(0, 7);
+        // Share of a tile ∝ 1/level: sensitive tiles must gain share.
+        assert!(1.0 / g.level(near) > 1.0 / b.level(near), "{}", g.level(near));
+        assert!(1.0 / g.level(far) < 1.0 / b.level(far), "{}", g.level(far));
+        assert!(g.levels().iter().all(|&l| l >= L_MIN));
+    }
+
+    #[test]
+    fn from_tiles_is_input_order_invariant() {
+        let g = TileGrid::POI360;
+        let mut pairs: Vec<(TilePos, f64)> =
+            g.iter().map(|p| (p, 1.0 + (g.index(p) % 7) as f64 * 0.5)).collect();
+        let forward = SensitivityMap::from_tiles(&g, &pairs);
+        pairs.reverse();
+        let backward = SensitivityMap::from_tiles(&g, &pairs);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn allocate_bits_conserves_budget() {
+        let w = [3.0, 1.0, 0.0, 5.5, 0.25];
+        for budget in [0u64, 1, 7, 1_000, 999_983] {
+            let bits = allocate_bits(&w, budget, 100);
+            assert_eq!(bits.iter().sum::<u64>(), budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn allocate_bits_honors_floor_when_affordable() {
+        let bits = allocate_bits(&[10.0, 1.0, 1.0], 6_000, 500);
+        assert!(bits.iter().all(|&b| b >= 500), "{bits:?}");
+        assert_eq!(bits.iter().sum::<u64>(), 6_000);
+        assert!(bits[0] > bits[1]);
+    }
+
+    #[test]
+    fn allocate_bits_equal_split_on_degenerate_weights() {
+        let bits = allocate_bits(&[0.0, f64::NAN, -3.0, f64::INFINITY], 10, 0);
+        assert_eq!(bits.iter().sum::<u64>(), 10);
+        let (min, max) = (bits.iter().min().unwrap(), bits.iter().max().unwrap());
+        assert!(max - min <= 1, "{bits:?}");
+    }
+
+    #[test]
+    fn allocate_bits_empty() {
+        assert!(allocate_bits(&[], 1_000, 10).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the perceptual tiling layer (ISSUE 9 satellites):
+//! exact bit-budget conservation, tile-order invariance of sensitivity
+//! maps, and the uniform-sensitivity reduction laws.
+
+use poi360_testkit::{prop_assert, prop_assert_eq, prop_check};
+use poi360_video::compression::CompressionMatrix;
+use poi360_video::frame::{TileGrid, TilePos};
+use poi360_video::perceptual::{allocate_bits, ghosh_matrix, weighted_matrix};
+use poi360_video::SensitivityMap;
+
+#[test]
+fn allocate_bits_conserves_the_budget_exactly() {
+    prop_check!("alloc_conservation", 128, |g| {
+        let n = g.usize_in(1, 96);
+        // Mix healthy, zero, and degenerate weights.
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if g.chance(0.1) {
+                    0.0
+                } else if g.chance(0.05) {
+                    f64::NAN
+                } else {
+                    g.f64_in(0.001, 50.0)
+                }
+            })
+            .collect();
+        let budget = g.u64_in(0, 5_000_000);
+        let floor = g.u64_in(0, 20_000);
+        let out = allocate_bits(&weights, budget, floor);
+        prop_assert_eq!(out.len(), n);
+        prop_assert_eq!(out.iter().sum::<u64>(), budget);
+        let base = floor.min(budget / n as u64);
+        prop_assert!(out.iter().all(|&b| b >= base), "every tile gets at least the shared floor");
+        Ok(())
+    });
+}
+
+#[test]
+fn sensitivity_map_is_invariant_to_tile_iteration_order() {
+    prop_check!("pano_order_invariance", 96, |g| {
+        let grid = TileGrid::default();
+        let mut pairs: Vec<(TilePos, f64)> =
+            (0..grid.tile_count()).map(|k| (grid.pos(k), g.f64_in(0.05, 4.0))).collect();
+        let forward = SensitivityMap::from_tiles(&grid, &pairs);
+        // Fisher-Yates with the same generator: an arbitrary permutation.
+        for k in (1..pairs.len()).rev() {
+            pairs.swap(k, g.index(k + 1));
+        }
+        let shuffled = SensitivityMap::from_tiles(&grid, &pairs);
+        for k in 0..grid.tile_count() {
+            let pos = grid.pos(k);
+            prop_assert_eq!(forward.sensitivity(pos), shuffled.sensitivity(pos));
+            prop_assert_eq!(forward.weight(pos), shuffled.weight(pos));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn uniform_sensitivity_reduces_both_modulations_to_the_base_matrix() {
+    prop_check!("uniform_reduction", 96, |g| {
+        let grid = TileGrid::default();
+        let base = CompressionMatrix::uniform(&grid, g.f64_in(1.0, 12.0));
+        let sens = SensitivityMap::uniform(&grid);
+        let pano = weighted_matrix(&base, &sens);
+        prop_assert_eq!(pano.levels(), base.levels());
+        let ghosh = ghosh_matrix(&base, &sens);
+        for (a, b) in ghosh.levels().iter().zip(base.levels()) {
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "Ghosh must reduce to base");
+        }
+        Ok(())
+    });
+}

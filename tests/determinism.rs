@@ -232,3 +232,51 @@ fn named_streams_are_independent() {
     let collisions = a.iter().zip(&b).filter(|(x, y)| x == y).count();
     assert!(collisions <= 1, "streams for distinct names look correlated: {collisions} matches");
 }
+
+/// The arena protocol (JSONL stream and rendered league report) is
+/// byte-identical across reruns and across worker-pool widths: every
+/// (cell, leg) job traces into its own sink and the streams concatenate
+/// in league order, so no thread schedule can reorder anything.
+#[test]
+fn arena_byte_identical_across_thread_counts_and_reruns() {
+    use poi360_bench::arena as ar;
+    let cfg = ar::ArenaConfig {
+        controllers: vec![RateControlKind::Fbcc, RateControlKind::Occ],
+        policies: vec![CompressionScheme::Poi360, CompressionScheme::Pano],
+        seconds: 3,
+        seed: 11,
+        fault_scenarios: vec![
+            poi360_lte::scenario::FaultScenario::by_name("rlf").expect("preset exists")
+        ],
+    };
+    poi360_bench::runner::set_worker_threads(1);
+    let a = ar::run_protocol(&cfg);
+    let b = ar::run_protocol(&cfg);
+    poi360_bench::runner::set_worker_threads(4);
+    let c = ar::run_protocol(&cfg);
+    poi360_bench::runner::set_worker_threads(0);
+    assert!(!a.jsonl.is_empty(), "arena trace stream captured");
+    assert_eq!(a.jsonl, b.jsonl, "arena rerun diverged at the same worker width");
+    assert_eq!(a.jsonl, c.jsonl, "arena stream moved with the worker-pool width");
+    assert_eq!(a.text, b.text, "league report rerun diverged");
+    assert_eq!(a.text, c.text, "league report moved with the worker-pool width");
+}
+
+/// A different master seed perturbs the whole arena trace — the stream
+/// is deterministic, not constant.
+#[test]
+fn arena_different_seeds_diverge() {
+    use poi360_bench::arena as ar;
+    let base = ar::ArenaConfig {
+        controllers: vec![RateControlKind::Fbcc],
+        policies: vec![CompressionScheme::Poi360],
+        seconds: 3,
+        seed: 41,
+        fault_scenarios: vec![
+            poi360_lte::scenario::FaultScenario::by_name("rlf").expect("preset exists")
+        ],
+    };
+    let a = ar::run_protocol(&base);
+    let b = ar::run_protocol(&ar::ArenaConfig { seed: 42, ..base });
+    assert_ne!(a.jsonl, b.jsonl, "distinct seeds should give distinct arena traces");
+}

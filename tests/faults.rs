@@ -1,6 +1,6 @@
 //! Scenario-driven fault robustness suite.
 //!
-//! Each named [`FaultScenario`] preset runs under both FBCC and GCC and
+//! Each named [`FaultScenario`] preset runs under FBCC, GCC, and OCC and
 //! must satisfy the recovery invariants defined once in
 //! `poi360_bench::faults`: the video rate climbs back after the fault
 //! clears, the firmware buffer drains, playback freeze time stays
@@ -25,10 +25,10 @@ fn seed() -> u64 {
     std::env::var("POI360_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
 }
 
-/// Run one preset under both rate controls and assert every invariant.
+/// Run one preset under every rate control and assert every invariant.
 fn check(name: &str) {
     let fs = FaultScenario::by_name(name).expect("preset exists");
-    for rc in [RateControlKind::Fbcc, RateControlKind::Gcc] {
+    for rc in [RateControlKind::Fbcc, RateControlKind::Gcc, RateControlKind::Occ] {
         let out = fi::run_case(&fs, rc, FAULT_RUN_SECS, seed(), Recorder::null());
         assert!(
             out.verdict.pass(),
@@ -48,6 +48,34 @@ macro_rules! fault_scenario_test {
             check($name);
         }
     };
+}
+
+/// The related-work tile policies ride the same invariants: an RLF under
+/// Pano or Ghosh tiling (with the default FBCC control) must recover just
+/// like the plain POI360 scheme — the tile modulation only reshapes
+/// quality across the panorama, never the congestion response.
+#[test]
+fn tile_policies_recover_from_rlf() {
+    use poi360_core::config::CompressionScheme;
+    let fs = FaultScenario::by_name("rlf").expect("preset exists");
+    for scheme in [CompressionScheme::Pano, CompressionScheme::Ghosh] {
+        let out = fi::run_case_with_scheme(
+            &fs,
+            scheme,
+            RateControlKind::Fbcc,
+            FAULT_RUN_SECS,
+            seed(),
+            Recorder::null(),
+        );
+        assert!(
+            out.verdict.pass(),
+            "rlf/{} seed {} violated {:?}\n{:#?}",
+            scheme.label(),
+            seed(),
+            out.verdict.failures(),
+            out.verdict
+        );
+    }
 }
 
 fault_scenario_test!(radio_link_failure_recovers, "rlf");

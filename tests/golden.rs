@@ -80,6 +80,19 @@ fn study_cc_matrix_smoke_matches_golden() {
     assert_rows_match("study_cc_matrix_smoke", &protocol.text, &golden("study_cc_matrix_smoke"));
 }
 
+/// The `reproduce arena --smoke` league table at the default seed must
+/// match the checked-in quality scores, and every fault verdict must
+/// hold (the gate is part of the protocol, so a verdict regression fails
+/// here before it fails in CI). Regenerate with
+/// `cargo run --release -p poi360-bench --bin reproduce -- arena --smoke`.
+#[test]
+fn arena_smoke_matches_golden() {
+    let cfg = poi360_bench::arena::ArenaConfig::smoke();
+    let protocol = poi360_bench::arena::run_protocol(&cfg);
+    assert_eq!(protocol.failures, 0, "smoke arena must hold every fault invariant");
+    assert_rows_match("arena_smoke", &protocol.text, &golden("arena_smoke"));
+}
+
 /// The `reproduce mobility --smoke` convoy table at the default seed
 /// must match the checked-in handover counts, conservation ledger, and
 /// PSNR-across-handover numbers. Regenerate with
