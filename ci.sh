@@ -4,7 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== hermetic manifest check =="
+# Section banner prefixed with wall-clock seconds elapsed since the
+# script started, so a slow gate is visible at a glance in the log.
+banner() {
+    echo "== [+${SECONDS}s] $* =="
+}
+
+banner "hermetic manifest check"
 # No [dependencies]/[dev-dependencies] entry may name anything but
 # poi360-* path crates (workspace-dep references included).
 if grep -rn --include=Cargo.toml -E '^[a-zA-Z0-9_-]+ *= *[{"]' . \
@@ -23,55 +29,55 @@ if grep -rn --include=Cargo.toml -E '^[a-zA-Z0-9_-]+ *= *[{"]' . \
 fi
 echo "ok: only poi360-* path dependencies"
 
-echo "== cargo fmt --check =="
+banner "cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo clippy (deny warnings) =="
+banner "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== build (release) =="
+banner "build (release)"
 cargo build --release
 
-echo "== examples compile =="
+banner "examples compile"
 cargo build --examples
 
-echo "== tests =="
+banner "tests"
 cargo test -q --workspace
 
-echo "== smoke bench (JSON output) =="
+banner "smoke bench (JSON output)"
 cargo run --release -p poi360-bench --bin reproduce -- --smoke
 
-echo "== coexist smoke (shared-cell ensembles) =="
+banner "coexist smoke (shared-cell ensembles)"
 cargo run --release -p poi360-bench --bin reproduce -- coexist --seconds 6 --repeats 1 --seed 77 >/dev/null
 
-echo "== trace smoke (probe JSONL export) =="
+banner "trace smoke (probe JSONL export)"
 cargo run --release -p poi360-bench --bin reproduce -- trace --smoke >/dev/null
 test -s bench_results/trace_smoke.jsonl
 
-echo "== fault-injection smoke (recovery invariants, FBCC vs GCC) =="
+banner "fault-injection smoke (recovery invariants, FBCC vs GCC)"
 cargo run --release -p poi360-bench --bin reproduce -- faults --smoke >/dev/null
 test -s bench_results/faults_smoke.jsonl
 
-echo "== fault + handover regression suite, 3-seed matrix =="
+banner "fault + handover regression suite, 3-seed matrix"
 # tests/faults.rs also carries the handover packet-conservation
 # invariants, so this matrix covers both planes per seed.
 for seed in 1 2 3; do
     POI360_FAULT_SEED=$seed cargo test -q --release --test faults
 done
 
-echo "== hex-grid mobility smoke (handover invariants + thread invariance + 3-seed matrix) =="
+banner "hex-grid mobility smoke (handover invariants + thread invariance + 3-seed matrix)"
 cargo run --release -p poi360-bench --bin reproduce -- mobility --smoke >/dev/null
 test -s bench_results/mobility_smoke.jsonl
 
-echo "== perf gate (per-layer medians vs pinned baseline + zero-alloc steady state) =="
+banner "perf gate (per-layer medians vs pinned baseline + zero-alloc steady state)"
 cargo run --release -p poi360-bench --bin reproduce -- perf --smoke --compare bench_results/perf_baseline.json
 
-echo "== study smoke (cc_matrix: 2 controllers x 3 scenarios x 3 seeds + report) =="
+banner "study smoke (cc_matrix: 2 controllers x 3 scenarios x 3 seeds + report)"
 cargo run --release -p poi360-bench --bin reproduce -- study cc_matrix --smoke >/dev/null
 test -s bench_results/study_cc_matrix_smoke.jsonl
 test -s bench_results/study_cc_matrix_smoke_trace.json
 
-echo "== study byte-identity across worker-pool widths =="
+banner "study byte-identity across worker-pool widths"
 # The width must come from the environment, not --threads: the RunMeta
 # stamp records argv, so differing flags would (correctly) differ in the
 # artifact bytes.
@@ -84,13 +90,13 @@ cmp target/ci/study_w1/study_cc_matrix_smoke.jsonl target/ci/study_w4/study_cc_m
 cmp target/ci/study_w1/study_cc_matrix_smoke.txt target/ci/study_w4/study_cc_matrix_smoke.txt
 echo "ok: study artifact byte-identical at widths 1 and 4"
 
-echo "== arena smoke (3 controllers x 3 tilings: quality scores + fault verdicts) =="
+banner "arena smoke (3 controllers x 3 tilings: quality scores + fault verdicts)"
 # Exits nonzero if any cell violates a fault-suite recovery invariant.
 cargo run --release -p poi360-bench --bin reproduce -- arena --smoke >/dev/null
 test -s bench_results/arena_smoke.jsonl
 test -s bench_results/arena_smoke.txt
 
-echo "== arena byte-identity across worker-pool widths =="
+banner "arena byte-identity across worker-pool widths"
 # Same env-not-flags rule as the study gate: the RunMeta stamp records
 # argv, so the width must come from POI360_THREADS.
 POI360_THREADS=1 POI360_BENCH_DIR=target/ci/arena_w1 \
@@ -101,7 +107,7 @@ cmp target/ci/arena_w1/arena_smoke.jsonl target/ci/arena_w4/arena_smoke.jsonl
 cmp target/ci/arena_w1/arena_smoke.txt target/ci/arena_w4/arena_smoke.txt
 echo "ok: arena artifact byte-identical at widths 1 and 4"
 
-echo "== mobility byte-identity across shard widths =="
+banner "mobility byte-identity across shard widths"
 # Same env-not-flags rule as the study gate. POI360_THREADS drives both
 # the worker pool *and* the grid's epoch-lockstep shard width (they share
 # one resolution in bench::runner), so this is the end-to-end proof that
@@ -114,10 +120,10 @@ cmp target/ci/mobility_w1/mobility_smoke.jsonl target/ci/mobility_w4/mobility_sm
 cmp target/ci/mobility_w1/mobility_smoke.txt target/ci/mobility_w4/mobility_smoke.txt
 echo "ok: mobility artifact byte-identical at shard widths 1 and 4"
 
-echo "== ingest sweep: every generated JSONL artifact re-parses =="
+banner "ingest sweep: every generated JSONL artifact re-parses"
 cargo test -q --release -p poi360-analyse --test roundtrip
 
-echo "== cell-scale micro-benchmark =="
+banner "cell-scale micro-benchmark"
 cargo bench -p poi360-bench --bench cell_scale
 
-echo "CI green."
+echo "CI green in ${SECONDS}s."

@@ -28,6 +28,13 @@
 //!   Requires the binary to install [`poi360_testkit::CountingAlloc`];
 //!   when it is absent the check reports `n/a` instead of vacuously
 //!   passing.
+//! * The sharded-grid bounded-alloc check ([`grid_steady_allocs`]): the
+//!   same simulation stepped at shard width 4 must allocate no more than
+//!   width 1 plus a small constant — the executor itself (persistent
+//!   pool dispatch, in-place bundle stepping, recycled trace staging)
+//!   contributes **zero** steady-state allocations, so any width-scaled
+//!   allocation growth is a regression. This is the gate that would have
+//!   caught the original mpsc-based executor's 29x allocation blowup.
 
 use poi360_core::multicell::{FlowSpec, MultiGrid, MultiGridConfig};
 use poi360_lte::buffer::PacketLike;
@@ -63,6 +70,22 @@ const WARM_TICKS: u64 = 1_000;
 
 /// Ticks measured by the zero-alloc gate.
 const GATE_TICKS: u64 = 1_000;
+
+/// Grid epochs stepped before the sharded bounded-alloc window opens
+/// (session/cell scratch settles, trace buffers reach their high-water
+/// capacity, and the persistent pool spawns its workers).
+const GRID_WARM_EPOCHS: u64 = 200;
+
+/// Grid epochs measured by the sharded bounded-alloc gate.
+const GRID_GATE_EPOCHS: u64 = 200;
+
+/// Allocation headroom allowed for the sharded grid over the serial
+/// grid across [`GRID_GATE_EPOCHS`] epochs. The simulation is
+/// byte-identical at every width, so the honest expectation is *equal*
+/// allocation counts; the slack only absorbs one-off lazy-init noise
+/// (thread-local storage, a first-use `OnceLock`) that can land inside
+/// the window on some platforms.
+pub const GRID_ALLOC_SLACK: u64 = 64;
 
 /// Parsed `reproduce perf` options.
 #[derive(Clone, Debug, Default)]
@@ -182,6 +205,39 @@ fn grid_scale_config(rings: usize, shards: usize) -> MultiGridConfig {
         shards,
         ..Default::default()
     }
+}
+
+/// The sharded-grid bounded-alloc probe: step a 19-cell grid at the
+/// given shard width for [`GRID_WARM_EPOCHS`] epochs, then count global
+/// heap allocations over the next [`GRID_GATE_EPOCHS`]. Counted with the
+/// shard-aware [`GlobalAllocScope`] — at widths ≥ 2 most of the work
+/// (and so any executor-leaked allocation) happens on pool worker
+/// threads a thread-local scope would never see. Returns `None` when the
+/// counting allocator is not installed in this binary.
+///
+/// The simulation itself legitimately allocates at a low steady rate
+/// (frame encodes, handover bookkeeping), and — because output is
+/// byte-identical at every width — at a rate *independent of the shard
+/// width*. The gate therefore compares widths against each other rather
+/// than against zero: see the `grid steady-state allocs` line in
+/// [`run`].
+pub fn grid_steady_allocs(shards: usize) -> Option<u64> {
+    if !counting_is_active() {
+        return None;
+    }
+    let mut cfg = grid_scale_config(2, shards);
+    // Far beyond what this probe will ever step: sessions must not end
+    // inside the measured window.
+    cfg.duration = SimDuration::from_secs(1_000);
+    let mut grid = MultiGrid::new(cfg);
+    for _ in 0..GRID_WARM_EPOCHS {
+        grid.step();
+    }
+    let scope = GlobalAllocScope::enter();
+    for _ in 0..GRID_GATE_EPOCHS {
+        grid.step();
+    }
+    Some(scope.exit().allocs)
 }
 
 /// Run the whole per-layer suite. Returns the number of gate failures
@@ -319,13 +375,15 @@ pub fn run(opts: &PerfOptions) -> usize {
 
     // --- grid: the sharded epoch-lockstep executor, whole runs ---
     // Whole-run timing (construction + epochs + report) is the honest
-    // unit: shard workers live for exactly one run, so their spawn cost
-    // belongs inside the measured body. Benchmarked directly rather than
-    // through `layer()` — 256 alloc-measurement grid runs would dwarf
-    // the rest of the suite, and one extra run already gives the
-    // per-iteration allocation figure at this scale. Counted with the
-    // shard-aware [`GlobalAllocScope`]: most of these allocations happen
-    // on worker threads a thread-local scope would never see.
+    // unit. Pool workers persist across runs (they spawn once per
+    // process, during the warmup iterations), so what's measured here is
+    // the real steady-state dispatch cost — generation-counter wakeups,
+    // not thread spawns. Benchmarked directly rather than through
+    // `layer()` — 256 alloc-measurement grid runs would dwarf the rest
+    // of the suite, and one extra run already gives the per-iteration
+    // allocation figure at this scale. Counted with the shard-aware
+    // [`GlobalAllocScope`]: at widths ≥ 2 most allocations happen on
+    // worker threads a thread-local scope would never see.
     for &rings in &[2usize, 4, 6] {
         let cells = 1 + 3 * rings * (rings + 1);
         for &shards in &[1usize, 2, 4, 8] {
@@ -465,7 +523,8 @@ pub fn run(opts: &PerfOptions) -> usize {
 
     // Shard-scaling headline: how much the epoch-lockstep executor buys
     // at the largest grid. On a single-core host the widths tie (the
-    // workers serialize); the number is honest either way.
+    // caller steps every cell itself before the parked helpers ever get
+    // scheduled); the number is honest either way.
     let grid_median = |name: &str| b.results().iter().find(|r| r.name == name).map(|r| r.median_ns);
     if let (Some(w1), Some(w4)) =
         (grid_median("perf/grid_scale_127c_w1"), grid_median("perf/grid_scale_127c_w4"))
@@ -476,6 +535,24 @@ pub fn run(opts: &PerfOptions) -> usize {
             w4 / 1e6,
             w1 / w4.max(1.0),
         ));
+    }
+    // ... and the matching allocation ratio: identical simulations should
+    // allocate identically, so w4/w1 near 1.0 means the parallel path
+    // itself adds nothing.
+    if counting {
+        let grid_allocs = |what: &str| {
+            rows.iter().find(|r| r.layer == "grid" && r.what == what).map(|r| r.allocs_per_iter)
+        };
+        if let (Some(a1), Some(a4)) = (
+            grid_allocs("127-cell grid, shard width 1, 0.2 s"),
+            grid_allocs("127-cell grid, shard width 4, 0.2 s"),
+        ) {
+            out.push_str(&format!(
+                "grid_scale 127 cells: w1 {a1:.0} allocs, w4 {a4:.0} allocs — w1-vs-w4 alloc \
+                 ratio {:.2}x\n",
+                a4 / a1.max(1.0),
+            ));
+        }
     }
 
     // The steady-state zero-alloc gate.
@@ -495,6 +572,33 @@ pub fn run(opts: &PerfOptions) -> usize {
         None => {
             out.push_str("steady-state allocs: n/a (CountingAlloc not installed in this binary)\n")
         }
+    }
+
+    // The sharded-grid bounded-alloc gate: identical simulations, so the
+    // width-4 window may exceed the width-1 window only by the lazy-init
+    // slack. This is what catches a parallel path that allocates per
+    // epoch (channels, boxed jobs, moved bundles).
+    match (grid_steady_allocs(1), grid_steady_allocs(4)) {
+        (Some(serial), Some(sharded)) => {
+            let window =
+                format!("epochs {GRID_WARM_EPOCHS}..{}", GRID_WARM_EPOCHS + GRID_GATE_EPOCHS);
+            if sharded <= serial + GRID_ALLOC_SLACK {
+                out.push_str(&format!(
+                    "grid steady-state allocs (19 cells, {window}): w1 {serial}, w4 {sharded} — \
+                     pass (≤ w1 + {GRID_ALLOC_SLACK})\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "grid steady-state allocs (19 cells, {window}): w1 {serial}, w4 {sharded} — \
+                     FAIL (sharded executor allocates per epoch; bound is w1 + \
+                     {GRID_ALLOC_SLACK})\n"
+                ));
+                failures += 1;
+            }
+        }
+        _ => out.push_str(
+            "grid steady-state allocs: n/a (CountingAlloc not installed in this binary)\n",
+        ),
     }
 
     // The baseline comparison gate.
@@ -557,5 +661,6 @@ mod tests {
         // The bench *lib* test binary does not install CountingAlloc, so
         // the gate must report "not counting" rather than a vacuous pass.
         assert_eq!(steady_state_allocs(), None);
+        assert_eq!(grid_steady_allocs(2), None);
     }
 }

@@ -2,10 +2,12 @@
 //! parallelized across OS threads (sessions are independent and
 //! deterministic per seed). Every fan-out in the crate — session batches,
 //! shared-cell ensembles, the fault matrices — funnels through
-//! [`run_jobs`], a scoped-thread work-stealing pool whose width comes
-//! from [`worker_threads`]: a `--threads` flag or `POI360_THREADS` env
-//! override, else `available_parallelism`. Results always come back in
-//! input order, so parallelism never perturbs output bytes.
+//! [`run_jobs`], which borrows workers from the process-wide persistent
+//! epoch pool ([`pool`], shared with the `MultiGrid` sharded executor) at
+//! a width resolved by [`worker_threads`]: a `--threads` flag or
+//! `POI360_THREADS` env override, else `available_parallelism`. Results
+//! always come back in input order, so parallelism never perturbs output
+//! bytes.
 
 use poi360_core::config::SessionConfig;
 use poi360_core::multicell::{MultiCell, MultiCellConfig, MultiCellReport};
@@ -103,29 +105,36 @@ pub fn worker_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
-/// Run independent jobs across [`worker_threads`] scoped threads and
+/// The persistent worker pool every parallel surface shares: `run_jobs`
+/// fan-outs here, and the `MultiGrid` epoch-lockstep executor in
+/// `poi360-core`. One set of threads serves both — they spawn on first
+/// use and park between dispatches, so neither a bench fan-out nor a
+/// per-subframe grid epoch ever pays a thread spawn.
+pub fn pool() -> &'static poi360_sim::workers::EpochPool {
+    poi360_sim::workers::global()
+}
+
+/// Run independent jobs across up to [`worker_threads`] pool workers and
 /// return the outputs **in input order**.
 ///
 /// Each worker repeatedly pops a job off a shared stack, runs `f`, and
 /// files the result under the job's original index, so the caller sees
 /// identical bytes no matter how many threads ran or how the scheduler
 /// interleaved them. Jobs are plain data (`Send`); any non-`Send` state
-/// (sessions, cells) is constructed inside `f` on the worker thread.
+/// (sessions, cells) is constructed inside `f` on the worker thread. A
+/// job may itself dispatch onto the pool (e.g. build a sharded
+/// `MultiGrid`) — nested dispatches run inline on that worker.
 pub fn run_jobs<I: Send, O: Send>(jobs: Vec<I>, f: impl Fn(I) -> O + Sync) -> Vec<O> {
-    let threads = worker_threads().min(jobs.len()).max(1);
+    let width = worker_threads().min(jobs.len()).max(1);
     let jobs = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
-    let mut results: Vec<(usize, O)> = Vec::new();
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = jobs.lock().expect("job queue poisoned").pop();
-                let Some((idx, input)) = job else { break };
-                let output = f(input);
-                results_mutex.lock().expect("results poisoned").push((idx, output));
-            });
-        }
+    let results_mutex = std::sync::Mutex::new(Vec::new());
+    pool().dispatch(width, |_| loop {
+        let job = jobs.lock().expect("job queue poisoned").pop();
+        let Some((idx, input)) = job else { break };
+        let output = f(input);
+        results_mutex.lock().expect("results poisoned").push((idx, output));
     });
+    let mut results = results_mutex.into_inner().expect("results poisoned");
     results.sort_by_key(|&(idx, _)| idx);
     results.into_iter().map(|(_, r)| r).collect()
 }

@@ -39,6 +39,26 @@ fn steady_state_subframes_do_not_allocate() {
 }
 
 #[test]
+fn sharded_grid_steady_state_allocs_are_bounded_by_serial() {
+    let _guard = SERIAL.lock().unwrap();
+    // The persistent epoch pool steps cell bundles in place, so once the
+    // warm-up epochs have grown every pool, a width-4 grid's steady-state
+    // epochs must allocate what the serial path does — the simulation is
+    // byte-identical across widths — give or take a small constant for
+    // pool-internal bookkeeping.
+    let serial = poi360_bench::perf::grid_steady_allocs(1)
+        .expect("counting allocator is installed in this binary");
+    let sharded = poi360_bench::perf::grid_steady_allocs(4)
+        .expect("counting allocator is installed in this binary");
+    assert!(
+        sharded <= serial + poi360_bench::perf::GRID_ALLOC_SLACK,
+        "sharded grid steady state allocates {sharded} vs serial {serial} — \
+         the parallel path has regressed past the {} alloc slack",
+        poi360_bench::perf::GRID_ALLOC_SLACK,
+    );
+}
+
+#[test]
 fn session_steady_state_has_bounded_allocation_rate() {
     let _guard = SERIAL.lock().unwrap();
     // The full session keeps ordered maps on purpose (reassembly,

@@ -20,11 +20,16 @@
 //! subframe's published PRB activity, so cells can be stepped in any
 //! order — including in parallel. The grid driver exploits exactly that:
 //! every cell's per-subframe work is bundled into a `Send` [`CellWork`]
-//! arena entry, and `MultiGridConfig::shards` worker threads advance the
-//! bundles between fixed epoch barriers, with all cross-cell effects
-//! (handover migrations, interference publication, trace merging)
-//! confined to the serial barrier in fixed cell-id order. Output is
-//! byte-identical at any shard width.
+//! arena entry, stepped **in place** each epoch: up to
+//! `MultiGridConfig::shards` threads from the process-wide persistent
+//! pool ([`poi360_sim::workers`]) claim cell indices from a shared atomic
+//! counter and advance the bundles behind their per-cell mutexes, with
+//! all cross-cell effects (handover migrations, interference publication,
+//! trace merging) confined to the serial barrier in fixed cell-id order.
+//! Nothing moves and nothing allocates on the parallel path — a dispatch
+//! is one generation-counter wakeup, so per-subframe cost is within a
+//! small constant of the serial loop. Output is byte-identical at any
+//! shard width.
 
 use crate::config::{CompressionScheme, NetworkKind, RateControlKind, SessionConfig};
 use crate::report::SessionReport;
@@ -479,9 +484,12 @@ struct LoadSlot {
 
 /// One cell's arena entry: the cell plus everything needed to advance it
 /// one subframe without touching any other cell. Entirely owned data, so
-/// a bundle can be shipped to a worker thread and back (`CellWork` is
-/// `Send`). The serial barrier moves sessions/loads in and out between
-/// epochs as UEs hand over.
+/// a bundle can be advanced by any worker thread (`CellWork` is `Send`);
+/// the executor steps bundles **in place** behind per-cell mutexes rather
+/// than moving them, and all staging vectors (`owners`, `flows`, `loads`,
+/// `rois`) are recycled across subframes — drained, never dropped — so an
+/// epoch allocates nothing in the bundle. The serial barrier moves
+/// sessions/loads in and out between epochs as UEs hand over.
 struct CellWork {
     id: usize,
     cell: Cell<Packet>,
@@ -612,9 +620,12 @@ impl GridBuffers {
 pub struct MultiGrid {
     cfg: MultiGridConfig,
     radio: RadioMap,
-    /// Cell arena, indexed by cell id. Entries are taken out while a
-    /// worker advances them and always restored at the barrier.
-    works: Vec<Option<CellWork>>,
+    /// Cell arena, indexed by cell id. Bundles are stepped in place: the
+    /// serial phases reach in through `get_mut` (no locking), and during
+    /// the parallel phase each worker locks exactly the cells it claims.
+    /// The mutexes are never contended — the claim counter hands every
+    /// index to one worker — they exist to prove that to the compiler.
+    works: Vec<Mutex<CellWork>>,
     /// Home storage for sessions between epochs, indexed by flow.
     sessions: Vec<Option<Session>>,
     /// Home storage for delivery tallies between epochs, indexed by flow.
@@ -804,7 +815,7 @@ impl MultiGrid {
         MultiGrid {
             cfg,
             radio,
-            works: works.into_iter().map(Some).collect(),
+            works: works.into_iter().map(Mutex::new).collect(),
             sessions,
             tallies,
             loads,
@@ -830,13 +841,13 @@ impl MultiGrid {
     /// interruption. Serial-phase only: both arena entries must be home.
     fn migrate(
         cfg: &MultiGridConfig,
-        works: &mut [Option<CellWork>],
+        works: &mut [Mutex<CellWork>],
         m: &mut MobileUe,
         target: CellId,
         rlf: bool,
         now: SimTime,
     ) -> u64 {
-        let src = works[m.serving.0].as_mut().expect("cell home at the barrier");
+        let src = works[m.serving.0].get_mut().unwrap();
         let mut mu = src.cell.detach_foreground(m.slot);
         let owner = std::mem::replace(&mut src.owners[m.slot.0], SlotOwner::Vacant);
         let flushed = if rlf {
@@ -849,7 +860,7 @@ impl MultiGrid {
             mu.restart_head();
             0
         };
-        let tgt = works[target.0].as_mut().expect("cell home at the barrier");
+        let tgt = works[target.0].get_mut().unwrap();
         let slot = tgt.cell.attach_migrated(mu, cfg.channel);
         if slot.0 == tgt.owners.len() {
             tgt.owners.push(owner);
@@ -899,7 +910,7 @@ impl MultiGrid {
             }
             let forced = now < m.outage_until;
             let state = obs.channel_state(self.radio.config(), forced);
-            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            let w = self.works[m.serving.0].get_mut().unwrap();
             w.cell.set_foreground_radio(m.slot, state);
             if now.as_millis().is_multiple_of(100) {
                 self.flow_recorders[k].gauge("grid.serving_cell", now, m.serving.0 as f64);
@@ -929,7 +940,7 @@ impl MultiGrid {
             }
             let forced = now < m.outage_until;
             let state = obs.channel_state(self.radio.config(), forced);
-            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            let w = self.works[m.serving.0].get_mut().unwrap();
             w.cell.set_foreground_radio(m.slot, state);
         }
     }
@@ -939,7 +950,7 @@ impl MultiGrid {
     /// enqueue order independent of handover history).
     fn assemble(&mut self) {
         for (k, m) in self.flow_ues.iter().enumerate() {
-            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            let w = self.works[m.serving.0].get_mut().unwrap();
             w.flows.push(FlowSlot {
                 k,
                 session: self.sessions[k].take().expect("session home"),
@@ -947,7 +958,7 @@ impl MultiGrid {
             });
         }
         for (j, m) in self.load_ues.iter().enumerate() {
-            let w = self.works[m.serving.0].as_mut().expect("cell home");
+            let w = self.works[m.serving.0].get_mut().unwrap();
             w.loads.push(LoadSlot {
                 j,
                 slot: m.slot,
@@ -960,7 +971,7 @@ impl MultiGrid {
     /// published activity.
     fn disassemble(&mut self) {
         for w in self.works.iter_mut() {
-            let w = w.as_mut().expect("cell returned to the arena");
+            let w = w.get_mut().unwrap();
             self.next_activity[w.id] = w.activity;
             for f in w.flows.drain(..) {
                 self.sessions[f.k] = Some(f.session);
@@ -988,76 +999,46 @@ impl MultiGrid {
         self.now = now + poi360_sim::SUBFRAME;
     }
 
-    /// Advance the whole grid by exactly one subframe (serial path).
+    /// Advance the whole grid by exactly one subframe, honoring
+    /// [`MultiGridConfig::shards`]: the serial phases and the barrier run
+    /// on the caller, and with `shards > 1` the per-cell work is claimed
+    /// in place by threads from the process-wide persistent pool
+    /// ([`poi360_sim::workers::global`]). The parallel phase moves no
+    /// bundles and allocates nothing — workers race an atomic counter for
+    /// cell indices and step each claimed bundle behind its own mutex.
     pub fn step(&mut self) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let now = self.now;
         self.phase1(now);
         self.assemble();
         let total_prbs = self.cfg.cell.total_prbs.max(1) as f64;
-        for w in &mut self.works {
-            w.as_mut().expect("assembled").run(now, total_prbs);
+        let shards = self.cfg.shards.clamp(1, self.works.len().max(1));
+        if shards <= 1 {
+            for w in &mut self.works {
+                w.get_mut().unwrap().run(now, total_prbs);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let works = &self.works;
+            poi360_sim::workers::global().dispatch(shards, |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= works.len() {
+                    break;
+                }
+                // Uncontended by construction: `i` was handed to exactly
+                // one worker. Completion order is irrelevant — bundles
+                // stay slotted by cell id.
+                works[i].lock().unwrap().run(now, total_prbs);
+            });
         }
         self.barrier(now);
-    }
-
-    /// Sharded epoch loop: a persistent pool of `shards` workers pulls
-    /// [`CellWork`] bundles from a shared queue each subframe; the driver
-    /// thread runs the serial phases and the barrier. Bundles are
-    /// re-slotted by cell id, so completion order is irrelevant to the
-    /// output.
-    fn run_sharded(&mut self, shards: usize, end: SimTime) {
-        let total_prbs = self.cfg.cell.total_prbs.max(1) as f64;
-        let n_cells = self.works.len();
-        let (work_tx, work_rx) = std::sync::mpsc::channel::<(CellWork, SimTime)>();
-        let work_rx = Arc::new(Mutex::new(work_rx));
-        let (done_tx, done_rx) = std::sync::mpsc::channel::<CellWork>();
-        std::thread::scope(|scope| {
-            for _ in 0..shards {
-                let work_rx = Arc::clone(&work_rx);
-                let done_tx = done_tx.clone();
-                scope.spawn(move || loop {
-                    let job = { work_rx.lock().unwrap().recv() };
-                    match job {
-                        Ok((mut w, now)) => {
-                            w.run(now, total_prbs);
-                            if done_tx.send(w).is_err() {
-                                return;
-                            }
-                        }
-                        Err(_) => return,
-                    }
-                });
-            }
-            drop(done_tx);
-            while self.now < end {
-                let now = self.now;
-                self.phase1(now);
-                self.assemble();
-                for w in &mut self.works {
-                    let w = w.take().expect("assembled");
-                    work_tx.send((w, now)).expect("worker pool alive");
-                }
-                for _ in 0..n_cells {
-                    let w = done_rx.recv().expect("worker returns its cell");
-                    let id = w.id;
-                    self.works[id] = Some(w);
-                }
-                self.barrier(now);
-            }
-            drop(work_tx);
-        });
     }
 
     /// Run to completion and assemble the report.
     pub fn run(mut self) -> MultiGridReport {
         let end = SimTime::ZERO + self.cfg.duration;
-        let shards = self.cfg.shards.clamp(1, self.works.len().max(1));
-        if shards <= 1 {
-            while self.now < end {
-                self.step();
-            }
-        } else {
-            self.run_sharded(shards, end);
+        while self.now < end {
+            self.step();
         }
 
         // Per-flow stats. ROI-quality-across-handover windows come from
@@ -1067,7 +1048,7 @@ impl MultiGrid {
         for (k, m) in self.flow_ues.iter().enumerate() {
             let tally = &self.tallies[k];
             let fw = {
-                let cell = &self.works[m.serving.0].as_ref().expect("cell home").cell;
+                let cell = &self.works[m.serving.0].get_mut().unwrap().cell;
                 let fw = cell.firmware(m.slot);
                 let dropped = cell.dropped(m.slot);
                 self.sessions[k].as_mut().expect("session home").set_shared_dropped(dropped);
@@ -1108,7 +1089,7 @@ impl MultiGrid {
         for (j, m) in self.load_ues.iter().enumerate() {
             load_handovers += m.handovers;
             load_rlfs += m.rlfs;
-            let cell = &self.works[m.serving.0].as_ref().expect("cell home").cell;
+            let cell = &self.works[m.serving.0].get_mut().unwrap().cell;
             let fw = cell.firmware(m.slot);
             let delivered = self.loads[j].as_ref().expect("load home").delivered;
             if fw.total_enqueued() != delivered + fw.flushed() + fw.len() as u64 {
@@ -1116,12 +1097,13 @@ impl MultiGrid {
             }
         }
 
+        let n_cells = self.works.len() as f64;
         let mean_utilization = self
             .works
-            .iter()
-            .map(|w| w.as_ref().expect("cell home").cell.mean_utilization())
+            .iter_mut()
+            .map(|w| w.get_mut().unwrap().cell.mean_utilization())
             .sum::<f64>()
-            / self.works.len() as f64;
+            / n_cells;
         let probe_drops = self.grid_recorder.out_of_order_drops()
             + self.flow_recorders.iter().map(Recorder::out_of_order_drops).sum::<u64>();
         if let Some(buffers) = &self.buffers {

@@ -782,11 +782,12 @@ fn candidate(slot: Slot, link: &UeLink, max_prbs_per_ue: u32) -> Option<Candidat
 /// redistributed), then the rest are integerized by largest remainder.
 ///
 /// All working storage lives in `scratch` so steady-state allocation
-/// rounds reuse capacity. The arithmetic — shares, cap tests, remainder
-/// ordering — is identical to the fresh-allocation reference below, and
-/// the remainder sort's comparator is a strict total order (index
-/// tie-break), so `sort_unstable_by` yields the same permutation the
-/// reference's stable sort does.
+/// rounds reuse capacity; [`allocate_prbs_reference`] is the
+/// convenience form that owns a throwaway scratch. The remainder sort's
+/// comparator is a strict total order (index tie-break), so
+/// `sort_unstable_by` is deterministic and scratch reuse cannot change
+/// the grants — the property test pins reused-scratch against
+/// fresh-scratch, and a hardcoded table pins the grants themselves.
 fn allocate_prbs(total: u32, cands: &mut [Candidate], scratch: &mut AllocScratch) {
     let AllocScratch { active, still_active, shares, order } = scratch;
     active.clear();
@@ -848,62 +849,15 @@ fn allocate_prbs(total: u32, cands: &mut [Candidate], scratch: &mut AllocScratch
     }
 }
 
-/// The pre-scratch `allocate_prbs`, kept verbatim as the oracle for the
-/// scratch-reuse property test: fresh `Vec`s every round, stable sort.
+/// [`allocate_prbs`] with a throwaway [`AllocScratch`]: one algorithm,
+/// two entry points. The ~70-line fresh-`Vec` copy that used to live here
+/// drifted from being a true oracle the moment the scratch version became
+/// canonical; the differential test now pins reused-scratch against this
+/// fresh-scratch wrapper, and `pf_split_grants_are_pinned` pins the
+/// resulting grants against hand-computed values.
 #[cfg(test)]
 fn allocate_prbs_reference(total: u32, cands: &mut [Candidate]) {
-    let mut active: Vec<usize> = (0..cands.len()).collect();
-    let mut remaining = total;
-    loop {
-        if remaining == 0 || active.is_empty() {
-            return;
-        }
-        let wsum: f64 = active.iter().map(|&i| cands[i].weight).sum();
-        if wsum <= 0.0 {
-            return;
-        }
-        let mut capped_prbs = 0u32;
-        let mut still_active = Vec::with_capacity(active.len());
-        for &i in &active {
-            let share = remaining as f64 * cands[i].weight / wsum;
-            if share >= cands[i].cap_prbs as f64 {
-                cands[i].prbs = cands[i].cap_prbs;
-                capped_prbs += cands[i].cap_prbs;
-            } else {
-                still_active.push(i);
-            }
-        }
-        if capped_prbs > 0 {
-            remaining -= capped_prbs;
-            active = still_active;
-            continue;
-        }
-        let shares: Vec<f64> =
-            active.iter().map(|&i| remaining as f64 * cands[i].weight / wsum).collect();
-        let mut assigned = 0u32;
-        for (k, &i) in active.iter().enumerate() {
-            cands[i].prbs = shares[k].floor() as u32;
-            assigned += cands[i].prbs;
-        }
-        let mut leftover = remaining - assigned;
-        let mut order: Vec<usize> = (0..active.len()).collect();
-        order.sort_by(|&a, &b| {
-            let fa = shares[a] - shares[a].floor();
-            let fb = shares[b] - shares[b].floor();
-            fb.total_cmp(&fa).then(active[a].cmp(&active[b]))
-        });
-        for &k in &order {
-            if leftover == 0 {
-                break;
-            }
-            let i = active[k];
-            if cands[i].prbs < cands[i].cap_prbs {
-                cands[i].prbs += 1;
-                leftover -= 1;
-            }
-        }
-        return;
-    }
+    allocate_prbs(total, cands, &mut AllocScratch::default());
 }
 
 #[cfg(test)]
@@ -1093,9 +1047,10 @@ mod tests {
     fn scratch_allocator_matches_fresh_allocation_reference() {
         use poi360_testkit::prop::Gen;
         use poi360_testkit::{prop_assert_eq, prop_check};
-        // One scratch reused across every generated case: stale contents
-        // from earlier (differently-sized) rounds must never leak into a
-        // later allocation.
+        // One scratch reused across every generated case, differentially
+        // against a fresh scratch per case: stale contents from earlier
+        // (differently-sized) rounds must never leak into a later
+        // allocation.
         let mut scratch = AllocScratch::default();
         prop_check!(256, |g: &mut Gen| {
             let n = g.usize_in(0, 48);
@@ -1127,6 +1082,46 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    #[test]
+    fn pf_split_grants_are_pinned() {
+        // Hand-computed grant tables: with the fresh-`Vec` oracle gone
+        // (allocate_prbs_reference now delegates), this pins the actual
+        // arithmetic — proportional split, cap-and-redistribute, largest
+        // remainder with index tie-break — against fixed values.
+        let cand = |k: usize, weight: f64, cap_prbs: u32| Candidate {
+            slot: Slot::Fg(k),
+            eff: 1.0,
+            reported: 10_000,
+            cap_prbs,
+            weight,
+            prbs: 0,
+        };
+        let grants = |total: u32, mut cands: Vec<Candidate>| -> Vec<u32> {
+            allocate_prbs(total, &mut cands, &mut AllocScratch::default());
+            cands.iter().map(|c| c.prbs).collect()
+        };
+        // Equal weights, equal fractions: leftover goes to lower indices.
+        assert_eq!(
+            grants(10, vec![cand(0, 1.0, 32), cand(1, 1.0, 32), cand(2, 1.0, 32)]),
+            [4, 3, 3]
+        );
+        // A cap binds: the heavy UE takes exactly its cap, the surplus is
+        // re-split 3:1 over the others (7.5 and 2.5; the tie-free
+        // fraction sends the leftover PRB to the heavier one).
+        assert_eq!(
+            grants(12, vec![cand(0, 6.0, 2), cand(1, 3.0, 32), cand(2, 1.0, 32)]),
+            [2, 8, 2]
+        );
+        // Largest remainder without ties: 40/7 = 5.71 beats 16/7 = 2.29.
+        assert_eq!(grants(8, vec![cand(0, 5.0, 32), cand(1, 2.0, 32)]), [6, 2]);
+        // Proportional share exactly equal to the cap still counts as
+        // capped (share >= cap), leaving a clean re-split for the rest.
+        assert_eq!(grants(10, vec![cand(0, 1.0, 5), cand(1, 1.0, 8)]), [5, 5]);
+        // Degenerate inputs: nothing to grant, or nobody schedulable.
+        assert_eq!(grants(0, vec![cand(0, 1.0, 32)]), [0]);
+        assert_eq!(grants(5, vec![cand(0, 0.0, 32), cand(1, 0.0, 32)]), [0, 0]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! serde replacement.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Serialize a value as JSON into a caller-provided buffer.
 pub trait ToJson {
@@ -43,7 +44,7 @@ pub fn write_json_string(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
@@ -55,7 +56,10 @@ impl ToJson for f64 {
     fn write_json(&self, out: &mut String) {
         if self.is_finite() {
             // `{:?}` prints the shortest representation that round-trips.
-            out.push_str(&format!("{self:?}"));
+            // `write!` formats straight into the caller's buffer: number
+            // rendering sits on the per-subframe trace path, where a
+            // `format!` temporary per scalar is measurable.
+            let _ = write!(out, "{self:?}");
         } else {
             // JSON has no NaN/Inf; null is the conventional stand-in.
             out.push_str("null");
@@ -67,7 +71,7 @@ macro_rules! impl_tojson_int {
     ($($t:ty),*) => {$(
         impl ToJson for $t {
             fn write_json(&self, out: &mut String) {
-                out.push_str(&self.to_string());
+                let _ = write!(out, "{self}");
             }
         }
     )*};

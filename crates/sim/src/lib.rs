@@ -26,6 +26,11 @@
 //!   starvation, feedback loss, wireline spikes, flash crowds) applied
 //!   through the existing layer seams, with `fault.*` transition events on
 //!   the trace plane.
+//! * [`workers`] — the persistent epoch worker pool shared by every
+//!   parallel surface (bench job fan-outs, the `MultiGrid` sharded cell
+//!   executor): threads spawn once per process, park between epochs, and
+//!   wake on a generation-counter barrier, so a per-subframe dispatch
+//!   costs no spawns and no heap allocation.
 //!
 //! The kernel follows the smoltcp idiom rather than an async runtime: every
 //! component exposes an explicit `poll(now)`-style API, and a top-level
@@ -40,6 +45,7 @@ pub mod rng;
 pub mod series;
 pub mod time;
 pub mod trace;
+pub mod workers;
 
 pub use event::EventQueue;
 pub use fault::{ActiveFaults, FaultEvent, FaultKind, FaultPlan, FaultTimeline};

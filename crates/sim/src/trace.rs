@@ -43,7 +43,7 @@
 //! decision; swapping sinks (or removing the recorder entirely) must leave
 //! simulation output byte-identical. The determinism suite pins this.
 
-use crate::json::{JsonObject, JsonValue};
+use crate::json::{JsonObject, JsonValue, ToJson};
 use crate::series::TimeSeries;
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -185,13 +185,28 @@ impl TraceRecord {
     /// Render the JSONL line for this record from source `src` (no
     /// trailing newline).
     pub fn to_jsonl(&self, src: &str) -> String {
-        JsonObject::new()
-            .field("t_us", &self.at)
-            .field("src", &src)
-            .field("name", &self.name)
-            .field("kind", &self.kind.as_str())
-            .field("value", &self.value)
-            .finish()
+        let mut out = String::new();
+        self.write_jsonl(src, &mut out);
+        out
+    }
+
+    /// Append the JSONL line to `out` (no trailing newline) without
+    /// allocating. Sinks on the per-subframe hot path ([`JsonlSink`])
+    /// render every record through one reusable line buffer; the field
+    /// order (`t_us`, `src`, `name`, `kind`, `value`) is pinned by the
+    /// round-trip tests and must match what [`JsonObject`] would emit.
+    pub fn write_jsonl(&self, src: &str, out: &mut String) {
+        out.push_str("{\"t_us\":");
+        self.at.write_json(out);
+        out.push_str(",\"src\":");
+        crate::json::write_json_string(src, out);
+        out.push_str(",\"name\":");
+        crate::json::write_json_string(self.name, out);
+        out.push_str(",\"kind\":");
+        crate::json::write_json_string(self.kind.as_str(), out);
+        out.push_str(",\"value\":");
+        self.value.write_json(out);
+        out.push('}');
     }
 }
 
@@ -268,10 +283,17 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&mut self, src: &str, rec: &TraceRecord) {
-        if self.records.len() == self.cap {
-            self.records.pop_front();
-        }
-        self.records.push_back((src.to_string(), *rec));
+        // Once the ring is full, recycle the evicted record's `String`
+        // instead of allocating a fresh one per record — long-running
+        // drivers hold RingSinks across millions of subframes.
+        let mut slot = if self.records.len() == self.cap {
+            self.records.pop_front().map(|(s, _)| s).unwrap_or_default()
+        } else {
+            String::new()
+        };
+        slot.clear();
+        slot.push_str(src);
+        self.records.push_back((slot, *rec));
     }
 }
 
@@ -316,6 +338,13 @@ impl BufferSink {
         self.records.is_empty()
     }
 
+    /// Retained backing capacity, in records. After the first few epochs a
+    /// recycled buffer should hold steady here — the zero-alloc gates
+    /// depend on drains never shrinking the allocation.
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
+    }
+
     /// Replay every staged record into `sink` under source `src`, in
     /// emission order, and clear the buffer (capacity is retained so the
     /// steady state stays allocation-free).
@@ -342,6 +371,10 @@ pub struct JsonlSink<W: Write> {
     meta_lines: u64,
     counts: Vec<(&'static str, u64)>,
     io_error: bool,
+    /// Reusable line buffer: every record renders into this scratch
+    /// (cleared, capacity retained) before one `write_all`, so the
+    /// steady-state trace path allocates nothing per record.
+    line: String,
 }
 
 impl JsonlSink<std::io::BufWriter<std::fs::File>> {
@@ -354,7 +387,14 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonlSink<W> {
     /// Stream records into an arbitrary writer.
     pub fn to_writer(out: W) -> Self {
-        JsonlSink { out, lines: 0, meta_lines: 0, counts: Vec::new(), io_error: false }
+        JsonlSink {
+            out,
+            lines: 0,
+            meta_lines: 0,
+            counts: Vec::new(),
+            io_error: false,
+            line: String::new(),
+        }
     }
 
     /// Write a leading [`RunMeta`] record. Call immediately after
@@ -393,6 +433,12 @@ impl<W: Write> JsonlSink<W> {
         counts
     }
 
+    /// Borrow the underlying writer, e.g. to measure how many bytes a
+    /// `Vec<u8>`-backed sink holds between two runs sharing it.
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+
     /// Consume the sink and hand back the underlying writer (e.g. a
     /// `Vec<u8>` buffer for byte-level comparison of two runs).
     pub fn into_inner(self) -> W {
@@ -409,8 +455,10 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         if self.io_error {
             return;
         }
-        let line = rec.to_jsonl(src);
-        if writeln!(self.out, "{line}").is_err() {
+        self.line.clear();
+        rec.write_jsonl(src, &mut self.line);
+        self.line.push('\n');
+        if self.out.write_all(self.line.as_bytes()).is_err() {
             // A trace must never take the simulation down with it; remember
             // the failure and let the driver report it.
             self.io_error = true;
@@ -705,6 +753,67 @@ mod tests {
     }
 
     #[test]
+    fn write_jsonl_matches_the_json_object_writer_bytes() {
+        // The hand-rolled hot-path writer must stay byte-identical to what
+        // the generic JsonObject writer would produce — goldens and the CI
+        // `cmp` gates pin JSONL artifacts at the byte level.
+        let cases = [
+            TraceRecord { at: t(0), name: "a.b", kind: ProbeKind::Counter, value: 0.0 },
+            TraceRecord { at: t(1500), name: "pacer.rate_bps", kind: ProbeKind::Gauge, value: 1e6 },
+            TraceRecord { at: t(7), name: "x.y", kind: ProbeKind::Event, value: -2.25 },
+            TraceRecord { at: t(7), name: "x.y", kind: ProbeKind::Event, value: f64::NAN },
+        ];
+        for rec in &cases {
+            for src in ["session", "cell.07", "we\"ird\n"] {
+                let via_object = JsonObject::new()
+                    .field("t_us", &rec.at)
+                    .field("src", &src)
+                    .field("name", &rec.name)
+                    .field("kind", &rec.kind.as_str())
+                    .field("value", &rec.value)
+                    .finish();
+                assert_eq!(rec.to_jsonl(src), via_object, "src={src:?} rec={rec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_line_scratch_does_not_leak_stale_bytes() {
+        // A long line followed by a short one: with a reused scratch the
+        // short line must not carry the long line's tail.
+        let mut sink = JsonlSink::to_writer(Vec::new());
+        let long = TraceRecord {
+            at: t(123_456),
+            name: "grid.interference_db_very_long_probe_name",
+            kind: ProbeKind::Gauge,
+            value: 1.234_567_890_123e-7,
+        };
+        let short = TraceRecord { at: t(1), name: "a.b", kind: ProbeKind::Counter, value: 1.0 };
+        sink.record("cell.with.a.long.source.identifier", &long);
+        sink.record("s", &short);
+        sink.record("cell.with.a.long.source.identifier", &long);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let want = format!(
+            "{}\n{}\n{}\n",
+            long.to_jsonl("cell.with.a.long.source.identifier"),
+            short.to_jsonl("s"),
+            long.to_jsonl("cell.with.a.long.source.identifier"),
+        );
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn ring_sink_eviction_recycles_srcs_without_corruption() {
+        let mut ring = RingSink::new(2);
+        let rec = TraceRecord { at: t(1), name: "a.b", kind: ProbeKind::Gauge, value: 0.0 };
+        for src in ["a-rather-long-source-name", "x", "medium.src", "y"] {
+            ring.record(src, &rec);
+        }
+        let got: Vec<&str> = ring.records().map(|(src, _)| src.as_str()).collect();
+        assert_eq!(got, ["medium.src", "y"], "recycled strings must carry only the new src");
+    }
+
+    #[test]
     fn run_meta_round_trips_and_is_distinguished_from_records() {
         let meta = RunMeta {
             schema: TRACE_SCHEMA_VERSION,
@@ -779,6 +888,25 @@ mod tests {
             ],
             "emission order kept, drain src stamped"
         );
+    }
+
+    #[test]
+    fn buffer_sink_drain_retains_capacity_for_recycling() {
+        let mut buf = BufferSink::new();
+        let rec = TraceRecord { at: t(1), name: "a.b", kind: ProbeKind::Gauge, value: 1.0 };
+        for _ in 0..64 {
+            TraceSink::record(&mut buf, "ignored", &rec);
+        }
+        let mut ring = RingSink::new(8);
+        buf.drain_into("cell.00", &mut ring);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 64, "drain must not give the backing storage back");
+        // A second fill of the same size stays within the retained capacity.
+        let cap = buf.capacity();
+        for _ in 0..64 {
+            TraceSink::record(&mut buf, "ignored", &rec);
+        }
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

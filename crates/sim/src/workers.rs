@@ -1,0 +1,350 @@
+//! The persistent epoch worker pool.
+//!
+//! Every parallel surface in the workspace — the bench crate's job
+//! fan-outs and the `MultiGrid` epoch-lockstep cell executor — shares one
+//! process-wide pool of worker threads ([`global`]). The pool exists
+//! because the grid executor dispatches *per simulated millisecond*: a
+//! 127-cell grid stepping 0.2 s of simulated time performs 200 dispatches
+//! of 127 work items each, and anything the dispatch path allocates or
+//! spawns is paid at that rate. The first sharded executor shipped on a
+//! scoped-spawn + mpsc design and was measurably *slower* than serial
+//! (every `CellWork` bundle moved by value through freshly allocated
+//! channel blocks — ~29× the serial allocation volume); this pool is the
+//! replacement.
+//!
+//! Design:
+//!
+//! * **Threads spawn once per process** and park on a condvar between
+//!   epochs. [`EpochPool::dispatch`] publishes a generation-counter epoch
+//!   (the barrier workers wake on), runs the job on the calling thread
+//!   too, then closes the epoch and waits for every helper that joined to
+//!   leave. Nothing is boxed, sent, or allocated per dispatch — the job
+//!   is a type-erased pointer to the caller's stack closure, which is
+//!   sound because `dispatch` cannot return while any worker still runs
+//!   it.
+//! * **The caller is worker 0.** On a single-core host the whole epoch
+//!   usually runs to completion on the dispatching thread before a helper
+//!   is ever scheduled; helpers that wake late find the epoch closed (or
+//!   fully staffed) and go straight back to sleep. That is what keeps the
+//!   width-4 grid within a few percent of width-1 on one core, where the
+//!   old design paid 2× for channel traffic.
+//! * **Work is claimed, not assigned.** The job closure receives only a
+//!   worker index; callers share an `AtomicUsize` (or a locked queue) and
+//!   let workers race for items. Determinism is the *caller's* contract:
+//!   both users file results by item index (grid cells re-slot by cell
+//!   id, `run_jobs` sorts by input index), so the claim order never
+//!   reaches the output bytes.
+//! * **Dispatches serialize.** One epoch runs at a time process-wide; a
+//!   `dispatch` from inside a running job (a fan-out job that itself
+//!   builds a sharded grid) executes inline on the calling worker instead
+//!   of deadlocking on the epoch gate. Concurrent dispatchers on distinct
+//!   threads queue on the gate.
+//!
+//! A panicking job marks the epoch poisoned; `dispatch` finishes the
+//! barrier handshake (so the borrow stays sound) and then propagates the
+//! panic to its caller.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased borrow of the dispatching caller's job closure.
+///
+/// Safety argument for the manual `Send`: a `Job` is only ever built from
+/// `&F where F: Fn(usize) + Sync`, published under the state lock, and
+/// every worker that copies it out increments `entered` under that same
+/// lock; [`EpochPool::dispatch`] does not return (and so the closure is
+/// not dropped) until `exited == entered` *after* the job slot is
+/// cleared, so no worker can observe a dangling pointer. Sharing `&F`
+/// across threads is exactly what `F: Sync` licenses.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+unsafe impl Send for Job {}
+
+/// Epoch state guarded by [`Shared::state`].
+struct State {
+    /// Generation counter: bumped once per dispatch. Workers remember the
+    /// last generation they examined and sleep until it moves.
+    epoch: u64,
+    /// The published job, `None` once the epoch is closed.
+    job: Option<Job>,
+    /// Maximum helpers allowed to join this epoch (`width - 1`): the pool
+    /// may hold more threads than a narrow dispatch wants.
+    limit: usize,
+    /// Helpers that joined the current epoch…
+    entered: usize,
+    /// …and helpers that have finished the job and left it again.
+    exited: usize,
+    /// A worker's job invocation panicked this epoch.
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between epochs.
+    work_cv: Condvar,
+    /// The dispatcher parks here while late helpers drain out.
+    done_cv: Condvar,
+}
+
+/// Persistent pool of parked worker threads woken per epoch; see the
+/// module docs. Use [`global`] — the whole point is that every dispatch
+/// site shares one set of threads.
+pub struct EpochPool {
+    shared: Arc<Shared>,
+    /// Dispatch gate; the guarded count is how many threads exist.
+    gate: Mutex<usize>,
+}
+
+thread_local! {
+    /// Set on pool worker threads (permanently) and on a dispatching
+    /// caller while it runs its own share of the job, so nested
+    /// dispatches degrade to inline execution instead of deadlocking.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker(shared: Arc<Shared>, idx: usize) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(job) = st.job {
+                        if st.entered < st.limit {
+                            st.entered += 1;
+                            break job;
+                        }
+                    }
+                    // Closed or fully staffed before we woke: not ours.
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // SAFETY: `job` was copied out under the lock while the epoch was
+        // open and `entered` was bumped in the same critical section, so
+        // the dispatcher is now blocked until this thread bumps `exited`;
+        // the closure behind `data` outlives this call (see [`Job`]).
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, idx) })).is_ok();
+        let mut st = shared.state.lock().unwrap();
+        if !ok {
+            st.panicked = true;
+        }
+        st.exited += 1;
+        shared.done_cv.notify_one();
+    }
+}
+
+impl EpochPool {
+    fn new() -> Self {
+        EpochPool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    limit: 0,
+                    entered: 0,
+                    exited: 0,
+                    panicked: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            gate: Mutex::new(0),
+        }
+    }
+
+    /// Run `f(worker_index)` on the calling thread *and* up to
+    /// `width - 1` pool workers, returning once every participant has
+    /// finished. `f` is typically a claim loop over shared items; indices
+    /// are 0 (the caller) and 1.. (helpers), useful for debugging only —
+    /// correctness must not depend on which worker claims what.
+    ///
+    /// `width <= 1` — and any dispatch from inside a running job — runs
+    /// `f(0)` inline with no synchronization at all. The steady-state
+    /// dispatch path performs no heap allocation; threads are spawned
+    /// the first time a dispatch needs them and then live for the
+    /// process.
+    pub fn dispatch<F>(&self, width: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if width <= 1 || IN_POOL.with(|c| c.get()) {
+            f(0);
+            return;
+        }
+        let helpers = width - 1;
+        let mut gate = self.gate.lock().unwrap();
+        while *gate < helpers {
+            let shared = Arc::clone(&self.shared);
+            let idx = *gate + 1;
+            std::thread::Builder::new()
+                .name(format!("poi360-epoch-{idx}"))
+                .spawn(move || worker(shared, idx))
+                .expect("spawn epoch pool worker");
+            *gate += 1;
+        }
+
+        unsafe fn call_erased<F: Fn(usize)>(data: *const (), idx: usize) {
+            unsafe { (*(data as *const F))(idx) }
+        }
+        let job = Job { data: &f as *const F as *const (), call: call_erased::<F> };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(job);
+            st.limit = helpers;
+            st.entered = 0;
+            st.exited = 0;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is worker 0; nested dispatches inside `f` inline.
+        IN_POOL.with(|c| c.set(true));
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        IN_POOL.with(|c| c.set(false));
+
+        // Close the epoch and wait out every helper that joined: only
+        // after that may `f` — which the erased job borrows — be dropped.
+        let panicked = {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = None;
+            while st.exited != st.entered {
+                st = self.shared.done_cv.wait(st).unwrap();
+            }
+            std::mem::replace(&mut st.panicked, false)
+        };
+        drop(gate);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        assert!(!panicked, "an epoch pool worker panicked while running a dispatched job");
+    }
+}
+
+/// The process-wide pool. Every dispatch site — `bench::runner`'s job
+/// fan-outs and the `MultiGrid` cell executor — must use this instance so
+/// the process never holds more parked threads than one pool's worth.
+pub fn global() -> &'static EpochPool {
+    static POOL: OnceLock<EpochPool> = OnceLock::new();
+    POOL.get_or_init(EpochPool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn dispatch_runs_every_claimed_item_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let next = AtomicUsize::new(0);
+        global().dispatch(4, |_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= hits.len() {
+                break;
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn width_one_runs_inline_on_the_caller() {
+        let caller = std::thread::current().id();
+        let slot = Mutex::new(None);
+        global().dispatch(1, |w| *slot.lock().unwrap() = Some((w, std::thread::current().id())));
+        assert_eq!(*slot.lock().unwrap(), Some((0, caller)));
+    }
+
+    #[test]
+    fn sequential_dispatches_reuse_the_pool() {
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
+            global().dispatch(3, |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 10 {
+                    break;
+                }
+                sum.fetch_add(i + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 45 + 10 * round);
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_inline_instead_of_deadlocking() {
+        let outer = AtomicUsize::new(0);
+        let inner_total = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        global().dispatch(4, |_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= 8 {
+                break;
+            }
+            outer.fetch_add(1, Ordering::Relaxed);
+            let inner_next = AtomicUsize::new(0);
+            global().dispatch(4, |_| loop {
+                let j = inner_next.fetch_add(1, Ordering::Relaxed);
+                if j >= 5 {
+                    break;
+                }
+                inner_total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8);
+        assert_eq!(inner_total.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_dispatcher() {
+        // Force the panic onto the caller (worker 0) so the test is
+        // deterministic even when helpers never wake in time.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            global().dispatch(2, |w| {
+                if w == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "a panicking job must fail the dispatch");
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        global().dispatch(2, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ok.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_on_the_gate() {
+        let results: Vec<_> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let sum = std::sync::atomic::AtomicU64::new(0);
+                        let next = AtomicUsize::new(0);
+                        global().dispatch(3, |_| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed) as u64;
+                            if i >= 20 {
+                                break;
+                            }
+                            sum.fetch_add(i * (k + 1), Ordering::Relaxed);
+                        });
+                        sum.load(Ordering::Relaxed)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(results, vec![190, 380, 570, 760]);
+    }
+}

@@ -216,6 +216,62 @@ fn multigrid_sharded_widths_are_byte_identical() {
     assert_eq!(t1, t8, "probe JSONL diverged at shard width 8");
 }
 
+/// Long-run recycling soak: 2.5 simulated seconds of a sharded grid is
+/// thousands of epochs of pooled trace-buffer reuse — every per-entity
+/// `BufferSink` drains into the merge and refills in place, and the
+/// JSONL sink re-renders each record into one recycled line scratch.
+/// Recycled capacity must never leak stale bytes: the sharded stream
+/// stays byte-identical to the serial one, and a sink reused across
+/// back-to-back runs (its scratch still warm from a *different* seed's
+/// longer stream) appends exactly the bytes a fresh sink produces.
+#[test]
+fn multigrid_long_run_recycled_buffers_stay_byte_identical() {
+    use poi360::core::multicell::{MultiGrid, MultiGridConfig};
+    use poi360::sim::trace::{JsonlSink, SinkHandle, TraceSink};
+    use std::sync::{Arc, Mutex};
+    let cfg = |seed: u64, shards: usize| MultiGridConfig {
+        flows: vec![FlowSpec::default(); 2],
+        load_ues: 8,
+        static_bg_per_cell: 2,
+        isd_m: 160.0,
+        speed_mps: 30.0,
+        duration: SimDuration::from_millis(2_500),
+        seed,
+        shards,
+        ..Default::default()
+    };
+    // One shared sink, two runs back to back: seed 91 first (warms the
+    // line scratch and the pool workers), then seed 5. The seed-5 bytes
+    // are the suffix after the seed-91 stream.
+    let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
+    let handle: SinkHandle = sink.clone();
+    MultiGrid::traced(cfg(91, 4), handle.clone()).run();
+    sink.lock().unwrap().flush();
+    let warm_len = sink.lock().unwrap().get_ref().len();
+    let report_reused = MultiGrid::traced(cfg(5, 4), handle).run().to_json();
+    sink.lock().unwrap().flush();
+    let sink = Arc::try_unwrap(sink).unwrap_or_else(|_| panic!("sole owner"));
+    let bytes = sink.into_inner().unwrap().into_inner();
+    assert!(bytes.len() > warm_len, "second run traced nothing");
+    let reused_tail = bytes[warm_len..].to_vec();
+
+    // Fresh-sink serial reference for the same seed-5 scenario.
+    let fresh = |shards: usize| {
+        let sink = Arc::new(Mutex::new(JsonlSink::to_writer(Vec::new())));
+        let handle: SinkHandle = sink.clone();
+        let report = MultiGrid::traced(cfg(5, shards), handle).run().to_json();
+        sink.lock().unwrap().flush();
+        let sink = Arc::try_unwrap(sink).unwrap_or_else(|_| panic!("sole owner"));
+        (report, sink.into_inner().unwrap().into_inner())
+    };
+    let (report_serial, trace_serial) = fresh(1);
+    assert_eq!(report_reused, report_serial, "sharded long-run report diverged from serial");
+    assert_eq!(
+        reused_tail, trace_serial,
+        "a recycled sink scratch leaked stale bytes into the stream"
+    );
+}
+
 /// Named component streams derived from one master seed are mutually
 /// independent: different names give uncorrelated sequences, the same
 /// name reproduces the identical sequence.
